@@ -1,0 +1,22 @@
+"""Helpers shared by the benchmark modules (kept out of conftest so they can
+be imported unambiguously as ``bench_utils``)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Heights used by the reduced (default) benchmark configuration.
+QUICK_HEIGHTS = (4, 6, 8, 10)
+
+
+def bench_full() -> bool:
+    """True when the full paper configuration was requested via REPRO_BENCH_FULL."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "False")
+
+
+def record_output(output_dir: Path, name: str, text: str) -> None:
+    """Persist and echo a rendered experiment table."""
+    path = output_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====\n{text}\n")

@@ -1,0 +1,62 @@
+"""Benchmark E9 — ablation over index structures (future-work direction).
+
+The paper's conclusion proposes studying alternative space-covering index
+structures.  This ablation compares, at comparable granularity, the Fair
+KD-tree against the fairness-aware quadtree extension and the two baselines.
+Expected shape: both fairness-aware structures clearly beat the median
+KD-tree on ENCE, with the KD-tree and quadtree variants close to each other
+(the objective, not the tree arity, is what matters).
+"""
+
+import pytest
+
+from bench_utils import record_output
+
+from repro.core.fair_kdtree import FairKDTreePartitioner
+from repro.core.fair_quadtree import FairQuadTreePartitioner
+from repro.core.median_kdtree import MedianKDTreePartitioner
+from repro.datasets.labels import act_task
+from repro.experiments.reporting import format_table
+
+
+def _run_index_ablation(bench_context, height: int):
+    city = bench_context.cities[0]
+    dataset = bench_context.dataset(city)
+    pipeline = bench_context.pipeline("logistic_regression")
+    partitioners = [
+        MedianKDTreePartitioner(height),
+        FairKDTreePartitioner(height),
+        FairQuadTreePartitioner(depth=(height + 1) // 2),
+    ]
+    rows = []
+    for partitioner in partitioners:
+        run = pipeline.run(dataset, act_task(), partitioner)
+        rows.append(
+            {
+                "index": run.method,
+                "neighborhoods": run.n_neighborhoods,
+                "ence_train": run.train_metrics.ence,
+                "ence_test": run.test_metrics.ence,
+                "accuracy_test": run.test_metrics.accuracy,
+                "build_seconds": run.build_seconds,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_index_structures(benchmark, bench_context, output_dir):
+    height = 6
+    rows = benchmark.pedantic(
+        lambda: _run_index_ablation(bench_context, height), rounds=1, iterations=1
+    )
+    record_output(
+        output_dir,
+        "ablation_index_structures",
+        format_table(rows, title=f"Ablation — index structures (height={height})"),
+    )
+
+    by_index = {row["index"]: row for row in rows}
+    median = by_index["median_kdtree"]["ence_train"]
+    assert by_index["fair_kdtree"]["ence_train"] < median
+    assert by_index["fair_quadtree"]["ence_train"] < median

@@ -1,0 +1,72 @@
+"""Benchmark E10 — sensitivity of the multi-objective partition to alpha.
+
+The paper fixes alpha = 0.5 for its two tasks (Figure 10).  This extension
+sweeps the task weight and reports the per-task test ENCE, showing the
+trade-off curve a practitioner would use to pick alpha.  Expected shape:
+moving alpha toward a task improves (or preserves) that task's ENCE relative
+to the opposite extreme, and the alpha = 0.5 compromise is competitive with
+both extremes on both tasks.
+"""
+
+import pytest
+
+from bench_utils import record_output
+
+from repro.core.multi_objective import MultiObjectiveFairKDTreePartitioner
+from repro.core.pipeline import RedistrictingPipeline
+from repro.datasets.labels import act_task, employment_task
+from repro.datasets.splits import split_dataset
+from repro.experiments.reporting import format_table
+
+ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _run_alpha_sweep(bench_context, height: int):
+    city = bench_context.cities[0]
+    dataset = bench_context.dataset(city)
+    factory = bench_context.model_factory("logistic_regression")
+    tasks = [act_task(), employment_task()]
+    rows = []
+    for alpha in ALPHAS:
+        weights = (alpha, 1.0 - alpha)
+        partitioner = MultiObjectiveFairKDTreePartitioner(height, alphas=weights)
+        row = {"alpha_act": alpha}
+        for task in tasks:
+            labels = task.labels(dataset)
+            split = split_dataset(
+                dataset, labels, test_fraction=bench_context.test_fraction,
+                seed=bench_context.seed,
+            )
+            task_labels = [t.labels(dataset)[split.train_indices] for t in tasks]
+            output = partitioner.build_multi(split.train, task_labels, factory)
+            pipeline = RedistrictingPipeline(
+                factory,
+                test_fraction=bench_context.test_fraction,
+                ece_bins=bench_context.ece_bins,
+                seed=bench_context.seed,
+            )
+            run = pipeline.run_split(split, partitioner, precomputed=output)
+            row[f"ence_{task.name.lower()}"] = run.test_metrics.ence
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_alpha_sensitivity(benchmark, bench_context, output_dir):
+    height = 6
+    rows = benchmark.pedantic(
+        lambda: _run_alpha_sweep(bench_context, height), rounds=1, iterations=1
+    )
+    record_output(
+        output_dir,
+        "alpha_sensitivity",
+        format_table(rows, title=f"Alpha sensitivity — multi-objective fair KD-tree (height={height})"),
+    )
+
+    by_alpha = {row["alpha_act"]: row for row in rows}
+    # The balanced setting should not be dramatically worse than the best
+    # single-task extreme on either task (the compromise is usable).
+    best_act = min(row["ence_act"] for row in rows)
+    best_employment = min(row["ence_employment"] for row in rows)
+    assert by_alpha[0.5]["ence_act"] <= best_act * 3 + 0.05
+    assert by_alpha[0.5]["ence_employment"] <= best_employment * 3 + 0.05

@@ -1,0 +1,38 @@
+"""Benchmark E5 — Figure 10: multi-objective Fair KD-tree, per-task ENCE.
+
+Regenerates, for each city and height, the test-set ENCE of the ACT and
+Employment tasks when both are served by a single partition (alpha = 0.5).
+Expected shape: the multi-objective Fair KD-tree improves ENCE over the
+median KD-tree and grid re-weighting baselines for *both* tasks, with the
+margin growing at larger heights.
+"""
+
+import pytest
+
+from bench_utils import record_output
+
+from repro.experiments.multi_objective import run_multi_objective_experiment
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_fig10_multi_objective(benchmark, bench_context, output_dir):
+    result = benchmark.pedantic(
+        lambda: run_multi_objective_experiment(bench_context, alphas=(0.5, 0.5)),
+        rounds=1,
+        iterations=1,
+    )
+    record_output(output_dir, "figure10_multi_objective", result.render())
+
+    wins = 0
+    comparisons = 0
+    for city in bench_context.cities:
+        for height in bench_context.heights:
+            panel = result.panel(city, height)
+            for task in ("ACT", "Employment"):
+                fair = panel["multi_objective_fair_kdtree"][task]
+                for baseline in ("median_kdtree", "grid_reweighting"):
+                    comparisons += 1
+                    if fair <= panel[baseline][task]:
+                        wins += 1
+    # The fair partition should win the large majority of (task, baseline, height) cells.
+    assert wins / comparisons >= 0.75, f"only {wins}/{comparisons} comparisons won"

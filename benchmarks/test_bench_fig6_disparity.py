@@ -1,0 +1,31 @@
+"""Benchmark E1 — Figure 6: disparity of an unmitigated model across zip codes.
+
+Regenerates, for each city, the overall train/test calibration ratio together
+with the per-neighborhood calibration ratio and 15-bin ECE of the ten most
+populated (synthetic) zip codes.  The expected shape: overall ratios near 1,
+individual neighborhoods deviating far more.
+"""
+
+import pytest
+
+from bench_utils import record_output
+
+from repro.experiments.disparity import run_disparity_experiment
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_fig6_disparity(benchmark, bench_context, output_dir):
+    result = benchmark.pedantic(
+        lambda: run_disparity_experiment(bench_context, top_k=10, n_zipcodes=40),
+        rounds=1,
+        iterations=1,
+    )
+    record_output(output_dir, "figure6_disparity", result.render())
+
+    for city in bench_context.cities:
+        audit = result.audits[city]
+        # Overall calibration looks acceptable...
+        assert 0.6 < audit.overall_train.ratio < 1.4
+        # ...while at least one populous neighborhood deviates more strongly.
+        assert audit.max_ratio_deviation > abs(audit.overall_train.ratio - 1.0)
+        assert len(audit.top_neighborhoods) == 10

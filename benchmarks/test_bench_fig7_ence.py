@@ -1,0 +1,39 @@
+"""Benchmark E2 — Figure 7: ENCE vs tree height for every method and classifier.
+
+Regenerates one series per (city, classifier, method): the test-set ENCE at
+each tree height.  Expected shape (as in the paper): Fair KD-tree and
+Iterative Fair KD-tree dominate Median KD-tree and Grid (Reweighting) at every
+height, and the absolute ENCE grows with height for every method (Theorem 2).
+"""
+
+import pytest
+
+from bench_utils import record_output
+
+from repro.experiments.ence_sweep import run_ence_sweep
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_fig7_ence_sweep(benchmark, bench_context, output_dir):
+    result = benchmark.pedantic(lambda: run_ence_sweep(bench_context), rounds=1, iterations=1)
+    record_output(output_dir, "figure7_ence", result.render("test"))
+    record_output(output_dir, "figure7_ence_train", result.render("train"))
+
+    heights = list(bench_context.heights)
+    for city in bench_context.cities:
+        for model in bench_context.model_kinds:
+            panel = result.series(city, model, split="train")
+            fair_wins = sum(
+                panel["fair_kdtree"][h] <= panel["median_kdtree"][h] for h in heights
+            )
+            iterative_wins = sum(
+                panel["iterative_fair_kdtree"][h] <= panel["median_kdtree"][h] for h in heights
+            )
+            # The fair variants should win at (almost) every height on training ENCE.
+            assert fair_wins >= len(heights) - 1, (city, model, panel)
+            assert iterative_wins >= len(heights) - 1, (city, model, panel)
+
+    # ENCE grows with partition granularity (Theorem 2's practical shape).
+    logistic_panel = result.series(bench_context.cities[0], bench_context.model_kinds[0], "train")
+    median = logistic_panel["median_kdtree"]
+    assert median[heights[-1]] >= median[heights[0]]

@@ -1,0 +1,39 @@
+"""Benchmark E3 — Figure 8: utility indicators vs tree height (logistic regression).
+
+Regenerates accuracy, overall training miscalibration, and overall test
+miscalibration for every method and height.  Expected shape: accuracy is
+comparable across methods (the fairness-aware partitioning does not destroy
+utility), and overall miscalibration of the fair methods is in the same range
+as the baselines.
+"""
+
+import pytest
+
+from bench_utils import record_output
+
+from repro.experiments.utility_sweep import run_utility_sweep
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_fig8_utility_sweep(benchmark, bench_context, output_dir):
+    result = benchmark.pedantic(
+        lambda: run_utility_sweep(bench_context, model_kind="logistic_regression"),
+        rounds=1,
+        iterations=1,
+    )
+    record_output(output_dir, "figure8_utility", result.render())
+
+    heights = list(bench_context.heights)
+    for city in bench_context.cities:
+        accuracy = result.series(city, "accuracy")
+        for height in heights:
+            fair = accuracy["fair_kdtree"][height]
+            median = accuracy["median_kdtree"][height]
+            # Accuracy comparable: the fair index costs at most a few points.
+            assert fair >= median - 0.1, (city, height, fair, median)
+
+        train_miscal = result.series(city, "train_miscalibration")
+        for height in heights:
+            # Overall model calibration stays in a sane range for every method.
+            for method, values in train_miscal.items():
+                assert values[height] < 0.2, (city, method, height)

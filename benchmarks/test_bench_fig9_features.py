@@ -1,0 +1,41 @@
+"""Benchmark E4 — Figure 9: feature-importance heatmaps across tree heights.
+
+Regenerates, for each tree-based method and height, the normalised permutation
+importance of every training feature (one-hot neighborhood columns grouped).
+Expected shape: importance mass shifts across heights, and the socio-economic
+features (income / college rate) dominate while the neighborhood feature's
+share changes with the partition granularity.
+"""
+
+import pytest
+
+from bench_utils import record_output
+
+from repro.experiments.feature_heatmap import run_feature_heatmap
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_fig9_feature_heatmap(benchmark, bench_context, output_dir):
+    result = benchmark.pedantic(
+        lambda: run_feature_heatmap(bench_context, n_repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    record_output(output_dir, "figure9_feature_importance", result.render())
+
+    names = set(result.feature_names())
+    assert "neighborhood" in names
+    assert {"median_income", "college_degree_rate", "unemployment_rate"} <= names
+
+    for (city, method, height), importances in result.importances.items():
+        total = sum(importances.values())
+        assert total == pytest.approx(1.0, abs=1e-6) or total == 0.0, (city, method, height)
+
+    # The importance profile is not constant across heights (the paper's
+    # observation that the model shifts focus as granularity changes).
+    city = bench_context.cities[0]
+    panel = result.heatmap(city, "fair_kdtree")
+    heights = sorted(panel)
+    first, last = panel[heights[0]], panel[heights[-1]]
+    drift = sum(abs(first[name] - last[name]) for name in first)
+    assert drift > 0.01

@@ -1,0 +1,49 @@
+"""Benchmark E6 — Section 5.3.1 timing claim.
+
+The paper reports that building the Fair KD-tree at height 10 takes 102 s vs
+189 s for the Iterative variant (about 45 % cheaper) on the authors' hardware.
+Absolute times differ on other machines and classifiers; the benchmark checks
+the *shape*: the iterative variant costs strictly more because it retrains the
+model at every level, and the single-shot variant trains exactly once.
+"""
+
+import pytest
+
+from bench_utils import record_output
+
+from repro.experiments.timing import run_timing_experiment
+
+
+@pytest.mark.benchmark(group="timing")
+def test_timing_fair_vs_iterative(benchmark, bench_context, output_dir):
+    height = max(bench_context.heights)
+    result = benchmark.pedantic(
+        lambda: run_timing_experiment(bench_context, city=bench_context.cities[0], height=height),
+        rounds=1,
+        iterations=1,
+    )
+    record_output(output_dir, "timing_fair_vs_iterative", result.render())
+
+    assert result.model_trainings["fair_kdtree"] == 1
+    assert result.model_trainings["iterative_fair_kdtree"] == height
+    assert result.seconds["iterative_fair_kdtree"] > result.seconds["fair_kdtree"]
+    # The paper reports ~1.85x (189 s / 102 s); we only require a clear gap.
+    assert result.speedup_of_fair_over_iterative > 1.2
+
+
+@pytest.mark.benchmark(group="timing")
+def test_timing_fair_kdtree_build_only(benchmark, bench_context):
+    """Raw partition-construction cost of the single-shot Fair KD-tree."""
+    from repro.core.fair_kdtree import FairKDTreePartitioner
+    from repro.datasets.labels import act_task
+
+    city = bench_context.cities[0]
+    dataset = bench_context.dataset(city)
+    labels = act_task().labels(dataset)
+    factory = bench_context.model_factory("logistic_regression")
+    height = max(bench_context.heights)
+
+    output = benchmark(
+        lambda: FairKDTreePartitioner(height=height).build(dataset, labels, factory)
+    )
+    assert output.partition.is_complete

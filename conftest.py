@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without an install.
+
+The library is normally installed with ``pip install -e .``; this hook keeps
+``pytest`` usable on machines where the editable install is unavailable
+(e.g. offline environments without the ``wheel`` package).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,65 @@
+"""Fair re-districting study: ENCE and utility across tree heights.
+
+Reproduces the shape of the paper's Figures 7 and 8 for one classifier family:
+for every method (median KD-tree, fair KD-tree, iterative fair KD-tree, grid
+re-weighting) and tree height, the script prints test-set ENCE, accuracy and
+overall miscalibration, then summarises the relative improvement of the fair
+methods over the median KD-tree baseline.
+
+Run with:
+
+    python examples/fair_redistricting.py [city]
+
+where ``city`` is ``los_angeles`` (default) or ``houston``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.ence_sweep import run_ence_sweep
+from repro.experiments.reporting import format_series, improvement_percent
+from repro.experiments.runner import default_context
+from repro.experiments.utility_sweep import run_utility_sweep
+
+
+def main() -> None:
+    city = sys.argv[1] if len(sys.argv) > 1 else "los_angeles"
+    heights = (4, 6, 8, 10)
+    context = default_context(cities=(city,), heights=heights)
+
+    ence = run_ence_sweep(context)
+    utility = run_utility_sweep(context)
+
+    print(format_series(
+        ence.series(city, "logistic_regression", split="test"),
+        x_label="height",
+        title=f"Test ENCE by method — {city}",
+    ))
+    print()
+    print(format_series(
+        utility.series(city, "accuracy"),
+        x_label="height",
+        title=f"Test accuracy by method — {city}",
+    ))
+    print()
+    print(format_series(
+        utility.series(city, "test_miscalibration"),
+        x_label="height",
+        title=f"Overall test miscalibration by method — {city}",
+    ))
+
+    panel = ence.series(city, "logistic_regression", split="test")
+    print("\nImprovement of Fair KD-tree over Median KD-tree (test ENCE):")
+    for height in heights:
+        gain = improvement_percent(
+            panel["median_kdtree"][height], panel["fair_kdtree"][height]
+        )
+        print(f"  height {height:2d}: {gain:6.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: build a fair spatial partition and compare it to a median KD-tree.
+
+Run with:
+
+    python examples/quickstart.py
+
+The script generates the synthetic Los Angeles EdGap-like dataset, builds a
+Fair KD-tree and a Median KD-tree partition at the same height, retrains the
+classifier on each re-districted map, and prints ENCE / accuracy side by side.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (
+    DatasetConfig,
+    FairKDTreePartitioner,
+    GridConfig,
+    MedianKDTreePartitioner,
+    ModelConfig,
+    RedistrictingPipeline,
+    act_task,
+    load_edgap_city,
+)
+from repro.experiments.reporting import format_table, improvement_percent
+from repro.ml.model_selection import factory_for
+
+
+def main() -> None:
+    height = 6
+
+    dataset = load_edgap_city(
+        DatasetConfig(city="los_angeles", n_records=1153, grid=GridConfig(32, 32), seed=7)
+    )
+    task = act_task()
+    pipeline = RedistrictingPipeline(
+        factory_for(ModelConfig(kind="logistic_regression")), test_fraction=0.3, seed=11
+    )
+
+    rows = []
+    results = {}
+    for partitioner in (MedianKDTreePartitioner(height), FairKDTreePartitioner(height)):
+        result = pipeline.run(dataset, task, partitioner)
+        results[result.method] = result
+        rows.append(
+            {
+                "method": result.method,
+                "neighborhoods": result.n_neighborhoods,
+                "ENCE (train)": result.train_metrics.ence,
+                "ENCE (test)": result.test_metrics.ence,
+                "accuracy (test)": result.test_metrics.accuracy,
+                "build seconds": result.build_seconds,
+            }
+        )
+
+    print(format_table(rows, title=f"Fair vs median KD-tree at height {height} (Los Angeles)"))
+
+    median = results["median_kdtree"]
+    fair = results["fair_kdtree"]
+    gain = improvement_percent(median.test_metrics.ence, fair.test_metrics.ence)
+    print(
+        f"\nFair KD-tree improves test ENCE by {gain:.1f}% over the median KD-tree "
+        f"while accuracy changes by "
+        f"{(fair.test_metrics.accuracy - median.test_metrics.accuracy) * 100:+.1f} points."
+    )
+
+
+if __name__ == "__main__":
+    main()

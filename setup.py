@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so legacy (non-PEP-660) editable installs — ``pip install -e . --no-use-pep517``
+or ``python setup.py develop`` — keep working on machines without the
+``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,211 @@
+"""Command-line interface for the fair spatial indexing experiments.
+
+Usage (after ``pip install -e .`` or from the repository root)::
+
+    python -m repro list                       # list available experiments
+    python -m repro disparity                  # Figure 6
+    python -m repro ence                       # Figure 7
+    python -m repro utility                    # Figure 8
+    python -m repro features                   # Figure 9
+    python -m repro multi-objective            # Figure 10
+    python -m repro timing                     # Section 5.3.1 timing
+    python -m repro ence --cities houston --heights 4 6 --output results.csv
+
+Every command prints the regenerated table to stdout; ``--output`` also writes
+the underlying rows to CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .core.base import train_scores_on_dataset
+from .core.results import comparisons_to_rows
+from .datasets.labels import act_task
+from .experiments.disparity import run_disparity_experiment
+from .experiments.ence_sweep import run_ence_sweep
+from .experiments.feature_heatmap import run_feature_heatmap
+from .experiments.multi_objective import run_multi_objective_experiment
+from .experiments.reporting import format_table
+from .experiments.runner import PAPER_CITIES, build_partitioner, default_context
+from .experiments.timing import run_timing_experiment
+from .experiments.utility_sweep import run_utility_sweep
+from .fairness.report import compare_partitions, improvement_summary
+from .io.export import save_rows_csv
+from .logging_utils import configure_logging
+from .viz import render_partition_ascii
+
+EXPERIMENTS = (
+    "disparity", "ence", "utility", "features", "multi-objective", "timing", "compare",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation figures of 'Fair Spatial Indexing' (EDBT 2024).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("list",),
+        help="which experiment to run ('list' prints the catalogue)",
+    )
+    parser.add_argument(
+        "--cities", nargs="+", default=list(PAPER_CITIES), help="cities to evaluate"
+    )
+    parser.add_argument(
+        "--heights", nargs="+", type=int, default=[4, 6, 8, 10], help="tree heights to sweep"
+    )
+    parser.add_argument(
+        "--model",
+        default="logistic_regression",
+        choices=("logistic_regression", "decision_tree", "naive_bayes"),
+        help="classifier family",
+    )
+    parser.add_argument("--grid", type=int, default=32, help="base grid resolution (grid x grid)")
+    parser.add_argument("--seed", type=int, default=11, help="evaluation seed")
+    parser.add_argument("--output", default=None, help="optional CSV output path")
+    parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
+    return parser
+
+
+def _context(args: argparse.Namespace):
+    return default_context(
+        cities=tuple(args.cities),
+        heights=tuple(args.heights),
+        model_kinds=(args.model,),
+        grid_rows=args.grid,
+        grid_cols=args.grid,
+        seed=args.seed,
+    )
+
+
+def _experiment_catalogue() -> str:
+    lines = ["Available experiments:"]
+    descriptions = {
+        "disparity": "Figure 6 — per-neighborhood calibration of an unmitigated model",
+        "ence": "Figure 7 — ENCE vs tree height for every partitioning method",
+        "utility": "Figure 8 — accuracy and overall miscalibration vs height",
+        "features": "Figure 9 — permutation feature importance per height",
+        "multi-objective": "Figure 10 — one partition serving the ACT and Employment tasks",
+        "timing": "Section 5.3.1 — Fair vs Iterative Fair KD-tree build time",
+        "compare": "Before/after fairness report + ASCII map for one city and height",
+    }
+    for name in EXPERIMENTS:
+        lines.append(f"  {name:16s} {descriptions[name]}")
+    return "\n".join(lines)
+
+
+def _run_compare(context, args: argparse.Namespace) -> List[dict]:
+    """Before/after fairness report for one city at one height.
+
+    Trains a model once on the base grid (single neighborhood), then compares
+    how the same confidence scores distribute over the median, fair, iterative
+    and re-weighting partitions built at ``max(heights)``, and prints an ASCII
+    map of the fair partition.
+    """
+    city = context.cities[0]
+    height = max(context.heights)
+    dataset = context.dataset(city)
+    task = act_task()
+    labels = task.labels(dataset)
+    factory = context.model_factory(args.model)
+
+    base = dataset.with_neighborhoods(np.zeros(dataset.n_records, dtype=int))
+    scores, _, _ = train_scores_on_dataset(base, labels, factory)
+
+    assignments = {}
+    fair_partition = None
+    for method in ("median_kdtree", "fair_kdtree", "iterative_fair_kdtree", "grid_reweighting"):
+        partitioner = build_partitioner(method, height)
+        output = partitioner.build(dataset, labels, factory)
+        assignments[method] = output.partition.assign(dataset.cell_rows, dataset.cell_cols)
+        if method == "fair_kdtree":
+            fair_partition = output.partition
+
+    rows = compare_partitions(scores, labels, assignments)
+    print(format_table(rows, title=f"Fairness report — {city}, height {height}, task {task.name}"))
+    improvements = improvement_summary(rows, baseline="median_kdtree")
+    print("\nENCE improvement over the median KD-tree:")
+    for method, fraction in improvements.items():
+        print(f"  {method:24s} {fraction * 100:6.1f}%")
+    if fair_partition is not None:
+        print("\nFair KD-tree partition (one letter per neighborhood, south at the bottom):")
+        print(render_partition_ascii(fair_partition))
+    return rows
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging()
+
+    if args.experiment == "list":
+        print(_experiment_catalogue())
+        return 0
+
+    context = _context(args)
+    rows: List[dict] = []
+
+    if args.experiment == "disparity":
+        result = run_disparity_experiment(context)
+        print(result.render())
+        for city in context.cities:
+            rows.extend({"city": city, **row} for row in result.rows(city))
+    elif args.experiment == "ence":
+        result = run_ence_sweep(context)
+        print(result.render("test"))
+        rows = comparisons_to_rows(result.comparisons)
+    elif args.experiment == "utility":
+        result = run_utility_sweep(context, model_kind=args.model)
+        print(result.render())
+        rows = comparisons_to_rows(result.comparisons)
+    elif args.experiment == "features":
+        result = run_feature_heatmap(context, model_kind=args.model)
+        print(result.render())
+        rows = [
+            {"city": city, "method": method, "height": height, **values}
+            for (city, method, height), values in sorted(result.importances.items())
+        ]
+    elif args.experiment == "multi-objective":
+        result = run_multi_objective_experiment(context, model_kind=args.model)
+        print(result.render())
+        rows = [
+            {"city": city, "height": height, "method": method, "task": task, "ence": value}
+            for (city, height, method, task), value in sorted(result.ence.items())
+        ]
+    elif args.experiment == "timing":
+        result = run_timing_experiment(
+            context, city=context.cities[0], height=max(context.heights), model_kind=args.model
+        )
+        print(result.render())
+        rows = [
+            {
+                "method": method,
+                "build_seconds": seconds,
+                "model_trainings": result.model_trainings.get(method, 0),
+            }
+            for method, seconds in result.seconds.items()
+        ]
+    elif args.experiment == "compare":
+        rows = _run_compare(context, args)
+
+    if args.output and rows:
+        path = save_rows_csv(rows, args.output)
+        print(f"\nwrote {len(rows)} rows to {path}")
+    return 0
+
+
+def main() -> None:  # pragma: no cover - thin wrapper
+    sys.exit(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

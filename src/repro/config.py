@@ -1,0 +1,155 @@
+"""Typed configuration objects for experiments and algorithms.
+
+The experiment harness (``repro.experiments``) and the benchmark suite build
+these configurations explicitly so every run records exactly which knobs were
+used.  All classes are frozen dataclasses: configurations are values, not
+mutable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence, Tuple
+
+from .exceptions import ConfigurationError
+
+#: Tree heights swept in the paper's Figures 7 and 8.
+PAPER_HEIGHTS: Tuple[int, ...] = (4, 5, 6, 7, 8, 9, 10)
+
+#: Tree heights reported in the paper's multi-objective Figure 10.
+PAPER_MULTI_OBJECTIVE_HEIGHTS: Tuple[int, ...] = (4, 6, 8, 10)
+
+#: Number of score bins used for ECE in the paper (Section 5.2).
+PAPER_ECE_BINS = 15
+
+#: ACT threshold used to generate labels (Section 5.1).
+PAPER_ACT_THRESHOLD = 22.0
+
+#: Family-employment threshold (percent) for the second task (Section 5.4).
+PAPER_EMPLOYMENT_THRESHOLD = 10.0
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Resolution of the base grid overlaid on the map (U x V)."""
+
+    rows: int = 64
+    cols: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError(
+                f"grid must have positive dimensions, got {self.rows}x{self.cols}"
+            )
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def n_cells(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Configuration of the synthetic EdGap-like dataset for one city."""
+
+    city: str = "los_angeles"
+    n_records: int = 1153
+    grid: GridConfig = field(default_factory=GridConfig)
+    act_threshold: float = PAPER_ACT_THRESHOLD
+    employment_threshold: float = PAPER_EMPLOYMENT_THRESHOLD
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_records < 1:
+            raise ConfigurationError(f"n_records must be positive, got {self.n_records}")
+        if not self.city:
+            raise ConfigurationError("city must be a non-empty string")
+
+    def with_seed(self, seed: int) -> "DatasetConfig":
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Which classifier family to train and its hyper-parameters."""
+
+    kind: str = "logistic_regression"
+    learning_rate: float = 0.1
+    max_iter: int = 300
+    regularization: float = 1e-3
+    max_depth: int = 6
+    min_samples_leaf: int = 5
+    var_smoothing: float = 1e-6
+    seed: int = 13
+
+    _VALID_KINDS = ("logistic_regression", "decision_tree", "naive_bayes")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._VALID_KINDS:
+            raise ConfigurationError(
+                f"unknown model kind {self.kind!r}; expected one of {self._VALID_KINDS}"
+            )
+        if self.max_iter < 1:
+            raise ConfigurationError("max_iter must be >= 1")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+
+
+@dataclass(frozen=True)
+class PartitionerConfig:
+    """Configuration of a spatial partitioner run."""
+
+    method: str = "fair_kdtree"
+    height: int = 6
+    alpha: Tuple[float, ...] = (1.0,)
+    objective: str = "balance"
+
+    _VALID_METHODS = (
+        "fair_kdtree",
+        "iterative_fair_kdtree",
+        "multi_objective_fair_kdtree",
+        "median_kdtree",
+        "grid_reweighting",
+        "zipcode",
+    )
+
+    def __post_init__(self) -> None:
+        if self.method not in self._VALID_METHODS:
+            raise ConfigurationError(
+                f"unknown partitioner {self.method!r}; expected one of {self._VALID_METHODS}"
+            )
+        if self.height < 0:
+            raise ConfigurationError(f"height must be non-negative, got {self.height}")
+        total = sum(self.alpha)
+        if self.alpha and abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"alpha weights must sum to 1, got {self.alpha} (sum={total})"
+            )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Top-level experiment description used by the harness and benches."""
+
+    name: str
+    dataset: DatasetConfig
+    model: ModelConfig = field(default_factory=ModelConfig)
+    heights: Sequence[int] = PAPER_HEIGHTS
+    test_fraction: float = 0.3
+    ece_bins: int = PAPER_ECE_BINS
+    seed: int = 101
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("experiment name must be non-empty")
+        if not 0.0 < self.test_fraction < 1.0:
+            raise ConfigurationError(
+                f"test_fraction must be in (0, 1), got {self.test_fraction}"
+            )
+        if self.ece_bins < 1:
+            raise ConfigurationError("ece_bins must be >= 1")
+        if any(h < 0 for h in self.heights):
+            raise ConfigurationError("heights must be non-negative")

@@ -1,0 +1,48 @@
+"""Core contribution: fairness-aware spatial index construction.
+
+This package implements the paper's algorithms and baselines behind a single
+partitioner interface:
+
+* :class:`~repro.core.fair_kdtree.FairKDTreePartitioner` — Algorithm 1 + 2.
+* :class:`~repro.core.iterative.IterativeFairKDTreePartitioner` — Algorithm 3.
+* :class:`~repro.core.multi_objective.MultiObjectiveFairKDTreePartitioner` —
+  Section 4.3.
+* :class:`~repro.core.median_kdtree.MedianKDTreePartitioner` — the standard
+  KD-tree baseline.
+* :class:`~repro.core.grid_reweighting.GridReweightingPartitioner` — uniform
+  grid neighborhoods with Kamiran-Calders instance re-weighting.
+* :class:`~repro.core.pipeline.RedistrictingPipeline` — the end-to-end
+  train -> partition -> re-district -> retrain -> evaluate loop shared by all
+  experiments.
+"""
+
+from .base import PartitionerOutput, SpatialPartitioner
+from .fair_kdtree import FairKDTreePartitioner
+from .fair_quadtree import FairQuadTreePartitioner
+from .grid_reweighting import GridReweightingPartitioner
+from .iterative import IterativeFairKDTreePartitioner
+from .median_kdtree import MedianKDTreePartitioner
+from .multi_objective import MultiObjectiveFairKDTreePartitioner
+from .objective import SplitScorer, available_objectives
+from .pipeline import PipelineResult, RedistrictingPipeline
+from .results import EvaluationMetrics, MethodComparison
+from .split import SplitDecision, split_neighborhood
+
+__all__ = [
+    "SpatialPartitioner",
+    "PartitionerOutput",
+    "FairKDTreePartitioner",
+    "FairQuadTreePartitioner",
+    "IterativeFairKDTreePartitioner",
+    "MultiObjectiveFairKDTreePartitioner",
+    "MedianKDTreePartitioner",
+    "GridReweightingPartitioner",
+    "SplitScorer",
+    "available_objectives",
+    "SplitDecision",
+    "split_neighborhood",
+    "RedistrictingPipeline",
+    "PipelineResult",
+    "EvaluationMetrics",
+    "MethodComparison",
+]

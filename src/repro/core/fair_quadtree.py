@@ -1,0 +1,191 @@
+"""Fairness-aware quadtree (extension beyond the paper).
+
+The paper's future-work section proposes investigating alternative indexing
+structures that completely cover the data domain.  This module contributes a
+quadtree variant of the Fair KD-tree: at every node the region is cut into
+four quadrants, and the *position* of the cut (a row index and a column index)
+is chosen to minimise the same calibration-balance objective as Eq. 9, applied
+to the two axes independently.  Like the Fair KD-tree it trains the model once
+on the base grid and then splits recursively; unlike it, every split produces
+four children, so a height-``h`` fair quadtree is granularity-comparable to a
+height-``2h`` fair KD-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..datasets.dataset import SpatialDataset
+from ..exceptions import ConfigurationError
+from ..ml.model_selection import ModelFactory
+from ..spatial.partition import Partition
+from ..spatial.region import GridRegion
+from .base import PartitionerOutput, SpatialPartitioner, train_scores_on_dataset
+from .objective import SplitScorer, make_scorer
+from .split import split_neighborhood
+
+
+@dataclass
+class FairQuadNode:
+    """A node of the fair quadtree."""
+
+    region: GridRegion
+    depth: int
+    children: List["FairQuadNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def leaves(self) -> List["FairQuadNode"]:
+        if self.is_leaf:
+            return [self]
+        result: List[FairQuadNode] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+
+class FairQuadTreePartitioner(SpatialPartitioner):
+    """Quadtree whose cut point minimises the calibration-balance objective.
+
+    Parameters
+    ----------
+    depth:
+        Number of quadtree levels; at most ``4**depth`` leaves.
+    objective:
+        Split objective applied independently to the row and column cuts.
+    min_records_per_child:
+        Optional lower bound on the records in each child; a quadrant split
+        producing a smaller child is rejected (the node stays a leaf).
+    """
+
+    name = "fair_quadtree"
+
+    def __init__(
+        self,
+        depth: int,
+        objective: str = "balance",
+        min_records_per_child: int = 0,
+    ) -> None:
+        if depth < 0:
+            raise ConfigurationError(f"depth must be non-negative, got {depth}")
+        if min_records_per_child < 0:
+            raise ConfigurationError("min_records_per_child must be non-negative")
+        self._depth = int(depth)
+        self._scorer: SplitScorer = make_scorer(objective)
+        self._min_records = int(min_records_per_child)
+        self._root: Optional[FairQuadNode] = None
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def root(self) -> Optional[FairQuadNode]:
+        return self._root
+
+    # -- construction ------------------------------------------------------------
+
+    def build(
+        self,
+        dataset: SpatialDataset,
+        labels: np.ndarray,
+        model_factory: ModelFactory,
+    ) -> PartitionerOutput:
+        base = dataset.with_neighborhoods(np.zeros(dataset.n_records, dtype=int))
+        scores, _, _ = train_scores_on_dataset(base, labels, model_factory)
+        residuals = scores - np.asarray(labels, dtype=float)
+        partition = self.build_from_residuals(dataset, residuals)
+        return PartitionerOutput(
+            partition=partition,
+            metadata={
+                "method": self.name,
+                "depth": self._depth,
+                "height": self._depth,
+                "objective": self._scorer.name,
+                "n_model_trainings": 1,
+            },
+        )
+
+    def build_from_residuals(
+        self, dataset: SpatialDataset, residuals: np.ndarray
+    ) -> Partition:
+        """Run the recursive quadrant splitting given precomputed residuals."""
+        residuals = np.asarray(residuals, dtype=float)
+        if residuals.shape != (dataset.n_records,):
+            raise ConfigurationError("residuals must match the dataset's record count")
+        self._root = self._build_node(
+            GridRegion.full(dataset.grid),
+            dataset.cell_rows,
+            dataset.cell_cols,
+            residuals,
+            depth=0,
+        )
+        regions = [leaf.region for leaf in self._root.leaves()]
+        return Partition(dataset.grid, regions)
+
+    def _build_node(
+        self,
+        region: GridRegion,
+        cell_rows: np.ndarray,
+        cell_cols: np.ndarray,
+        residuals: np.ndarray,
+        depth: int,
+    ) -> FairQuadNode:
+        node = FairQuadNode(region=region, depth=depth)
+        if depth >= self._depth:
+            return node
+        children = self._fair_quadrants(region, cell_rows, cell_cols, residuals)
+        if children is None:
+            return node
+        if self._min_records:
+            counts = [
+                int(child.member_mask(cell_rows, cell_cols).sum()) for child in children
+            ]
+            if min(counts) < self._min_records:
+                return node
+        node.children = [
+            self._build_node(child, cell_rows, cell_cols, residuals, depth + 1)
+            for child in children
+        ]
+        return node
+
+    def _fair_quadrants(
+        self,
+        region: GridRegion,
+        cell_rows: np.ndarray,
+        cell_cols: np.ndarray,
+        residuals: np.ndarray,
+    ) -> Optional[List[GridRegion]]:
+        """Cut ``region`` into quadrants at the fairest (row, column) indices.
+
+        Falls back to a two-way split when only one axis is divisible, and to
+        ``None`` (leaf) when the region is a single cell.
+        """
+        row_decision = split_neighborhood(
+            region, cell_rows, cell_cols, residuals, axis=0, scorer=self._scorer
+        )
+        col_decision = split_neighborhood(
+            region, cell_rows, cell_cols, residuals, axis=1, scorer=self._scorer
+        )
+        if row_decision is None and col_decision is None:
+            return None
+        if row_decision is None:
+            return [col_decision.left, col_decision.right]
+        if col_decision is None:
+            return [row_decision.left, row_decision.right]
+
+        children: List[GridRegion] = []
+        for half in (row_decision.left, row_decision.right):
+            sub = split_neighborhood(
+                half, cell_rows, cell_cols, residuals, axis=1, scorer=self._scorer
+            )
+            if sub is None:
+                children.append(half)
+            else:
+                children.extend([sub.left, sub.right])
+        return children

@@ -1,0 +1,177 @@
+"""End-to-end re-districting pipeline.
+
+Every experiment in the paper follows the same loop:
+
+1. derive labels for the task and split the data into train / test;
+2. run a partitioner on the *training* portion to obtain new neighborhoods;
+3. re-assign the neighborhood feature of both portions from the partition;
+4. train the final classifier on the re-districted training data (optionally
+   with the partitioner's sample weights, for the re-weighting baseline);
+5. evaluate accuracy, overall miscalibration, ECE, and ENCE on the train and
+   test portions.
+
+:class:`RedistrictingPipeline` implements this loop once so the figure
+experiments and benchmarks only differ in which partitioners and datasets
+they feed in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..config import PAPER_ECE_BINS
+from ..datasets.dataset import SpatialDataset
+from ..datasets.labels import LabelTask
+from ..datasets.splits import TrainTestSplit, split_dataset
+from ..exceptions import ExperimentError
+from ..fairness.ence import expected_neighborhood_calibration_error
+from ..ml.base import Classifier
+from ..ml.calibration import expected_calibration_error, miscalibration
+from ..ml.metrics import accuracy_score, roc_auc_score
+from ..ml.model_selection import ModelFactory
+from ..ml.preprocessing import FeaturePipeline
+from ..rng import SeedLike
+from ..spatial.partition import Partition
+from .base import PartitionerOutput, SpatialPartitioner
+from .results import EvaluationMetrics
+
+
+@dataclass
+class PipelineResult:
+    """Everything produced by one pipeline run."""
+
+    method: str
+    partition: Partition
+    train_metrics: EvaluationMetrics
+    test_metrics: EvaluationMetrics
+    model: Classifier
+    build_seconds: float
+    train_seconds: float
+    partitioner_metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_neighborhoods(self) -> int:
+        return len(self.partition)
+
+
+class RedistrictingPipeline:
+    """Shared train -> partition -> re-district -> retrain -> evaluate loop.
+
+    Parameters
+    ----------
+    model_factory:
+        Produces a fresh classifier each time one is needed.
+    test_fraction:
+        Fraction of records held out for evaluation.
+    ece_bins:
+        Number of bins for the ECE metric.
+    seed:
+        Seed controlling the train/test split.
+    """
+
+    def __init__(
+        self,
+        model_factory: ModelFactory,
+        test_fraction: float = 0.3,
+        ece_bins: int = PAPER_ECE_BINS,
+        seed: SeedLike = None,
+    ) -> None:
+        if not 0.0 < test_fraction < 1.0:
+            raise ExperimentError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        self._model_factory = model_factory
+        self._test_fraction = float(test_fraction)
+        self._ece_bins = int(ece_bins)
+        self._seed = seed
+
+    # -- public API -------------------------------------------------------------
+
+    def run(
+        self,
+        dataset: SpatialDataset,
+        task: LabelTask,
+        partitioner: SpatialPartitioner,
+    ) -> PipelineResult:
+        """Run the full loop for one dataset, one task and one partitioner."""
+        labels = task.labels(dataset)
+        split = split_dataset(
+            dataset, labels, test_fraction=self._test_fraction, seed=self._seed
+        )
+        return self.run_split(split, partitioner)
+
+    def run_split(
+        self,
+        split: TrainTestSplit,
+        partitioner: SpatialPartitioner,
+        precomputed: Optional[PartitionerOutput] = None,
+    ) -> PipelineResult:
+        """Run the loop on an existing train/test split.
+
+        ``precomputed`` lets callers reuse a partition built elsewhere (the
+        multi-objective experiment builds one partition and evaluates it under
+        several tasks).
+        """
+        build_start = time.perf_counter()
+        if precomputed is None:
+            output = partitioner.build(split.train, split.train_labels, self._model_factory)
+        else:
+            output = precomputed
+        build_seconds = time.perf_counter() - build_start
+
+        partition = output.partition
+        train = split.train.with_partition(partition)
+        test = split.test.with_partition(partition)
+
+        train_start = time.perf_counter()
+        matrix_train, names = train.training_matrix(include_neighborhood=True)
+        matrix_test, _ = test.training_matrix(include_neighborhood=True)
+        pipeline = FeaturePipeline(categorical_index=len(names) - 1)
+        transformed_train = pipeline.fit_transform(matrix_train)
+        transformed_test = pipeline.transform(matrix_test)
+
+        model = self._model_factory()
+        model.fit(transformed_train, split.train_labels, sample_weight=output.sample_weights)
+        train_seconds = time.perf_counter() - train_start
+
+        train_scores = model.predict_proba(transformed_train)
+        test_scores = model.predict_proba(transformed_test)
+
+        train_metrics = self._evaluate(
+            train_scores, split.train_labels, train.neighborhoods, len(partition)
+        )
+        test_metrics = self._evaluate(
+            test_scores, split.test_labels, test.neighborhoods, len(partition)
+        )
+        return PipelineResult(
+            method=partitioner.name,
+            partition=partition,
+            train_metrics=train_metrics,
+            test_metrics=test_metrics,
+            model=model,
+            build_seconds=build_seconds,
+            train_seconds=train_seconds,
+            partitioner_metadata=dict(output.metadata),
+        )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _evaluate(
+        self,
+        scores: np.ndarray,
+        labels: np.ndarray,
+        neighborhoods: np.ndarray,
+        n_neighborhoods: int,
+    ) -> EvaluationMetrics:
+        predictions = (scores >= 0.5).astype(int)
+        return EvaluationMetrics(
+            accuracy=accuracy_score(labels, predictions),
+            miscalibration=miscalibration(scores, labels),
+            ece=expected_calibration_error(scores, labels, n_bins=self._ece_bins),
+            ence=expected_neighborhood_calibration_error(scores, labels, neighborhoods),
+            auc=roc_auc_score(labels, scores),
+            n_records=int(labels.shape[0]),
+            n_neighborhoods=int(n_neighborhoods),
+        )

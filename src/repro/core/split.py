@@ -1,0 +1,156 @@
+"""The SplitNeighborhood procedure (Algorithm 2 of the paper).
+
+Given a rectangular region of the base grid, per-record residuals
+``s_u - y_u`` (confidence score minus label), and a split axis, the procedure
+evaluates every possible split index ``k`` along the axis, scores it with a
+:class:`~repro.core.objective.SplitScorer`, and returns the two sub-regions
+of the best split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import SplitError
+from ..spatial.region import GridRegion
+from .objective import SplitScorer
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """Outcome of evaluating one region split."""
+
+    region: GridRegion
+    axis: int
+    index: int
+    score: float
+    left: GridRegion
+    right: GridRegion
+    left_count: int
+    right_count: int
+
+
+def _line_sums(
+    region: GridRegion,
+    cell_rows: np.ndarray,
+    cell_cols: np.ndarray,
+    residuals: np.ndarray,
+    axis: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-line residual sums and record counts along ``axis`` inside ``region``.
+
+    Line ``i`` is the ``i``-th row (axis 0) or column (axis 1) of the region.
+    """
+    mask = region.member_mask(cell_rows, cell_cols)
+    if axis == 0:
+        coords = cell_rows[mask] - region.row_start
+        n_lines = region.n_rows
+    else:
+        coords = cell_cols[mask] - region.col_start
+        n_lines = region.n_cols
+    line_residuals = np.zeros(n_lines, dtype=float)
+    line_counts = np.zeros(n_lines, dtype=float)
+    if coords.size:
+        np.add.at(line_residuals, coords, residuals[mask])
+        np.add.at(line_counts, coords, 1.0)
+    return line_residuals, line_counts
+
+
+def split_neighborhood(
+    region: GridRegion,
+    cell_rows: np.ndarray,
+    cell_cols: np.ndarray,
+    residuals: np.ndarray,
+    axis: int,
+    scorer: Optional[SplitScorer] = None,
+) -> Optional[SplitDecision]:
+    """Find the best split of ``region`` along ``axis`` (Algorithm 2).
+
+    Parameters
+    ----------
+    region:
+        The neighborhood to split.
+    cell_rows, cell_cols:
+        Grid-cell coordinates of **all** dataset records (records outside the
+        region are ignored via the region's membership mask).
+    residuals:
+        Per-record residuals ``s_u - y_u`` aligned with the coordinate arrays.
+    axis:
+        0 to split on rows, 1 to split on columns (the paper's transpose).
+    scorer:
+        Split objective; defaults to the paper's balance objective (Eq. 9).
+
+    Returns
+    -------
+    SplitDecision or None
+        ``None`` when the region cannot be split along ``axis`` (it spans a
+        single row/column).  Ties between equally-scored candidates are broken
+        toward the most central split index, which avoids degenerate slivers
+        when several candidate splits are equivalent (for example when a side
+        of the region is empty).
+    """
+    cell_rows = np.asarray(cell_rows, dtype=int)
+    cell_cols = np.asarray(cell_cols, dtype=int)
+    residuals = np.asarray(residuals, dtype=float)
+    if cell_rows.shape != cell_cols.shape or cell_rows.shape != residuals.shape:
+        raise SplitError("cell coordinates and residuals must have the same length")
+    if axis not in (0, 1):
+        raise SplitError(f"axis must be 0 or 1, got {axis}")
+    if not region.can_split(axis):
+        return None
+    scorer = scorer or SplitScorer()
+
+    line_residuals, line_counts = _line_sums(region, cell_rows, cell_cols, residuals, axis)
+    n_lines = line_residuals.shape[0]
+
+    prefix_residuals = np.cumsum(line_residuals)[:-1]
+    prefix_counts = np.cumsum(line_counts)[:-1]
+    total_residual = float(line_residuals.sum())
+    total_count = int(line_counts.sum())
+
+    scores = scorer.score_prefixes(prefix_residuals, prefix_counts, total_residual, total_count)
+
+    best_score = float(scores.min())
+    candidates = np.flatnonzero(np.isclose(scores, best_score, rtol=0.0, atol=1e-12))
+    center = (n_lines - 1) / 2.0 - 0.5
+    best_offset = int(candidates[np.argmin(np.abs(candidates - center))])
+    best_index = best_offset + 1  # split keeps lines [0, best_index) on the left
+
+    left, right = region.split(axis, best_index)
+    left_count = int(prefix_counts[best_offset])
+    return SplitDecision(
+        region=region,
+        axis=axis,
+        index=best_index,
+        score=best_score,
+        left=left,
+        right=right,
+        left_count=left_count,
+        right_count=total_count - left_count,
+    )
+
+
+def best_axis_split(
+    region: GridRegion,
+    cell_rows: np.ndarray,
+    cell_cols: np.ndarray,
+    residuals: np.ndarray,
+    preferred_axis: int,
+    scorer: Optional[SplitScorer] = None,
+) -> Optional[SplitDecision]:
+    """Split along ``preferred_axis`` if possible, otherwise along the other axis.
+
+    Mirrors the axis-alternation of the KD-tree while guaranteeing progress on
+    regions that have shrunk to a single row or column.
+    """
+    decision = split_neighborhood(
+        region, cell_rows, cell_cols, residuals, preferred_axis, scorer
+    )
+    if decision is not None:
+        return decision
+    return split_neighborhood(
+        region, cell_rows, cell_cols, residuals, 1 - preferred_axis, scorer
+    )

@@ -1,0 +1,41 @@
+"""Data substrate: tabular datasets, the synthetic EdGap generator, labels.
+
+The paper evaluates on two EdGap-derived datasets (Los Angeles, 1153 school
+records; Houston, 966 records) with socio-economic features and school
+coordinates obtained from NCES.  Neither source is redistributable here, so
+:mod:`repro.datasets.edgap` synthesises datasets with the same record counts,
+the same feature set, and spatially-correlated feature fields so that the
+per-neighborhood miscalibration the paper studies arises organically.
+"""
+
+from .schema import FeatureSpec, DatasetSchema, EDGAP_SCHEMA
+from .dataset import SpatialDataset
+from .edgap import CityModel, city_model, load_edgap_city, list_cities
+from .io import CsvLoadReport, load_csv_dataset, save_csv_dataset
+from .labels import binary_labels_from_threshold, LabelTask, act_task, employment_task
+from .splits import train_test_split_indices, TrainTestSplit, split_dataset
+from .zipcodes import ZipcodePartition, synthetic_zipcode_partition, zipcodes_for_dataset
+
+__all__ = [
+    "FeatureSpec",
+    "DatasetSchema",
+    "EDGAP_SCHEMA",
+    "SpatialDataset",
+    "CityModel",
+    "city_model",
+    "load_edgap_city",
+    "list_cities",
+    "CsvLoadReport",
+    "load_csv_dataset",
+    "save_csv_dataset",
+    "binary_labels_from_threshold",
+    "LabelTask",
+    "act_task",
+    "employment_task",
+    "train_test_split_indices",
+    "TrainTestSplit",
+    "split_dataset",
+    "ZipcodePartition",
+    "synthetic_zipcode_partition",
+    "zipcodes_for_dataset",
+]

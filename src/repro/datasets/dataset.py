@@ -1,0 +1,230 @@
+"""The :class:`SpatialDataset` container.
+
+A spatial dataset bundles, for every individual record:
+
+* the socio-economic feature matrix (columns described by a
+  :class:`~repro.datasets.schema.DatasetSchema`),
+* the continuous map coordinates and the enclosing base-grid cell,
+* the current *neighborhood id* — the spatial-group feature the paper's
+  pipeline repeatedly rewrites as the map is re-districted.
+
+The container is immutable except for the neighborhood assignment, which is
+replaced (never mutated in place) by :meth:`with_neighborhoods`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..spatial.grid import Grid
+from ..spatial.partition import Partition
+from .schema import DatasetSchema
+
+
+class SpatialDataset:
+    """Feature matrix plus spatial attributes for a set of individuals.
+
+    Parameters
+    ----------
+    schema:
+        Column description of ``features``.
+    features:
+        ``(n_records, n_features)`` float matrix, columns ordered as in
+        ``schema``.
+    xs, ys:
+        Continuous map coordinates of every record.
+    grid:
+        Base grid; record cells are derived from the coordinates.
+    neighborhoods:
+        Optional initial neighborhood id per record; defaults to all zeros
+        (the single-neighborhood configuration used as the algorithms' seed).
+    name:
+        Human-readable dataset name (e.g. ``"los_angeles"``).
+    """
+
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        features: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        grid: Grid,
+        neighborhoods: Optional[np.ndarray] = None,
+        name: str = "unnamed",
+    ) -> None:
+        features = np.asarray(features, dtype=float)
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if features.ndim != 2:
+            raise DatasetError(f"features must be 2-D, got shape {features.shape}")
+        if features.shape[1] != len(schema):
+            raise DatasetError(
+                f"features have {features.shape[1]} columns but schema describes {len(schema)}"
+            )
+        n_records = features.shape[0]
+        if xs.shape != (n_records,) or ys.shape != (n_records,):
+            raise DatasetError("coordinate arrays must be 1-D and match the record count")
+        self._schema = schema
+        self._features = features
+        self._xs = xs
+        self._ys = ys
+        self._grid = grid
+        self._name = name
+        rows, cols = grid.locate_many(xs, ys)
+        self._cell_rows = rows
+        self._cell_cols = cols
+        if neighborhoods is None:
+            neighborhoods = np.zeros(n_records, dtype=int)
+        neighborhoods = np.asarray(neighborhoods, dtype=int)
+        if neighborhoods.shape != (n_records,):
+            raise DatasetError("neighborhoods must be a 1-D array matching the record count")
+        self._neighborhoods = neighborhoods
+
+    # -- basic accessors ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> DatasetSchema:
+        return self._schema
+
+    @property
+    def grid(self) -> Grid:
+        return self._grid
+
+    @property
+    def n_records(self) -> int:
+        return self._features.shape[0]
+
+    @property
+    def features(self) -> np.ndarray:
+        """The raw feature matrix (read-only view)."""
+        view = self._features.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def xs(self) -> np.ndarray:
+        return self._xs
+
+    @property
+    def ys(self) -> np.ndarray:
+        return self._ys
+
+    @property
+    def cell_rows(self) -> np.ndarray:
+        """Base-grid row of each record."""
+        return self._cell_rows
+
+    @property
+    def cell_cols(self) -> np.ndarray:
+        """Base-grid column of each record."""
+        return self._cell_cols
+
+    @property
+    def neighborhoods(self) -> np.ndarray:
+        """Current neighborhood id of each record."""
+        return self._neighborhoods
+
+    @property
+    def n_neighborhoods(self) -> int:
+        return int(self._neighborhoods.max(initial=0)) + 1 if self.n_records else 0
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialDataset(name={self._name!r}, records={self.n_records}, "
+            f"features={len(self._schema)}, neighborhoods={self.n_neighborhoods})"
+        )
+
+    # -- column access --------------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        """The values of feature column ``name``."""
+        return self._features[:, self._schema.index_of(name)].copy()
+
+    def training_matrix(self, include_neighborhood: bool = True) -> Tuple[np.ndarray, Tuple[str, ...]]:
+        """Feature matrix used for training.
+
+        Outcome columns are dropped; when ``include_neighborhood`` is true the
+        neighborhood id is appended as the final (categorical) column, exactly
+        as the paper treats location as an ordinary feature.
+
+        Returns
+        -------
+        (matrix, column_names)
+        """
+        training_names = self._schema.training_names
+        indices = [self._schema.index_of(name) for name in training_names]
+        matrix = self._features[:, indices]
+        names = tuple(training_names)
+        if include_neighborhood:
+            matrix = np.column_stack([matrix, self._neighborhoods.astype(float)])
+            names = names + ("neighborhood",)
+        return matrix, names
+
+    # -- neighborhood rewriting --------------------------------------------------------
+
+    def with_neighborhoods(self, neighborhoods: Sequence[int]) -> "SpatialDataset":
+        """Return a copy of the dataset with a new neighborhood assignment."""
+        return SpatialDataset(
+            schema=self._schema,
+            features=self._features,
+            xs=self._xs,
+            ys=self._ys,
+            grid=self._grid,
+            neighborhoods=np.asarray(neighborhoods, dtype=int),
+            name=self._name,
+        )
+
+    def with_partition(self, partition: Partition) -> "SpatialDataset":
+        """Assign neighborhoods from ``partition`` (one id per region)."""
+        if partition.grid != self._grid:
+            raise DatasetError("partition grid does not match the dataset grid")
+        assignment = partition.assign(self._cell_rows, self._cell_cols)
+        if np.any(assignment < 0):
+            raise DatasetError("partition does not cover every record's grid cell")
+        return self.with_neighborhoods(assignment)
+
+    def subset(self, indices: Sequence[int]) -> "SpatialDataset":
+        """Row-subset of the dataset (used for train/test splits)."""
+        indices = np.asarray(indices, dtype=int)
+        return SpatialDataset(
+            schema=self._schema,
+            features=self._features[indices],
+            xs=self._xs[indices],
+            ys=self._ys[indices],
+            grid=self._grid,
+            neighborhoods=self._neighborhoods[indices],
+            name=self._name,
+        )
+
+    # -- summaries ---------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, Dict[str, float]]:
+        """Per-feature summary statistics (min / mean / max / std)."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for name in self._schema.names:
+            values = self.column(name)
+            summary[name] = {
+                "min": float(values.min()),
+                "mean": float(values.mean()),
+                "max": float(values.max()),
+                "std": float(values.std()),
+            }
+        return summary
+
+    def neighborhood_sizes(self) -> np.ndarray:
+        """Record counts per neighborhood id (length = max id + 1)."""
+        if self.n_records == 0:
+            return np.zeros(0, dtype=int)
+        sizes = np.zeros(self.n_neighborhoods, dtype=int)
+        np.add.at(sizes, self._neighborhoods, 1)
+        return sizes

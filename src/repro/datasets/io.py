@@ -1,0 +1,150 @@
+"""Loading real EdGap-style data from CSV.
+
+The experiments in this repository run on the synthetic generator (the real
+EdGap / NCES data cannot be redistributed), but users who hold the original
+files — or any other socio-economic dataset with school/household coordinates
+— can load them through this module and run the exact same pipeline.  The
+expected CSV layout is one row per record with:
+
+* one column per feature of the target schema (default
+  :data:`~repro.datasets.schema.EDGAP_SCHEMA`), named exactly as the schema
+  names them;
+* two coordinate columns (default ``longitude`` / ``latitude``), which are
+  rescaled to the unit square before the base grid is overlaid.
+
+Values outside a feature's valid range are clipped and reported.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..spatial.geometry import BoundingBox
+from ..spatial.grid import Grid
+from .dataset import SpatialDataset
+from .schema import DatasetSchema, EDGAP_SCHEMA
+
+
+@dataclass(frozen=True)
+class CsvLoadReport:
+    """Diagnostics produced while loading a CSV file."""
+
+    n_rows: int
+    n_clipped_values: int
+    skipped_rows: int
+    columns_used: Sequence[str] = field(default_factory=tuple)
+
+
+def _rescale_to_unit(values: np.ndarray) -> np.ndarray:
+    """Min-max rescale coordinates to [0, 1]; constant columns map to 0.5."""
+    low, high = float(values.min()), float(values.max())
+    if high <= low:
+        return np.full_like(values, 0.5)
+    return (values - low) / (high - low)
+
+
+def load_csv_dataset(
+    path: str | Path,
+    grid_rows: int = 32,
+    grid_cols: int = 32,
+    schema: DatasetSchema = EDGAP_SCHEMA,
+    x_column: str = "longitude",
+    y_column: str = "latitude",
+    name: str | None = None,
+) -> tuple[SpatialDataset, CsvLoadReport]:
+    """Load a CSV file into a :class:`SpatialDataset`.
+
+    Returns the dataset together with a :class:`CsvLoadReport` describing how
+    many values were clipped into schema ranges and how many rows were skipped
+    because of missing or non-numeric values.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"CSV file not found: {path}")
+
+    required = list(schema.names) + [x_column, y_column]
+    rows: List[Dict[str, str]] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DatasetError(f"{path} has no header row")
+        missing = [column for column in required if column not in reader.fieldnames]
+        if missing:
+            raise DatasetError(
+                f"{path} is missing required columns {missing}; found {reader.fieldnames}"
+            )
+        rows = list(reader)
+    if not rows:
+        raise DatasetError(f"{path} contains a header but no data rows")
+
+    feature_rows: List[List[float]] = []
+    xs: List[float] = []
+    ys: List[float] = []
+    skipped = 0
+    clipped = 0
+    for row in rows:
+        try:
+            raw_features = [float(row[column]) for column in schema.names]
+            x_value = float(row[x_column])
+            y_value = float(row[y_column])
+        except (TypeError, ValueError):
+            skipped += 1
+            continue
+        clean = []
+        for value, column in zip(raw_features, schema.names):
+            spec = schema.spec(column)
+            bounded = spec.clip(value)
+            if bounded != value:
+                clipped += 1
+            clean.append(bounded)
+        feature_rows.append(clean)
+        xs.append(x_value)
+        ys.append(y_value)
+
+    if not feature_rows:
+        raise DatasetError(f"{path}: every row was skipped (non-numeric or missing values)")
+
+    features = np.asarray(feature_rows, dtype=float)
+    xs_arr = _rescale_to_unit(np.asarray(xs, dtype=float))
+    ys_arr = _rescale_to_unit(np.asarray(ys, dtype=float))
+    grid = Grid(grid_rows, grid_cols, BoundingBox.unit())
+    dataset = SpatialDataset(
+        schema=schema,
+        features=features,
+        xs=xs_arr,
+        ys=ys_arr,
+        grid=grid,
+        name=name or path.stem,
+    )
+    report = CsvLoadReport(
+        n_rows=len(feature_rows),
+        n_clipped_values=clipped,
+        skipped_rows=skipped,
+        columns_used=tuple(required),
+    )
+    return dataset, report
+
+
+def save_csv_dataset(dataset: SpatialDataset, path: str | Path) -> Path:
+    """Write a dataset back to CSV (inverse of :func:`load_csv_dataset`).
+
+    Coordinates are written as ``longitude`` / ``latitude`` in the dataset's
+    already-normalised unit-square frame.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = list(dataset.schema.names) + ["longitude", "latitude"]
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for index in range(dataset.n_records):
+            row = [f"{dataset.features[index, j]:.6f}" for j in range(len(dataset.schema))]
+            row.extend([f"{dataset.xs[index]:.6f}", f"{dataset.ys[index]:.6f}"])
+            writer.writerow(row)
+    return path

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the fair spatial indexing library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class when they want to distinguish library failures from
+programming errors in their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or model configuration value is invalid."""
+
+
+class GeometryError(ReproError):
+    """A geometric primitive received inconsistent coordinates."""
+
+
+class GridError(ReproError):
+    """A grid or grid-cell operation received invalid arguments."""
+
+
+class PartitionError(ReproError):
+    """A partition violates the disjoint-cover invariant."""
+
+
+class SplitError(ReproError):
+    """A region cannot be split (e.g. it spans a single row/column)."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed or inconsistent with its schema."""
+
+
+class NotFittedError(ReproError):
+    """A model or transformer was used before :meth:`fit` was called."""
+
+
+class TrainingError(ReproError):
+    """Model training failed to converge or received degenerate data."""
+
+
+class EvaluationError(ReproError):
+    """A metric computation received incompatible inputs."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured or executed incorrectly."""

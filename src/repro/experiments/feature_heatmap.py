@@ -1,0 +1,104 @@
+"""Figure 9: impact of features on decision-making across tree heights.
+
+For each tree-based method and each height, the final model's permutation
+feature importance is computed on the training data; one-hot neighborhood
+columns are grouped so "Neighborhood" appears as a single feature, mirroring
+the y-axis of the paper's heatmaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..datasets.labels import LabelTask, act_task
+from ..ml.feature_importance import normalized_importance, permutation_importance
+from ..ml.preprocessing import FeaturePipeline
+from .reporting import format_table
+from .runner import ExperimentContext, build_partitioner, default_context
+
+#: Methods shown in Figure 9 (the tree-based partitioners).
+HEATMAP_METHODS: Tuple[str, ...] = ("median_kdtree", "fair_kdtree", "iterative_fair_kdtree")
+
+
+@dataclass(frozen=True)
+class FeatureHeatmapResult:
+    """Figure 9 result: per (city, method, height) feature importance."""
+
+    importances: Dict[Tuple[str, str, int], Dict[str, float]] = field(default_factory=dict)
+
+    def heatmap(self, city: str, method: str) -> Dict[int, Dict[str, float]]:
+        """``{height: {feature: importance}}`` for one panel."""
+        return {
+            height: values
+            for (panel_city, panel_method, height), values in self.importances.items()
+            if panel_city == city and panel_method == method
+        }
+
+    def feature_names(self) -> List[str]:
+        for values in self.importances.values():
+            return list(values.keys())
+        return []
+
+    def render(self) -> str:
+        sections = []
+        cities = sorted({key[0] for key in self.importances})
+        methods = sorted({key[1] for key in self.importances})
+        for city in cities:
+            for method in methods:
+                panel = self.heatmap(city, method)
+                if not panel:
+                    continue
+                rows = [
+                    {"height": height, **values} for height, values in sorted(panel.items())
+                ]
+                sections.append(
+                    format_table(rows, title=f"Figure 9 — feature importance — {city} / {method}")
+                )
+        return "\n\n".join(sections)
+
+
+def run_feature_heatmap(
+    context: Optional[ExperimentContext] = None,
+    task: Optional[LabelTask] = None,
+    model_kind: str = "logistic_regression",
+    methods: Tuple[str, ...] = HEATMAP_METHODS,
+    n_repeats: int = 3,
+) -> FeatureHeatmapResult:
+    """Run the Figure 9 heatmap experiment."""
+    context = context or default_context()
+    task = task or act_task()
+    importances: Dict[Tuple[str, str, int], Dict[str, float]] = {}
+
+    for city in context.cities:
+        dataset = context.dataset(city)
+        labels = task.labels(dataset)
+        factory = context.model_factory(model_kind)
+        for method in methods:
+            for height in context.heights:
+                partitioner = build_partitioner(method, height)
+                output = partitioner.build(dataset, labels, factory)
+                redistricted = dataset.with_partition(output.partition)
+
+                matrix, names = redistricted.training_matrix(include_neighborhood=True)
+                feature_pipeline = FeaturePipeline(categorical_index=len(names) - 1)
+                transformed = feature_pipeline.fit_transform(matrix)
+                model = factory()
+                model.fit(transformed, labels)
+
+                transformed_names = feature_pipeline.output_feature_names(names)
+                groups: Dict[str, List[int]] = {}
+                for index, name in enumerate(transformed_names):
+                    group = "neighborhood" if name.startswith("neighborhood=") else name
+                    groups.setdefault(group, []).append(index)
+
+                raw = permutation_importance(
+                    model,
+                    transformed,
+                    labels,
+                    n_repeats=n_repeats,
+                    seed=context.seed,
+                    feature_groups=groups,
+                )
+                importances[(city, method, height)] = normalized_importance(raw)
+    return FeatureHeatmapResult(importances=importances)

@@ -1,0 +1,94 @@
+"""Figure 8: utility indicators versus tree height (logistic regression).
+
+Reports, for every method and height: model accuracy, overall training
+miscalibration, and overall test miscalibration.  The paper's qualitative
+result: accuracy rises with height and is comparable across methods, and the
+fair methods pay no meaningful calibration penalty at the model level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.results import MethodComparison
+from ..datasets.labels import LabelTask, act_task
+from .reporting import format_series
+from .runner import ExperimentContext, build_partitioner, default_context
+
+#: The three panels of Figure 8 (per city).
+UTILITY_INDICATORS: Tuple[str, ...] = ("accuracy", "train_miscalibration", "test_miscalibration")
+
+
+@dataclass(frozen=True)
+class UtilitySweepResult:
+    """Figure 8 result."""
+
+    comparisons: Tuple[MethodComparison, ...] = field(default_factory=tuple)
+
+    def series(self, city: str, indicator: str) -> Dict[str, Dict[int, float]]:
+        """``{method: {height: value}}`` for one indicator panel."""
+        result: Dict[str, Dict[int, float]] = {}
+        for comparison in self.comparisons:
+            if comparison.city != city:
+                continue
+            if indicator == "accuracy":
+                value = comparison.test.accuracy
+            elif indicator == "train_miscalibration":
+                value = comparison.train.miscalibration
+            elif indicator == "test_miscalibration":
+                value = comparison.test.miscalibration
+            else:
+                raise ValueError(
+                    f"unknown indicator {indicator!r}; expected one of {UTILITY_INDICATORS}"
+                )
+            result.setdefault(comparison.method, {})[comparison.height] = value
+        return result
+
+    def render(self) -> str:
+        cities = sorted({c.city for c in self.comparisons})
+        sections = []
+        for city in cities:
+            for indicator in UTILITY_INDICATORS:
+                panel = self.series(city, indicator)
+                if not panel:
+                    continue
+                sections.append(
+                    format_series(
+                        panel,
+                        x_label="height",
+                        title=f"Figure 8 — {indicator} — {city}",
+                    )
+                )
+        return "\n\n".join(sections)
+
+
+def run_utility_sweep(
+    context: Optional[ExperimentContext] = None,
+    task: Optional[LabelTask] = None,
+    model_kind: str = "logistic_regression",
+) -> UtilitySweepResult:
+    """Run the Figure 8 sweep (a single classifier family, as in the paper)."""
+    context = context or default_context()
+    task = task or act_task()
+    comparisons: List[MethodComparison] = []
+    for city in context.cities:
+        dataset = context.dataset(city)
+        pipeline = context.pipeline(model_kind)
+        for height in context.heights:
+            for method in context.methods:
+                partitioner = build_partitioner(method, height)
+                run = pipeline.run(dataset, task, partitioner)
+                comparisons.append(
+                    MethodComparison(
+                        method=method,
+                        city=city,
+                        model=model_kind,
+                        height=height,
+                        train=run.train_metrics,
+                        test=run.test_metrics,
+                        build_seconds=run.build_seconds,
+                        metadata=run.partitioner_metadata,
+                    )
+                )
+    return UtilitySweepResult(comparisons=tuple(comparisons))

@@ -1,0 +1,56 @@
+"""Fairness layer: ENCE, disparity audits, re-weighting, group metrics.
+
+This package contains the paper's fairness machinery that is *not* the index
+construction itself: the Expected Neighborhood Calibration Error metric
+(Definition 3), per-neighborhood calibration reports used in the Figure 6
+disparity study, the Kamiran-Calders re-weighting baseline, additional group
+fairness metrics, and numeric verifiers for Theorems 1 and 2.
+"""
+
+from .ence import (
+    NeighborhoodCalibration,
+    expected_neighborhood_calibration_error,
+    neighborhood_calibration_report,
+    weighted_linear_ence,
+)
+from .disparity import DisparityAudit, audit_disparity
+from .group_metrics import (
+    equalized_odds_difference,
+    statistical_parity_difference,
+    group_positive_rates,
+)
+from .report import (
+    PartitionFairnessSummary,
+    compare_partitions,
+    improvement_summary,
+    summarize_partition,
+)
+from .reweighting import kamiran_calders_weights, reweighting_by_group
+from .theorems import (
+    ence_lower_bound_gap,
+    refine_partition_once,
+    verify_theorem1,
+    verify_theorem2,
+)
+
+__all__ = [
+    "NeighborhoodCalibration",
+    "expected_neighborhood_calibration_error",
+    "neighborhood_calibration_report",
+    "weighted_linear_ence",
+    "DisparityAudit",
+    "audit_disparity",
+    "statistical_parity_difference",
+    "equalized_odds_difference",
+    "group_positive_rates",
+    "kamiran_calders_weights",
+    "reweighting_by_group",
+    "PartitionFairnessSummary",
+    "summarize_partition",
+    "compare_partitions",
+    "improvement_summary",
+    "ence_lower_bound_gap",
+    "refine_partition_once",
+    "verify_theorem1",
+    "verify_theorem2",
+]

@@ -1,0 +1,130 @@
+"""Disparity audit over administrative neighborhoods (the paper's Figure 6).
+
+The audit trains a classifier on the raw dataset (no fairness intervention),
+then measures calibration ratio and binned ECE inside the ten most populated
+zip-code-like neighborhoods.  The headline observation is that the model can
+look well-calibrated overall while individual neighborhoods deviate sharply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..config import PAPER_ECE_BINS
+from ..datasets.dataset import SpatialDataset
+from ..datasets.labels import LabelTask
+from ..datasets.splits import split_dataset
+from ..datasets.zipcodes import ZipcodePartition, zipcodes_for_dataset
+from ..ml.base import Classifier
+from ..ml.calibration import CalibrationReport
+from ..ml.model_selection import ModelFactory
+from ..ml.preprocessing import FeaturePipeline
+from ..rng import SeedLike
+from .ence import per_neighborhood_ece, per_neighborhood_ratio, select_top_neighborhoods
+
+
+@dataclass(frozen=True)
+class DisparityAudit:
+    """Result of a disparity audit on one city."""
+
+    city: str
+    task: str
+    overall_train: CalibrationReport
+    overall_test: CalibrationReport
+    top_neighborhoods: Tuple[int, ...]
+    neighborhood_ratio: Dict[int, float] = field(default_factory=dict)
+    neighborhood_ece: Dict[int, float] = field(default_factory=dict)
+    neighborhood_sizes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def max_ratio_deviation(self) -> float:
+        """Largest |ratio - 1| across the audited neighborhoods (inf-safe)."""
+        finite = [abs(r - 1.0) for r in self.neighborhood_ratio.values() if np.isfinite(r)]
+        return max(finite) if finite else 0.0
+
+    @property
+    def max_ece(self) -> float:
+        """Largest per-neighborhood ECE across the audited neighborhoods."""
+        return max(self.neighborhood_ece.values()) if self.neighborhood_ece else 0.0
+
+
+def audit_disparity(
+    dataset: SpatialDataset,
+    task: LabelTask,
+    model_factory: ModelFactory,
+    n_zipcodes: int = 40,
+    top_k: int = 10,
+    test_fraction: float = 0.3,
+    ece_bins: int = PAPER_ECE_BINS,
+    seed: SeedLike = None,
+) -> DisparityAudit:
+    """Run the Figure 6 audit on ``dataset`` for one classification task.
+
+    The dataset's neighborhoods are set to synthetic zip codes, the model is
+    trained with location as an ordinary feature, and calibration metrics are
+    reported overall and inside the ``top_k`` most populated zip codes.
+    """
+    zipcodes: ZipcodePartition = zipcodes_for_dataset(dataset, n_zones=n_zipcodes, seed=seed)
+    assignment = zipcodes.assign(dataset.cell_rows, dataset.cell_cols)
+    dataset = dataset.with_neighborhoods(assignment)
+
+    labels = task.labels(dataset)
+    split = split_dataset(dataset, labels, test_fraction=test_fraction, seed=seed)
+
+    matrix_train, names = split.train.training_matrix(include_neighborhood=True)
+    matrix_test, _ = split.test.training_matrix(include_neighborhood=True)
+    pipeline = FeaturePipeline(categorical_index=len(names) - 1)
+    transformed_train = pipeline.fit_transform(matrix_train)
+    transformed_test = pipeline.transform(matrix_test)
+
+    model: Classifier = model_factory()
+    model.fit(transformed_train, split.train_labels)
+
+    train_scores = model.predict_proba(transformed_train)
+    test_scores = model.predict_proba(transformed_test)
+
+    overall_train = CalibrationReport.from_scores(train_scores, split.train_labels, ece_bins)
+    overall_test = CalibrationReport.from_scores(test_scores, split.test_labels, ece_bins)
+
+    # Per-neighborhood metrics are computed on the full dataset scores
+    # (train + test concatenated in the dataset's original order).
+    all_matrix, _ = dataset.training_matrix(include_neighborhood=True)
+    all_scores = model.predict_proba(pipeline.transform(all_matrix))
+    neighborhoods = dataset.neighborhoods
+
+    top = select_top_neighborhoods(neighborhoods, k=top_k)
+    ratios = per_neighborhood_ratio(all_scores, labels, neighborhoods)
+    eces = per_neighborhood_ece(all_scores, labels, neighborhoods, n_bins=ece_bins)
+    sizes: Dict[int, int] = {
+        int(n): int(np.count_nonzero(neighborhoods == n)) for n in top
+    }
+
+    return DisparityAudit(
+        city=dataset.name,
+        task=task.name,
+        overall_train=overall_train,
+        overall_test=overall_test,
+        top_neighborhoods=tuple(top),
+        neighborhood_ratio={n: ratios[n] for n in top},
+        neighborhood_ece={n: eces[n] for n in top},
+        neighborhood_sizes=sizes,
+    )
+
+
+def audit_rows(audit: DisparityAudit) -> List[Dict[str, float]]:
+    """Flatten an audit into one row per audited neighborhood (for reports)."""
+    rows: List[Dict[str, float]] = []
+    for rank, neighborhood in enumerate(audit.top_neighborhoods, start=1):
+        rows.append(
+            {
+                "rank": float(rank),
+                "neighborhood": float(neighborhood),
+                "size": float(audit.neighborhood_sizes.get(neighborhood, 0)),
+                "calibration_ratio": float(audit.neighborhood_ratio.get(neighborhood, np.nan)),
+                "ece": float(audit.neighborhood_ece.get(neighborhood, np.nan)),
+            }
+        )
+    return rows

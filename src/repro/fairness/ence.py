@@ -1,0 +1,153 @@
+"""Expected Neighborhood Calibration Error (ENCE) — Definition 3 of the paper.
+
+Given neighborhoods ``N_1 .. N_t`` and a classifier's confidence scores, the
+per-neighborhood miscalibration is ``|o(N_i) - e(N_i)|`` (true positive
+fraction minus mean confidence score) and
+
+    ENCE = sum_i |N_i| / |D| * |o(N_i) - e(N_i)|.
+
+The module also provides the *weighted linear* form
+``sum_i |N_i| * |o(N_i) - e(N_i)|`` used in the proofs of Theorems 1-2 and by
+the split objective (it equals ENCE multiplied by ``|D|``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..exceptions import EvaluationError
+from ..ml.calibration import calibration_ratio, expected_calibration_error
+
+
+def _validate(
+    scores: np.ndarray, labels: np.ndarray, neighborhoods: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=float).ravel()
+    labels = np.asarray(labels, dtype=float).ravel()
+    neighborhoods = np.asarray(neighborhoods, dtype=int).ravel()
+    if not scores.shape == labels.shape == neighborhoods.shape:
+        raise EvaluationError(
+            "scores, labels and neighborhoods must all have the same length; got "
+            f"{scores.shape}, {labels.shape}, {neighborhoods.shape}"
+        )
+    if scores.size == 0:
+        raise EvaluationError("ENCE requires at least one record")
+    return scores, labels, neighborhoods
+
+
+@dataclass(frozen=True)
+class NeighborhoodCalibration:
+    """Calibration summary of a single neighborhood."""
+
+    neighborhood: int
+    size: int
+    expected_score: float
+    positive_fraction: float
+
+    @property
+    def absolute_error(self) -> float:
+        """``|o(N_i) - e(N_i)|``."""
+        return abs(self.positive_fraction - self.expected_score)
+
+    @property
+    def ratio(self) -> float:
+        """``e(N_i) / o(N_i)`` with the usual divide-by-zero convention."""
+        if self.positive_fraction == 0.0:
+            return float("inf") if self.expected_score > 0 else 1.0
+        return self.expected_score / self.positive_fraction
+
+
+def neighborhood_calibration_report(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    neighborhoods: np.ndarray,
+) -> List[NeighborhoodCalibration]:
+    """Per-neighborhood calibration statistics, ordered by neighborhood id.
+
+    Only neighborhoods that actually contain records are reported (empty
+    neighborhoods contribute nothing to ENCE).
+    """
+    scores, labels, neighborhoods = _validate(scores, labels, neighborhoods)
+    report: List[NeighborhoodCalibration] = []
+    for neighborhood in np.unique(neighborhoods):
+        mask = neighborhoods == neighborhood
+        report.append(
+            NeighborhoodCalibration(
+                neighborhood=int(neighborhood),
+                size=int(mask.sum()),
+                expected_score=float(scores[mask].mean()),
+                positive_fraction=float(labels[mask].mean()),
+            )
+        )
+    return report
+
+
+def expected_neighborhood_calibration_error(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    neighborhoods: np.ndarray,
+) -> float:
+    """ENCE (Equation 5): population-weighted mean neighborhood miscalibration."""
+    scores, labels, neighborhoods = _validate(scores, labels, neighborhoods)
+    total = scores.size
+    report = neighborhood_calibration_report(scores, labels, neighborhoods)
+    return float(sum(entry.size / total * entry.absolute_error for entry in report))
+
+
+def weighted_linear_ence(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    neighborhoods: np.ndarray,
+) -> float:
+    """``sum_i |N_i| * |o(N_i) - e(N_i)|`` — the un-normalised form of ENCE.
+
+    This equals ``|sum s - sum y|`` per neighborhood summed over neighborhoods,
+    which is the quantity Theorems 1 and 2 reason about.
+    """
+    scores, labels, neighborhoods = _validate(scores, labels, neighborhoods)
+    report = neighborhood_calibration_report(scores, labels, neighborhoods)
+    return float(sum(entry.size * entry.absolute_error for entry in report))
+
+
+def per_neighborhood_ece(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    neighborhoods: np.ndarray,
+    n_bins: int = 15,
+) -> Dict[int, float]:
+    """Binned ECE computed separately inside every neighborhood (Figure 6b/6d)."""
+    scores, labels, neighborhoods = _validate(scores, labels, neighborhoods)
+    result: Dict[int, float] = {}
+    for neighborhood in np.unique(neighborhoods):
+        mask = neighborhoods == neighborhood
+        result[int(neighborhood)] = expected_calibration_error(
+            scores[mask], labels[mask], n_bins=n_bins
+        )
+    return result
+
+
+def per_neighborhood_ratio(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    neighborhoods: np.ndarray,
+) -> Dict[int, float]:
+    """Calibration ratio computed separately inside every neighborhood (Figure 6a/6c)."""
+    scores, labels, neighborhoods = _validate(scores, labels, neighborhoods)
+    result: Dict[int, float] = {}
+    for neighborhood in np.unique(neighborhoods):
+        mask = neighborhoods == neighborhood
+        result[int(neighborhood)] = calibration_ratio(scores[mask], labels[mask])
+    return result
+
+
+def select_top_neighborhoods(neighborhoods: Sequence[int], k: int = 10) -> List[int]:
+    """Ids of the ``k`` most populated neighborhoods (most populated first)."""
+    neighborhoods = np.asarray(neighborhoods, dtype=int)
+    if neighborhoods.size == 0:
+        return []
+    ids, counts = np.unique(neighborhoods, return_counts=True)
+    order = np.argsort(counts)[::-1]
+    return [int(ids[i]) for i in order[:k]]

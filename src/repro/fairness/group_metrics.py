@@ -1,0 +1,72 @@
+"""Additional group fairness metrics (statistical parity, equalized odds).
+
+The paper focuses on calibration, but its related-work section positions the
+contribution against the broader family of group fairness notions.  These
+metrics are provided so downstream users can audit a re-districted map with
+the metric their application requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..exceptions import EvaluationError
+
+
+def _validate(predictions: np.ndarray, groups: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predictions = np.asarray(predictions, dtype=int).ravel()
+    groups = np.asarray(groups, dtype=int).ravel()
+    if predictions.shape != groups.shape:
+        raise EvaluationError("predictions and groups must have the same length")
+    if predictions.size == 0:
+        raise EvaluationError("group metrics require at least one record")
+    return predictions, groups
+
+
+def group_positive_rates(predictions: np.ndarray, groups: np.ndarray) -> Dict[int, float]:
+    """Positive prediction rate per group."""
+    predictions, groups = _validate(predictions, groups)
+    rates: Dict[int, float] = {}
+    for group in np.unique(groups):
+        mask = groups == group
+        rates[int(group)] = float(predictions[mask].mean())
+    return rates
+
+
+def statistical_parity_difference(predictions: np.ndarray, groups: np.ndarray) -> float:
+    """Largest gap in positive prediction rate between any two groups."""
+    rates = group_positive_rates(predictions, groups)
+    values = list(rates.values())
+    return float(max(values) - min(values)) if len(values) > 1 else 0.0
+
+
+def equalized_odds_difference(
+    predictions: np.ndarray, labels: np.ndarray, groups: np.ndarray
+) -> float:
+    """Largest gap in TPR or FPR between any two groups.
+
+    Groups that contain no positives (for TPR) or no negatives (for FPR) are
+    skipped for that rate, mirroring common practice for small groups.
+    """
+    predictions, groups = _validate(predictions, groups)
+    labels = np.asarray(labels, dtype=int).ravel()
+    if labels.shape != predictions.shape:
+        raise EvaluationError("labels must have the same length as predictions")
+
+    tprs = []
+    fprs = []
+    for group in np.unique(groups):
+        mask = groups == group
+        group_labels = labels[mask]
+        group_predictions = predictions[mask]
+        positives = group_labels == 1
+        negatives = group_labels == 0
+        if positives.any():
+            tprs.append(float(group_predictions[positives].mean()))
+        if negatives.any():
+            fprs.append(float(group_predictions[negatives].mean()))
+    tpr_gap = max(tprs) - min(tprs) if len(tprs) > 1 else 0.0
+    fpr_gap = max(fprs) - min(fprs) if len(fprs) > 1 else 0.0
+    return float(max(tpr_gap, fpr_gap))

@@ -1,0 +1,124 @@
+"""Before/after fairness reports for a re-districting intervention.
+
+The experiments answer "which method wins on ENCE"; a practitioner deploying
+the fair index also needs a per-neighborhood account of *what changed*: how
+calibration error, population balance, and group-fairness metrics compare
+between the original partition (e.g. zip codes or a median KD-tree) and the
+fair partition.  :func:`compare_partitions` produces that account as plain
+rows that can be printed with :mod:`repro.experiments.reporting` or exported
+with :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..exceptions import EvaluationError
+from .ence import (
+    expected_neighborhood_calibration_error,
+    neighborhood_calibration_report,
+)
+from .group_metrics import equalized_odds_difference, statistical_parity_difference
+
+
+@dataclass(frozen=True)
+class PartitionFairnessSummary:
+    """Aggregate fairness picture of one neighborhood assignment."""
+
+    label: str
+    n_neighborhoods: int
+    ence: float
+    worst_neighborhood_error: float
+    largest_neighborhood_share: float
+    statistical_parity: float
+    equalized_odds: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "partition": self.label,
+            "neighborhoods": self.n_neighborhoods,
+            "ence": self.ence,
+            "worst_error": self.worst_neighborhood_error,
+            "largest_share": self.largest_neighborhood_share,
+            "statistical_parity": self.statistical_parity,
+            "equalized_odds": self.equalized_odds,
+        }
+
+
+def summarize_partition(
+    label: str,
+    scores: np.ndarray,
+    labels: np.ndarray,
+    assignment: np.ndarray,
+    threshold: float = 0.5,
+) -> PartitionFairnessSummary:
+    """Fairness summary of one (scores, labels, neighborhood assignment) triple."""
+    scores = np.asarray(scores, dtype=float).ravel()
+    labels = np.asarray(labels, dtype=int).ravel()
+    assignment = np.asarray(assignment, dtype=int).ravel()
+    if not scores.shape == labels.shape == assignment.shape:
+        raise EvaluationError("scores, labels and assignment must have the same length")
+    if scores.size == 0:
+        raise EvaluationError("fairness summaries require at least one record")
+
+    report = neighborhood_calibration_report(scores, labels, assignment)
+    sizes = np.array([entry.size for entry in report], dtype=float)
+    predictions = (scores >= threshold).astype(int)
+    return PartitionFairnessSummary(
+        label=label,
+        n_neighborhoods=len(report),
+        ence=expected_neighborhood_calibration_error(scores, labels, assignment),
+        worst_neighborhood_error=max(entry.absolute_error for entry in report),
+        largest_neighborhood_share=float(sizes.max() / sizes.sum()),
+        statistical_parity=statistical_parity_difference(predictions, assignment),
+        equalized_odds=equalized_odds_difference(predictions, labels, assignment),
+    )
+
+
+def compare_partitions(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    assignments: Dict[str, np.ndarray],
+    threshold: float = 0.5,
+) -> List[Dict[str, object]]:
+    """Rows comparing several neighborhood assignments on the same scores.
+
+    Parameters
+    ----------
+    scores, labels:
+        Confidence scores and true labels of the records being audited.
+    assignments:
+        Mapping from a display label (e.g. ``"zip codes"``, ``"fair KD-tree"``)
+        to the neighborhood id of every record under that partition.
+    threshold:
+        Decision threshold used for the prediction-based group metrics.
+    """
+    if not assignments:
+        raise EvaluationError("compare_partitions needs at least one assignment")
+    rows = []
+    for label, assignment in assignments.items():
+        summary = summarize_partition(label, scores, labels, assignment, threshold)
+        rows.append(summary.as_row())
+    return rows
+
+
+def improvement_summary(rows: Sequence[Dict[str, object]], baseline: str) -> Dict[str, float]:
+    """Relative ENCE improvement of every partition versus ``baseline``.
+
+    Returns ``{label: fraction}`` where 0.25 means "25 % lower ENCE than the
+    baseline"; the baseline itself is omitted.
+    """
+    by_label = {str(row["partition"]): float(row["ence"]) for row in rows}
+    if baseline not in by_label:
+        raise EvaluationError(f"baseline {baseline!r} not among {sorted(by_label)}")
+    reference = by_label[baseline]
+    if reference == 0.0:
+        return {label: 0.0 for label in by_label if label != baseline}
+    return {
+        label: (reference - value) / reference
+        for label, value in by_label.items()
+        if label != baseline
+    }

@@ -1,0 +1,116 @@
+"""Numeric verifiers for the paper's Theorems 1 and 2.
+
+* **Theorem 1**: for any complete non-overlapping partitioning, the weighted
+  linear ENCE is lower-bounded by the overall model miscalibration
+  ``|D| * |e(h) - o(h)|``.
+* **Theorem 2**: refining a partition (splitting any neighborhood into
+  sub-neighborhoods) can only keep or increase the weighted linear ENCE.
+
+These functions are used by the hypothesis property tests and are also useful
+for sanity-checking experiment outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import EvaluationError
+from ..rng import SeedLike, as_generator
+from .ence import weighted_linear_ence
+
+
+def ence_lower_bound_gap(
+    scores: np.ndarray, labels: np.ndarray, neighborhoods: np.ndarray
+) -> float:
+    """``weighted_linear_ence - |D| * |e(h) - o(h)|`` (non-negative by Theorem 1)."""
+    scores = np.asarray(scores, dtype=float).ravel()
+    labels = np.asarray(labels, dtype=float).ravel()
+    if scores.shape != labels.shape:
+        raise EvaluationError("scores and labels must have the same length")
+    overall = abs(float(scores.sum()) - float(labels.sum()))
+    return weighted_linear_ence(scores, labels, neighborhoods) - overall
+
+
+def verify_theorem1(
+    scores: np.ndarray, labels: np.ndarray, neighborhoods: np.ndarray, tolerance: float = 1e-9
+) -> bool:
+    """True when the Theorem 1 lower bound holds for this assignment."""
+    return ence_lower_bound_gap(scores, labels, neighborhoods) >= -tolerance
+
+
+def refine_partition_once(
+    neighborhoods: np.ndarray, seed: SeedLike = None
+) -> np.ndarray:
+    """Split one randomly-chosen neighborhood into two non-empty halves.
+
+    Returns a new assignment array; the new neighborhood receives an unused
+    id.  Assignments with no splittable neighborhood (every neighborhood has a
+    single record) are returned unchanged.
+    """
+    neighborhoods = np.asarray(neighborhoods, dtype=int).ravel().copy()
+    rng = as_generator(seed)
+    ids, counts = np.unique(neighborhoods, return_counts=True)
+    splittable = ids[counts >= 2]
+    if splittable.size == 0:
+        return neighborhoods
+    target = int(rng.choice(splittable))
+    members = np.flatnonzero(neighborhoods == target)
+    members = rng.permutation(members)
+    cut = int(rng.integers(1, members.size))
+    new_id = int(neighborhoods.max()) + 1
+    neighborhoods[members[:cut]] = new_id
+    return neighborhoods
+
+
+def verify_theorem2(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    coarse: np.ndarray,
+    fine: np.ndarray,
+    tolerance: float = 1e-9,
+) -> bool:
+    """True when the refinement ``fine`` has weighted linear ENCE >= that of ``coarse``.
+
+    ``fine`` must actually be a refinement of ``coarse``: every fine
+    neighborhood must lie inside a single coarse neighborhood.
+    """
+    coarse = np.asarray(coarse, dtype=int).ravel()
+    fine = np.asarray(fine, dtype=int).ravel()
+    if coarse.shape != fine.shape:
+        raise EvaluationError("coarse and fine assignments must have the same length")
+    for fine_id in np.unique(fine):
+        parents = np.unique(coarse[fine == fine_id])
+        if parents.size > 1:
+            raise EvaluationError(
+                f"assignment is not a refinement: fine neighborhood {fine_id} spans "
+                f"coarse neighborhoods {parents.tolist()}"
+            )
+    coarse_value = weighted_linear_ence(scores, labels, coarse)
+    fine_value = weighted_linear_ence(scores, labels, fine)
+    return fine_value >= coarse_value - tolerance
+
+
+def random_assignment(
+    n_records: int, n_neighborhoods: int, seed: SeedLike = None
+) -> np.ndarray:
+    """A random neighborhood assignment (used by property tests)."""
+    if n_records < 1 or n_neighborhoods < 1:
+        raise EvaluationError("n_records and n_neighborhoods must be positive")
+    rng = as_generator(seed)
+    return rng.integers(0, n_neighborhoods, size=n_records)
+
+
+def chain_of_refinements(
+    neighborhoods: np.ndarray, steps: int, seed: SeedLike = None
+) -> Sequence[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``steps`` consecutive (coarse, fine) refinement pairs."""
+    rng = as_generator(seed)
+    current = np.asarray(neighborhoods, dtype=int).ravel()
+    pairs = []
+    for _ in range(max(steps, 0)):
+        refined = refine_partition_once(current, seed=rng)
+        pairs.append((current.copy(), refined.copy()))
+        current = refined
+    return pairs

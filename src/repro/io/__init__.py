@@ -1,0 +1,25 @@
+"""Serialisation helpers: export partitions and experiment results.
+
+A re-districted map is only useful if it can leave the process: this package
+exports partitions as GeoJSON-like feature collections (so they can be drawn
+on any map front-end), round-trips partitions through plain JSON, and writes
+experiment rows as CSV/JSON for downstream analysis.
+"""
+
+from .export import (
+    partition_from_dict,
+    partition_to_dict,
+    partition_to_geojson,
+    rows_to_csv,
+    save_json,
+    save_rows_csv,
+)
+
+__all__ = [
+    "partition_to_dict",
+    "partition_from_dict",
+    "partition_to_geojson",
+    "rows_to_csv",
+    "save_rows_csv",
+    "save_json",
+]

@@ -1,0 +1,134 @@
+"""Export partitions (JSON / GeoJSON) and experiment rows (CSV / JSON)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Sequence
+
+from ..exceptions import PartitionError
+from ..spatial.geometry import BoundingBox
+from ..spatial.grid import Grid
+from ..spatial.partition import Partition
+from ..spatial.region import GridRegion
+
+
+def partition_to_dict(partition: Partition) -> Dict[str, Any]:
+    """Serialise a partition to a plain dictionary (JSON-compatible)."""
+    grid = partition.grid
+    return {
+        "grid": {
+            "rows": grid.rows,
+            "cols": grid.cols,
+            "bounds": [grid.bounds.min_x, grid.bounds.min_y, grid.bounds.max_x, grid.bounds.max_y],
+        },
+        "regions": [
+            {
+                "row_start": int(region.row_start),
+                "row_stop": int(region.row_stop),
+                "col_start": int(region.col_start),
+                "col_stop": int(region.col_stop),
+            }
+            for region in partition.regions
+        ],
+    }
+
+
+def partition_from_dict(payload: Mapping[str, Any]) -> Partition:
+    """Inverse of :func:`partition_to_dict`."""
+    try:
+        grid_info = payload["grid"]
+        bounds = grid_info["bounds"]
+        grid = Grid(
+            int(grid_info["rows"]),
+            int(grid_info["cols"]),
+            BoundingBox(float(bounds[0]), float(bounds[1]), float(bounds[2]), float(bounds[3])),
+        )
+        regions = [
+            GridRegion(
+                grid,
+                int(region["row_start"]),
+                int(region["row_stop"]),
+                int(region["col_start"]),
+                int(region["col_stop"]),
+            )
+            for region in payload["regions"]
+        ]
+    except (KeyError, TypeError, IndexError) as exc:
+        raise PartitionError(f"malformed partition payload: {exc}") from exc
+    return Partition(grid, regions)
+
+
+def partition_to_geojson(
+    partition: Partition, properties: Sequence[Mapping[str, Any]] | None = None
+) -> Dict[str, Any]:
+    """Serialise a partition as a GeoJSON FeatureCollection of polygons.
+
+    Parameters
+    ----------
+    partition:
+        The neighborhoods to export.
+    properties:
+        Optional per-region property dictionaries (e.g. ENCE, population),
+        aligned with ``partition.regions``.
+    """
+    if properties is not None and len(properties) != len(partition):
+        raise PartitionError(
+            f"expected {len(partition)} property dicts, got {len(properties)}"
+        )
+    features = []
+    for index, region in enumerate(partition.regions):
+        bounds = region.bounds
+        ring = [
+            [bounds.min_x, bounds.min_y],
+            [bounds.max_x, bounds.min_y],
+            [bounds.max_x, bounds.max_y],
+            [bounds.min_x, bounds.max_y],
+            [bounds.min_x, bounds.min_y],
+        ]
+        feature_properties: Dict[str, Any] = {"neighborhood": index}
+        if properties is not None:
+            feature_properties.update(dict(properties[index]))
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {"type": "Polygon", "coordinates": [ring]},
+                "properties": feature_properties,
+            }
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render table rows (list of dicts) as CSV text."""
+    if not rows:
+        return ""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row.get(key, "") for key in columns})
+    return buffer.getvalue()
+
+
+def save_rows_csv(rows: Sequence[Mapping[str, Any]], path: str | Path) -> Path:
+    """Write table rows to ``path`` as CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows), encoding="utf-8")
+    return path
+
+
+def save_json(payload: Any, path: str | Path, indent: int = 2) -> Path:
+    """Write any JSON-serialisable payload to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=indent, sort_keys=True), encoding="utf-8")
+    return path

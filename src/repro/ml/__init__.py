@@ -1,0 +1,59 @@
+"""ML substrate: from-scratch classifiers, preprocessing, and metrics.
+
+The paper trains logistic regression, decision tree, and naive Bayes
+classifiers (Section 5.3.1).  scikit-learn is not available offline, so this
+package provides NumPy implementations with the familiar
+``fit`` / ``predict_proba`` / ``predict`` interface, including
+``sample_weight`` support (needed by the re-weighting baseline).
+"""
+
+from .base import Classifier, check_fitted
+from .calibration import (
+    CalibrationReport,
+    calibration_ratio,
+    expected_calibration_error,
+    miscalibration,
+    reliability_bins,
+)
+from .feature_importance import permutation_importance
+from .logistic import LogisticRegressionClassifier
+from .metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+from .model_selection import make_classifier, ModelFactory
+from .naive_bayes import GaussianNaiveBayesClassifier
+from .postprocessing import HistogramBinningCalibrator, PlattCalibrator
+from .preprocessing import FeaturePipeline, OneHotEncoder, StandardScaler
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "Classifier",
+    "check_fitted",
+    "LogisticRegressionClassifier",
+    "DecisionTreeClassifier",
+    "GaussianNaiveBayesClassifier",
+    "FeaturePipeline",
+    "OneHotEncoder",
+    "StandardScaler",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "roc_auc_score",
+    "confusion_matrix",
+    "CalibrationReport",
+    "calibration_ratio",
+    "miscalibration",
+    "expected_calibration_error",
+    "reliability_bins",
+    "permutation_importance",
+    "make_classifier",
+    "ModelFactory",
+    "PlattCalibrator",
+    "HistogramBinningCalibrator",
+]

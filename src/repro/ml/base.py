@@ -1,0 +1,109 @@
+"""Classifier interface shared by every model in the library."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import NotFittedError, TrainingError
+
+
+def _validate_training_inputs(
+    features: np.ndarray, labels: np.ndarray, sample_weight: Optional[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Common validation for ``fit`` implementations."""
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if features.ndim != 2:
+        raise TrainingError(f"features must be 2-D, got shape {features.shape}")
+    if labels.shape != (features.shape[0],):
+        raise TrainingError(
+            f"labels shape {labels.shape} does not match {features.shape[0]} records"
+        )
+    unique = np.unique(labels)
+    if not np.all(np.isin(unique, [0, 1])):
+        raise TrainingError(f"labels must be binary (0/1), got values {unique}")
+    if sample_weight is None:
+        sample_weight = np.ones(features.shape[0], dtype=float)
+    else:
+        sample_weight = np.asarray(sample_weight, dtype=float)
+        if sample_weight.shape != (features.shape[0],):
+            raise TrainingError("sample_weight must be 1-D and match the record count")
+        if np.any(sample_weight < 0):
+            raise TrainingError("sample_weight values must be non-negative")
+        if sample_weight.sum() <= 0:
+            raise TrainingError("sample_weight must have positive total mass")
+    return features, labels, sample_weight
+
+
+class Classifier(ABC):
+    """Binary classifier with confidence-score output.
+
+    The contract mirrors scikit-learn: :meth:`fit` returns ``self``;
+    :meth:`predict_proba` returns the probability of the positive class
+    (shape ``(n_records,)``); :meth:`predict` applies ``threshold``.
+    """
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._n_features: Optional[int] = None
+
+    # -- training -----------------------------------------------------------
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "Classifier":
+        """Train the model and return ``self``."""
+        features, labels, sample_weight = _validate_training_inputs(
+            features, labels, sample_weight
+        )
+        self._n_features = features.shape[1]
+        self._fit(features, labels, sample_weight)
+        self._fitted = True
+        return self
+
+    @abstractmethod
+    def _fit(self, features: np.ndarray, labels: np.ndarray, sample_weight: np.ndarray) -> None:
+        """Model-specific training; inputs are already validated."""
+
+    # -- inference ----------------------------------------------------------
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Confidence score (probability of class 1) for every record."""
+        check_fitted(self)
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2 or features.shape[1] != self._n_features:
+            raise NotFittedError(
+                f"expected features with {self._n_features} columns, got shape {features.shape}"
+            )
+        scores = self._predict_proba(features)
+        return np.clip(scores, 0.0, 1.0)
+
+    @abstractmethod
+    def _predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Model-specific scoring; inputs are already validated."""
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels obtained by thresholding the confidence scores."""
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def n_features(self) -> Optional[int]:
+        return self._n_features
+
+
+def check_fitted(model: Classifier) -> None:
+    """Raise :class:`NotFittedError` unless ``model`` has been trained."""
+    if not getattr(model, "is_fitted", False):
+        raise NotFittedError(f"{type(model).__name__} has not been fitted yet")

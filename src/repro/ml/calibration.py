@@ -1,0 +1,157 @@
+"""Calibration measurement utilities (Section 2.2 and Appendix A.1).
+
+Two formulations of miscalibration are used throughout the paper:
+
+* the *ratio* ``e(h) / o(h)`` of the expected confidence score to the true
+  positive fraction — perfect calibration is 1 (used in Figure 6a/6c);
+* the *absolute difference* ``|e(h) - o(h)|`` — perfect calibration is 0,
+  and there is no division-by-zero problem for sparse groups (used by ENCE
+  and the split objective).
+
+Expected Calibration Error (ECE) bins the confidence scores into ``n_bins``
+equal-width bins and averages the per-bin absolute difference weighted by bin
+population (Equation 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..config import PAPER_ECE_BINS
+from ..exceptions import EvaluationError
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=float).ravel()
+    labels = np.asarray(labels, dtype=float).ravel()
+    if scores.shape != labels.shape:
+        raise EvaluationError(
+            f"scores shape {scores.shape} does not match labels shape {labels.shape}"
+        )
+    if scores.size == 0:
+        raise EvaluationError("calibration metrics require at least one record")
+    if scores.min() < -1e-9 or scores.max() > 1.0 + 1e-9:
+        raise EvaluationError("confidence scores must lie in [0, 1]")
+    return np.clip(scores, 0.0, 1.0), labels
+
+
+def expected_score(scores: np.ndarray) -> float:
+    """``e(h)``: the mean confidence score."""
+    scores = np.asarray(scores, dtype=float)
+    if scores.size == 0:
+        raise EvaluationError("expected_score requires at least one record")
+    return float(scores.mean())
+
+
+def observed_positive_fraction(labels: np.ndarray) -> float:
+    """``o(h)``: the true fraction of positive labels."""
+    labels = np.asarray(labels, dtype=float)
+    if labels.size == 0:
+        raise EvaluationError("observed_positive_fraction requires at least one record")
+    return float(labels.mean())
+
+
+def calibration_ratio(scores: np.ndarray, labels: np.ndarray) -> float:
+    """``e(h) / o(h)`` (Equation 2); ``inf`` when there are no positives."""
+    scores, labels = _validate(scores, labels)
+    observed = observed_positive_fraction(labels)
+    expected = expected_score(scores)
+    if observed == 0.0:
+        return float("inf") if expected > 0 else 1.0
+    return expected / observed
+
+
+def miscalibration(scores: np.ndarray, labels: np.ndarray) -> float:
+    """``|e(h) - o(h)|`` (the paper's preferred linear form)."""
+    scores, labels = _validate(scores, labels)
+    return abs(expected_score(scores) - observed_positive_fraction(labels))
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One bin of a reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_score: float
+    positive_fraction: float
+
+    @property
+    def gap(self) -> float:
+        """Absolute calibration gap of the bin."""
+        return abs(self.mean_score - self.positive_fraction)
+
+
+def reliability_bins(
+    scores: np.ndarray, labels: np.ndarray, n_bins: int = PAPER_ECE_BINS
+) -> List[ReliabilityBin]:
+    """Equal-width score bins with per-bin statistics.
+
+    Empty bins are included (count 0, gap 0) so callers can plot a complete
+    reliability diagram.
+    """
+    if n_bins < 1:
+        raise EvaluationError("n_bins must be >= 1")
+    scores, labels = _validate(scores, labels)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins: List[ReliabilityBin] = []
+    for index in range(n_bins):
+        lower, upper = float(edges[index]), float(edges[index + 1])
+        if index == n_bins - 1:
+            mask = (scores >= lower) & (scores <= upper)
+        else:
+            mask = (scores >= lower) & (scores < upper)
+        count = int(mask.sum())
+        if count == 0:
+            bins.append(ReliabilityBin(lower, upper, 0, 0.0, 0.0))
+            continue
+        bins.append(
+            ReliabilityBin(
+                lower=lower,
+                upper=upper,
+                count=count,
+                mean_score=float(scores[mask].mean()),
+                positive_fraction=float(labels[mask].mean()),
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(
+    scores: np.ndarray, labels: np.ndarray, n_bins: int = PAPER_ECE_BINS
+) -> float:
+    """ECE (Equation 15): population-weighted mean per-bin calibration gap."""
+    scores, labels = _validate(scores, labels)
+    bins = reliability_bins(scores, labels, n_bins)
+    total = scores.size
+    return float(sum(b.count / total * b.gap for b in bins))
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Summary of a model's calibration on one evaluation set."""
+
+    expected_score: float
+    observed_positive_fraction: float
+    ratio: float
+    absolute_error: float
+    ece: float
+    n_records: int
+
+    @classmethod
+    def from_scores(
+        cls, scores: np.ndarray, labels: np.ndarray, n_bins: int = PAPER_ECE_BINS
+    ) -> "CalibrationReport":
+        scores, labels = _validate(scores, labels)
+        return cls(
+            expected_score=expected_score(scores),
+            observed_positive_fraction=observed_positive_fraction(labels),
+            ratio=calibration_ratio(scores, labels),
+            absolute_error=miscalibration(scores, labels),
+            ece=expected_calibration_error(scores, labels, n_bins),
+            n_records=int(scores.size),
+        )

@@ -1,0 +1,138 @@
+"""Weighted L2-regularised logistic regression trained by gradient descent."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import TrainingError
+from ..rng import SeedLike, as_generator
+from .base import Classifier
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic function."""
+    out = np.empty_like(z, dtype=float)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegressionClassifier(Classifier):
+    """Binary logistic regression.
+
+    Training minimises the weighted negative log-likelihood with an L2 penalty
+    on the weights (not on the intercept) using full-batch gradient descent
+    with a simple adaptive step size.  The implementation is deterministic for
+    a fixed seed.
+
+    Parameters
+    ----------
+    learning_rate:
+        Initial gradient-descent step size.
+    max_iter:
+        Maximum number of epochs.
+    regularization:
+        L2 penalty strength (``lambda``).
+    tol:
+        Convergence tolerance on the gradient's infinity norm.
+    seed:
+        Seed for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        max_iter: int = 300,
+        regularization: float = 1e-3,
+        tol: float = 1e-6,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if learning_rate <= 0:
+            raise TrainingError("learning_rate must be positive")
+        if max_iter < 1:
+            raise TrainingError("max_iter must be >= 1")
+        if regularization < 0:
+            raise TrainingError("regularization must be non-negative")
+        self._learning_rate = float(learning_rate)
+        self._max_iter = int(max_iter)
+        self._regularization = float(regularization)
+        self._tol = float(tol)
+        self._seed = seed
+        self._weights: Optional[np.ndarray] = None
+        self._intercept: float = 0.0
+        self._n_iterations: int = 0
+
+    # -- training --------------------------------------------------------------
+
+    def _fit(self, features: np.ndarray, labels: np.ndarray, sample_weight: np.ndarray) -> None:
+        n_records, n_features = features.shape
+        rng = as_generator(self._seed)
+        weights = rng.normal(0.0, 0.01, size=n_features)
+        intercept = 0.0
+        normalized_weight = sample_weight / sample_weight.sum()
+        step = self._learning_rate
+        previous_loss = np.inf
+
+        for iteration in range(self._max_iter):
+            logits = features @ weights + intercept
+            probabilities = _sigmoid(logits)
+            error = (probabilities - labels) * normalized_weight
+            gradient_w = features.T @ error + self._regularization * weights / n_records
+            gradient_b = float(error.sum())
+
+            loss = self._loss(labels, probabilities, normalized_weight, weights)
+            if loss > previous_loss + 1e-12:
+                step *= 0.5
+            previous_loss = loss
+
+            weights -= step * gradient_w
+            intercept -= step * gradient_b
+            self._n_iterations = iteration + 1
+            if max(np.abs(gradient_w).max(initial=0.0), abs(gradient_b)) < self._tol:
+                break
+
+        self._weights = weights
+        self._intercept = intercept
+
+    def _loss(
+        self,
+        labels: np.ndarray,
+        probabilities: np.ndarray,
+        normalized_weight: np.ndarray,
+        weights: np.ndarray,
+    ) -> float:
+        eps = 1e-12
+        log_likelihood = normalized_weight @ (
+            labels * np.log(probabilities + eps) + (1 - labels) * np.log(1 - probabilities + eps)
+        )
+        penalty = 0.5 * self._regularization * float(weights @ weights) / labels.shape[0]
+        return float(-log_likelihood + penalty)
+
+    # -- inference -----------------------------------------------------------------
+
+    def _predict_proba(self, features: np.ndarray) -> np.ndarray:
+        assert self._weights is not None
+        return _sigmoid(features @ self._weights + self._intercept)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Learned feature weights (after :meth:`fit`)."""
+        if self._weights is None:
+            raise TrainingError("model has not been fitted")
+        return self._weights.copy()
+
+    @property
+    def intercept(self) -> float:
+        return self._intercept
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of gradient-descent epochs actually executed."""
+        return self._n_iterations

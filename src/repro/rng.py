@@ -1,0 +1,58 @@
+"""Seeded random-number helpers.
+
+Every stochastic component of the library (dataset synthesis, model
+initialisation, permutation importance, splitting) accepts either an integer
+seed or an already-constructed :class:`numpy.random.Generator`.  This module
+centralises the conversion so behaviour is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+#: Default seed used throughout the experiments when none is supplied.
+DEFAULT_SEED = 20240229
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (use :data:`DEFAULT_SEED`), an integer seed, or an existing
+        generator (returned unchanged so callers can share a stream).
+    """
+    if seed is None:
+        return np.random.default_rng(DEFAULT_SEED)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(int(seed))
+
+
+def spawn(seed: SeedLike, index: int) -> np.random.Generator:
+    """Derive an independent child generator from ``seed`` and ``index``.
+
+    Used when one experiment needs several decorrelated streams (for example
+    one per city or per classifier) that must not depend on the order in
+    which they are consumed.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    base = DEFAULT_SEED if seed is None else seed
+    if isinstance(base, np.random.Generator):
+        # Sample a stable integer from the generator's bit stream.
+        base = int(base.integers(0, 2**31 - 1))
+    return np.random.default_rng(np.random.SeedSequence(entropy=int(base), spawn_key=(index,)))
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as ``float``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value

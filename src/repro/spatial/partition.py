@@ -1,0 +1,186 @@
+"""Partitions of the grid: disjoint covers by neighborhoods.
+
+A :class:`Partition` is an ordered collection of :class:`GridRegion`
+neighborhoods that (optionally, when complete) tile the whole base grid with
+no overlap — the "complete non-overlapping partitioning" on which
+Theorems 1 and 2 are stated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import PartitionError
+from .grid import Grid
+from .region import GridRegion
+
+
+class Partition:
+    """An ordered set of disjoint neighborhoods over a grid.
+
+    Parameters
+    ----------
+    grid:
+        The base grid.
+    regions:
+        Neighborhood regions.  They must be pairwise disjoint; completeness
+        (covering every cell) is validated by :meth:`validate_complete` and by
+        the constructor when ``require_complete`` is true.
+    require_complete:
+        When true (default), the regions must tile the entire grid.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        regions: Iterable[GridRegion],
+        require_complete: bool = True,
+    ) -> None:
+        self._grid = grid
+        self._regions: Tuple[GridRegion, ...] = tuple(regions)
+        if not self._regions:
+            raise PartitionError("a partition needs at least one region")
+        for region in self._regions:
+            if region.grid != grid:
+                raise PartitionError("all regions must reference the partition's grid")
+        self._validate_disjoint()
+        if require_complete:
+            self.validate_complete()
+        self._label_grid = self._build_label_grid()
+
+    # -- invariants -----------------------------------------------------------
+
+    def _validate_disjoint(self) -> None:
+        covered = np.zeros(self._grid.shape, dtype=int)
+        for region in self._regions:
+            covered[region.row_start:region.row_stop, region.col_start:region.col_stop] += 1
+        if int(covered.max(initial=0)) > 1:
+            raise PartitionError("regions overlap: some grid cell is covered twice")
+        self._coverage = covered
+
+    def validate_complete(self) -> None:
+        """Raise :class:`PartitionError` unless every grid cell is covered."""
+        if int(self._coverage.min(initial=1)) < 1:
+            missing = int(np.count_nonzero(self._coverage == 0))
+            raise PartitionError(f"partition is incomplete: {missing} cells uncovered")
+
+    @property
+    def is_complete(self) -> bool:
+        """True when the regions tile the entire grid."""
+        return bool(np.all(self._coverage >= 1))
+
+    def _build_label_grid(self) -> np.ndarray:
+        labels = np.full(self._grid.shape, -1, dtype=int)
+        for idx, region in enumerate(self._regions):
+            labels[region.row_start:region.row_stop, region.col_start:region.col_stop] = idx
+        return labels
+
+    # -- basic accessors ----------------------------------------------------------
+
+    @property
+    def grid(self) -> Grid:
+        return self._grid
+
+    @property
+    def regions(self) -> Tuple[GridRegion, ...]:
+        return self._regions
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[GridRegion]:
+        return iter(self._regions)
+
+    def __getitem__(self, index: int) -> GridRegion:
+        return self._regions[index]
+
+    def __repr__(self) -> str:
+        return f"Partition({len(self._regions)} regions over {self._grid.rows}x{self._grid.cols} grid)"
+
+    # -- assignment ------------------------------------------------------------------
+
+    def assign(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+        """Neighborhood index for each record given its grid-cell coordinates.
+
+        Returns an integer array; ``-1`` marks records whose cell is not
+        covered (only possible for incomplete partitions).
+        """
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        if rows.shape != cols.shape:
+            raise PartitionError("rows and cols must have the same shape")
+        if rows.size == 0:
+            return np.empty(0, dtype=int)
+        if (rows.min() < 0 or rows.max() >= self._grid.rows
+                or cols.min() < 0 or cols.max() >= self._grid.cols):
+            raise PartitionError("cell coordinates outside the grid")
+        return self._label_grid[rows, cols]
+
+    def region_sizes(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+        """Number of records per neighborhood, ordered like :attr:`regions`."""
+        assignment = self.assign(rows, cols)
+        sizes = np.zeros(len(self._regions), dtype=int)
+        valid = assignment >= 0
+        np.add.at(sizes, assignment[valid], 1)
+        return sizes
+
+    # -- structure comparisons ----------------------------------------------------------
+
+    def is_refinement_of(self, coarser: "Partition") -> bool:
+        """True when this partition sub-partitions ``coarser``.
+
+        Each region of ``self`` must lie entirely inside one region of
+        ``coarser`` — the "sub-partitioning" relation used by Theorem 2.
+        """
+        if self._grid != coarser.grid:
+            return False
+        for region in self._regions:
+            if not any(parent.covers(region) for parent in coarser.regions):
+                return False
+        return True
+
+    def summary(self) -> Dict[str, float]:
+        """Lightweight descriptive statistics used in reports and logging."""
+        areas = np.array([region.n_cells for region in self._regions], dtype=float)
+        return {
+            "n_regions": float(len(self._regions)),
+            "min_cells": float(areas.min()),
+            "max_cells": float(areas.max()),
+            "mean_cells": float(areas.mean()),
+        }
+
+
+def uniform_partition(grid: Grid, n_row_blocks: int, n_col_blocks: int) -> Partition:
+    """Partition the grid into an ``n_row_blocks x n_col_blocks`` array of tiles.
+
+    Used by the Grid (Reweighting) baseline, which keeps neighborhoods as
+    regular tiles and mitigates unfairness by re-weighting instead of by
+    re-districting.
+    """
+    if n_row_blocks < 1 or n_col_blocks < 1:
+        raise PartitionError("block counts must be positive")
+    if n_row_blocks > grid.rows or n_col_blocks > grid.cols:
+        raise PartitionError(
+            f"cannot cut {grid.rows}x{grid.cols} grid into "
+            f"{n_row_blocks}x{n_col_blocks} blocks"
+        )
+    row_edges = np.linspace(0, grid.rows, n_row_blocks + 1).astype(int)
+    col_edges = np.linspace(0, grid.cols, n_col_blocks + 1).astype(int)
+    regions: List[GridRegion] = []
+    for i in range(n_row_blocks):
+        if row_edges[i + 1] <= row_edges[i]:
+            continue
+        for j in range(n_col_blocks):
+            if col_edges[j + 1] <= col_edges[j]:
+                continue
+            regions.append(
+                GridRegion(grid, row_edges[i], row_edges[i + 1], col_edges[j], col_edges[j + 1])
+            )
+    return Partition(grid, regions)
+
+
+def single_region_partition(grid: Grid) -> Partition:
+    """The trivial partition with one neighborhood covering the whole grid."""
+    return Partition(grid, [GridRegion.full(grid)])

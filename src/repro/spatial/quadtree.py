@@ -1,0 +1,124 @@
+"""Quadtree partitioner over the base grid.
+
+The paper's future-work section mentions exploring alternative space-covering
+index structures; the quadtree is the simplest such structure and is used in
+this repository for property tests (it produces valid complete partitions by
+construction) and as an additional baseline in the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .grid import Grid
+from .partition import Partition
+from .region import GridRegion
+
+
+@dataclass
+class QuadNode:
+    """A node of the quadtree; leaves carry the region they cover."""
+
+    region: GridRegion
+    depth: int
+    children: List["QuadNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def leaves(self) -> List["QuadNode"]:
+        if self.is_leaf:
+            return [self]
+        result: List[QuadNode] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+
+class QuadTree:
+    """Quadtree that recursively splits regions into (up to) four quadrants.
+
+    A node is split while it is deeper than ``max_depth`` allows, holds more
+    than ``max_points`` records, and spans more than one cell in at least one
+    dimension.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        cell_rows: Sequence[int],
+        cell_cols: Sequence[int],
+        max_depth: int = 6,
+        max_points: int = 32,
+    ) -> None:
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        if max_points < 1:
+            raise ValueError("max_points must be positive")
+        self._grid = grid
+        self._rows = np.asarray(cell_rows, dtype=int)
+        self._cols = np.asarray(cell_cols, dtype=int)
+        self._max_depth = max_depth
+        self._max_points = max_points
+        self._root: Optional[QuadNode] = None
+
+    @property
+    def root(self) -> Optional[QuadNode]:
+        return self._root
+
+    def build(self) -> QuadNode:
+        """Construct the quadtree and return its root node."""
+        self._root = self._build_node(GridRegion.full(self._grid), depth=0)
+        return self._root
+
+    def _count_points(self, region: GridRegion) -> int:
+        return int(np.count_nonzero(region.member_mask(self._rows, self._cols)))
+
+    def _build_node(self, region: GridRegion, depth: int) -> QuadNode:
+        node = QuadNode(region=region, depth=depth)
+        if depth >= self._max_depth:
+            return node
+        if self._count_points(region) <= self._max_points:
+            return node
+        if region.n_rows < 2 and region.n_cols < 2:
+            return node
+        node.children = [
+            self._build_node(child, depth + 1) for child in self._quadrants(region)
+        ]
+        return node
+
+    @staticmethod
+    def _quadrants(region: GridRegion) -> List[GridRegion]:
+        """Split ``region`` into 2 or 4 children at its midpoint."""
+        children: List[GridRegion] = []
+        row_mid = region.n_rows // 2 if region.n_rows > 1 else 0
+        col_mid = region.n_cols // 2 if region.n_cols > 1 else 0
+        if row_mid and col_mid:
+            bottom, top = region.split_rows(row_mid)
+            for half in (bottom, top):
+                left, right = half.split_cols(col_mid)
+                children.extend([left, right])
+        elif row_mid:
+            children.extend(region.split_rows(row_mid))
+        elif col_mid:
+            children.extend(region.split_cols(col_mid))
+        return children
+
+    def leaf_partition(self) -> Partition:
+        """Return the complete partition induced by the leaves."""
+        if self._root is None:
+            self.build()
+        assert self._root is not None
+        regions = [leaf.region for leaf in self._root.leaves()]
+        return Partition(self._grid, regions)
+
+    def depth(self) -> int:
+        """Maximum leaf depth of the built tree."""
+        if self._root is None:
+            self.build()
+        assert self._root is not None
+        return max(leaf.depth for leaf in self._root.leaves())

@@ -1,0 +1,177 @@
+"""Contiguous rectangular blocks of grid cells ("neighborhoods").
+
+The paper's split procedure (Algorithm 2) operates on a tree node that covers
+``U' x V'`` cells of the base grid and splits it on a row (or column) index.
+:class:`GridRegion` models exactly this unit: a half-open block
+``[row_start, row_stop) x [col_start, col_stop)`` of cells of a
+:class:`~repro.spatial.grid.Grid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..exceptions import GridError, SplitError
+from .geometry import BoundingBox
+from .grid import Grid, GridCell
+
+
+@dataclass(frozen=True)
+class GridRegion:
+    """A rectangular block of grid cells.
+
+    Attributes
+    ----------
+    grid:
+        The base grid this region belongs to.
+    row_start, row_stop:
+        Half-open row range (``0 <= row_start < row_stop <= grid.rows``).
+    col_start, col_stop:
+        Half-open column range.
+    """
+
+    grid: Grid
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.row_start < self.row_stop <= self.grid.rows):
+            raise GridError(
+                f"invalid row range [{self.row_start}, {self.row_stop}) for grid with "
+                f"{self.grid.rows} rows"
+            )
+        if not (0 <= self.col_start < self.col_stop <= self.grid.cols):
+            raise GridError(
+                f"invalid column range [{self.col_start}, {self.col_stop}) for grid with "
+                f"{self.grid.cols} columns"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def full(cls, grid: Grid) -> "GridRegion":
+        """The region covering the entire grid (the KD-tree root)."""
+        return cls(grid, 0, grid.rows, 0, grid.cols)
+
+    # -- measures -------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self.row_stop - self.row_start
+
+    @property
+    def n_cols(self) -> int:
+        return self.col_stop - self.col_start
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_rows * self.n_cols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """Geographic extent of the region."""
+        return self.grid.row_slice_bounds(
+            self.row_start, self.row_stop, self.col_start, self.col_stop
+        )
+
+    # -- membership ------------------------------------------------------------
+
+    def contains_cell(self, row: int, col: int) -> bool:
+        """True when grid cell ``(row, col)`` lies inside the region."""
+        return (
+            self.row_start <= row < self.row_stop and self.col_start <= col < self.col_stop
+        )
+
+    def member_mask(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Boolean mask of records whose cells fall inside the region."""
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        return (
+            (rows >= self.row_start)
+            & (rows < self.row_stop)
+            & (cols >= self.col_start)
+            & (cols < self.col_stop)
+        )
+
+    def cells(self) -> Iterator[GridCell]:
+        """Iterate over the cells of the region in row-major order."""
+        for row in range(self.row_start, self.row_stop):
+            for col in range(self.col_start, self.col_stop):
+                yield GridCell(row, col)
+
+    # -- splitting ----------------------------------------------------------------
+
+    def can_split(self, axis: int) -> bool:
+        """True when the region has more than one row (axis 0) / column (axis 1)."""
+        if axis == 0:
+            return self.n_rows > 1
+        if axis == 1:
+            return self.n_cols > 1
+        raise ValueError(f"axis must be 0 or 1, got {axis}")
+
+    def split_rows(self, k: int) -> Tuple["GridRegion", "GridRegion"]:
+        """Split into rows ``[row_start, row_start+k)`` and the remainder.
+
+        ``k`` counts rows of *this region* (``1 <= k < n_rows``), matching the
+        paper's index ``k`` in Algorithm 2.
+        """
+        if not 1 <= k < self.n_rows:
+            raise SplitError(
+                f"row split index {k} outside [1, {self.n_rows}) for region {self}"
+            )
+        mid = self.row_start + k
+        lower = GridRegion(self.grid, self.row_start, mid, self.col_start, self.col_stop)
+        upper = GridRegion(self.grid, mid, self.row_stop, self.col_start, self.col_stop)
+        return lower, upper
+
+    def split_cols(self, k: int) -> Tuple["GridRegion", "GridRegion"]:
+        """Split into columns ``[col_start, col_start+k)`` and the remainder."""
+        if not 1 <= k < self.n_cols:
+            raise SplitError(
+                f"column split index {k} outside [1, {self.n_cols}) for region {self}"
+            )
+        mid = self.col_start + k
+        left = GridRegion(self.grid, self.row_start, self.row_stop, self.col_start, mid)
+        right = GridRegion(self.grid, self.row_start, self.row_stop, mid, self.col_stop)
+        return left, right
+
+    def split(self, axis: int, k: int) -> Tuple["GridRegion", "GridRegion"]:
+        """Split along ``axis`` (0 = rows, 1 = columns) at region-local index ``k``."""
+        if axis == 0:
+            return self.split_rows(k)
+        if axis == 1:
+            return self.split_cols(k)
+        raise ValueError(f"axis must be 0 or 1, got {axis}")
+
+    def covers(self, other: "GridRegion") -> bool:
+        """True when ``other`` is entirely contained in this region."""
+        return (
+            self.grid == other.grid
+            and self.row_start <= other.row_start
+            and self.row_stop >= other.row_stop
+            and self.col_start <= other.col_start
+            and self.col_stop >= other.col_stop
+        )
+
+    def overlaps(self, other: "GridRegion") -> bool:
+        """True when the two regions share at least one cell."""
+        if self.grid != other.grid:
+            return False
+        rows_overlap = self.row_start < other.row_stop and other.row_start < self.row_stop
+        cols_overlap = self.col_start < other.col_stop and other.col_start < self.col_stop
+        return rows_overlap and cols_overlap
+
+    def __repr__(self) -> str:
+        return (
+            f"GridRegion(rows=[{self.row_start},{self.row_stop}), "
+            f"cols=[{self.col_start},{self.col_stop}))"
+        )

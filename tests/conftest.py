@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite.
+
+Fixtures keep datasets small (a few hundred records on a 16x16 grid) so the
+full suite runs in seconds while still exercising every code path the full
+experiments use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DatasetConfig, GridConfig, ModelConfig
+from repro.datasets.edgap import load_edgap_city
+from repro.datasets.labels import act_task, employment_task
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.model_selection import factory_for
+from repro.spatial.geometry import BoundingBox
+from repro.spatial.grid import Grid
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> Grid:
+    """A 16x16 grid over the unit square."""
+    return Grid(16, 16, BoundingBox.unit())
+
+
+@pytest.fixture(scope="session")
+def la_dataset():
+    """A small Los Angeles dataset (300 records, 16x16 grid)."""
+    config = DatasetConfig(
+        city="los_angeles", n_records=300, grid=GridConfig(16, 16), seed=5
+    )
+    return load_edgap_city(config)
+
+
+@pytest.fixture(scope="session")
+def houston_dataset():
+    """A small Houston dataset (250 records, 16x16 grid)."""
+    config = DatasetConfig(city="houston", n_records=250, grid=GridConfig(16, 16), seed=5)
+    return load_edgap_city(config)
+
+
+@pytest.fixture(scope="session")
+def la_labels(la_dataset) -> np.ndarray:
+    """ACT-task labels for the small Los Angeles dataset."""
+    return act_task().labels(la_dataset)
+
+
+@pytest.fixture(scope="session")
+def la_employment_labels(la_dataset) -> np.ndarray:
+    """Employment-task labels for the small Los Angeles dataset."""
+    return employment_task().labels(la_dataset)
+
+
+@pytest.fixture()
+def fast_logistic_factory():
+    """Factory for a quick-to-train logistic regression (used in pipelines)."""
+    def _factory() -> LogisticRegressionClassifier:
+        return LogisticRegressionClassifier(learning_rate=0.2, max_iter=120, seed=3)
+
+    return _factory
+
+
+@pytest.fixture()
+def logistic_config_factory():
+    """Factory built from a :class:`ModelConfig` (exercise the config path)."""
+    return factory_for(ModelConfig(kind="logistic_regression", max_iter=120))
+
+
+@pytest.fixture(scope="session")
+def synthetic_scores_labels():
+    """Deterministic synthetic (scores, labels, neighborhoods) triple."""
+    rng = np.random.default_rng(42)
+    n = 400
+    scores = rng.uniform(0.0, 1.0, size=n)
+    labels = (rng.uniform(0.0, 1.0, size=n) < scores).astype(int)
+    neighborhoods = rng.integers(0, 8, size=n)
+    return scores, labels, neighborhoods

@@ -1,0 +1,78 @@
+"""Integration-level tests for the disparity audit (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.labels import act_task, employment_task
+from repro.fairness.disparity import audit_disparity, audit_rows
+from repro.ml.logistic import LogisticRegressionClassifier
+
+
+def _factory():
+    return LogisticRegressionClassifier(max_iter=150, learning_rate=0.2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def la_audit(la_dataset):
+    return audit_disparity(
+        la_dataset, act_task(), _factory, n_zipcodes=15, top_k=6, seed=3
+    )
+
+
+class TestAuditStructure:
+    def test_audit_identifies_top_neighborhoods(self, la_audit):
+        assert len(la_audit.top_neighborhoods) == 6
+        sizes = [la_audit.neighborhood_sizes[n] for n in la_audit.top_neighborhoods]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_metrics_reported_for_every_top_neighborhood(self, la_audit):
+        for neighborhood in la_audit.top_neighborhoods:
+            assert neighborhood in la_audit.neighborhood_ratio
+            assert neighborhood in la_audit.neighborhood_ece
+
+    def test_city_and_task_recorded(self, la_audit):
+        assert la_audit.city == "los_angeles"
+        assert la_audit.task == "ACT"
+
+    def test_rows_flattening(self, la_audit):
+        rows = audit_rows(la_audit)
+        assert len(rows) == 6
+        assert rows[0]["rank"] == 1.0
+        assert {"neighborhood", "size", "calibration_ratio", "ece"} <= set(rows[0])
+
+
+class TestDisparityPhenomenon:
+    def test_overall_model_roughly_calibrated(self, la_audit):
+        """The paper's premise: overall calibration looks fine (ratio near 1)."""
+        assert la_audit.overall_train.ratio == pytest.approx(1.0, abs=0.25)
+
+    def test_some_neighborhood_deviates_more_than_overall(self, la_audit):
+        """The paper's observation: per-neighborhood calibration is much worse."""
+        overall_deviation = abs(la_audit.overall_train.ratio - 1.0)
+        assert la_audit.max_ratio_deviation > overall_deviation
+
+    def test_per_neighborhood_ece_spread_exists(self, la_audit):
+        values = [v for v in la_audit.neighborhood_ece.values()]
+        assert max(values) - min(values) > 0.01
+
+    def test_max_ece_property(self, la_audit):
+        assert la_audit.max_ece == pytest.approx(max(la_audit.neighborhood_ece.values()))
+
+
+class TestAuditOptions:
+    def test_employment_task_audit(self, la_dataset):
+        audit = audit_disparity(
+            la_dataset, employment_task(), _factory, n_zipcodes=12, top_k=4, seed=3
+        )
+        assert audit.task == "Employment"
+        assert len(audit.top_neighborhoods) == 4
+
+    def test_audit_deterministic_for_seed(self, la_dataset):
+        a = audit_disparity(la_dataset, act_task(), _factory, n_zipcodes=12, top_k=4, seed=9)
+        b = audit_disparity(la_dataset, act_task(), _factory, n_zipcodes=12, top_k=4, seed=9)
+        assert a.top_neighborhoods == b.top_neighborhoods
+        assert a.neighborhood_ratio == b.neighborhood_ratio
+
+    def test_ratio_values_are_finite_or_inf(self, la_audit):
+        for value in la_audit.neighborhood_ratio.values():
+            assert np.isfinite(value) or value == float("inf")

@@ -1,0 +1,120 @@
+"""Unit tests for ENCE and per-neighborhood calibration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.fairness.ence import (
+    NeighborhoodCalibration,
+    expected_neighborhood_calibration_error,
+    neighborhood_calibration_report,
+    per_neighborhood_ece,
+    per_neighborhood_ratio,
+    select_top_neighborhoods,
+    weighted_linear_ence,
+)
+
+
+class TestNeighborhoodCalibration:
+    def test_absolute_error_and_ratio(self):
+        entry = NeighborhoodCalibration(
+            neighborhood=0, size=10, expected_score=0.6, positive_fraction=0.4
+        )
+        assert entry.absolute_error == pytest.approx(0.2)
+        assert entry.ratio == pytest.approx(1.5)
+
+    def test_ratio_with_zero_positive_fraction(self):
+        entry = NeighborhoodCalibration(0, 5, expected_score=0.3, positive_fraction=0.0)
+        assert entry.ratio == float("inf")
+        entry = NeighborhoodCalibration(0, 5, expected_score=0.0, positive_fraction=0.0)
+        assert entry.ratio == 1.0
+
+
+class TestReport:
+    def test_one_entry_per_nonempty_neighborhood(self, synthetic_scores_labels):
+        scores, labels, neighborhoods = synthetic_scores_labels
+        report = neighborhood_calibration_report(scores, labels, neighborhoods)
+        assert len(report) == len(np.unique(neighborhoods))
+        assert sum(entry.size for entry in report) == scores.size
+
+    def test_entry_statistics_match_manual_computation(self):
+        scores = np.array([0.2, 0.8, 0.5, 0.5])
+        labels = np.array([0, 1, 1, 1])
+        neighborhoods = np.array([0, 0, 1, 1])
+        report = neighborhood_calibration_report(scores, labels, neighborhoods)
+        first = report[0]
+        assert first.expected_score == pytest.approx(0.5)
+        assert first.positive_fraction == pytest.approx(0.5)
+        second = report[1]
+        assert second.absolute_error == pytest.approx(0.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            neighborhood_calibration_report(np.array([0.5]), np.array([1]), np.array([0, 1]))
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            expected_neighborhood_calibration_error(np.array([]), np.array([]), np.array([]))
+
+
+class TestENCE:
+    def test_single_neighborhood_equals_overall_miscalibration(self, synthetic_scores_labels):
+        scores, labels, _ = synthetic_scores_labels
+        single = np.zeros(scores.size, dtype=int)
+        ence = expected_neighborhood_calibration_error(scores, labels, single)
+        assert ence == pytest.approx(abs(scores.mean() - labels.mean()))
+
+    def test_hand_computed_example(self):
+        scores = np.array([0.9, 0.9, 0.1, 0.1])
+        labels = np.array([1, 0, 0, 0])
+        neighborhoods = np.array([0, 0, 1, 1])
+        # Neighborhood 0: |0.5 - 0.9| = 0.4, size 2; neighborhood 1: |0 - 0.1| = 0.1, size 2.
+        expected = 0.5 * 0.4 + 0.5 * 0.1
+        assert expected_neighborhood_calibration_error(
+            scores, labels, neighborhoods
+        ) == pytest.approx(expected)
+
+    def test_perfectly_calibrated_per_neighborhood_gives_zero(self):
+        scores = np.array([0.5, 0.5, 0.25, 0.25, 0.25, 0.25])
+        labels = np.array([1, 0, 1, 0, 0, 0])
+        neighborhoods = np.array([0, 0, 1, 1, 1, 1])
+        assert expected_neighborhood_calibration_error(
+            scores, labels, neighborhoods
+        ) == pytest.approx(0.0)
+
+    def test_weighted_linear_is_ence_times_population(self, synthetic_scores_labels):
+        scores, labels, neighborhoods = synthetic_scores_labels
+        ence = expected_neighborhood_calibration_error(scores, labels, neighborhoods)
+        linear = weighted_linear_ence(scores, labels, neighborhoods)
+        assert linear == pytest.approx(ence * scores.size)
+
+    def test_ence_nonnegative_and_bounded(self, synthetic_scores_labels):
+        scores, labels, neighborhoods = synthetic_scores_labels
+        ence = expected_neighborhood_calibration_error(scores, labels, neighborhoods)
+        assert 0.0 <= ence <= 1.0
+
+
+class TestPerNeighborhoodMetrics:
+    def test_ratio_keys_cover_all_neighborhoods(self, synthetic_scores_labels):
+        scores, labels, neighborhoods = synthetic_scores_labels
+        ratios = per_neighborhood_ratio(scores, labels, neighborhoods)
+        assert set(ratios) == set(np.unique(neighborhoods).tolist())
+
+    def test_ece_keys_cover_all_neighborhoods(self, synthetic_scores_labels):
+        scores, labels, neighborhoods = synthetic_scores_labels
+        eces = per_neighborhood_ece(scores, labels, neighborhoods, n_bins=10)
+        assert set(eces) == set(np.unique(neighborhoods).tolist())
+        assert all(0.0 <= v <= 1.0 for v in eces.values())
+
+
+class TestTopNeighborhoods:
+    def test_ordering_by_population(self):
+        neighborhoods = np.array([0] * 10 + [1] * 30 + [2] * 20)
+        assert select_top_neighborhoods(neighborhoods, k=2) == [1, 2]
+
+    def test_k_larger_than_count(self):
+        neighborhoods = np.array([0, 1, 1])
+        assert set(select_top_neighborhoods(neighborhoods, k=10)) == {0, 1}
+
+    def test_empty_input(self):
+        assert select_top_neighborhoods(np.array([], dtype=int)) == []

@@ -1,0 +1,69 @@
+"""Unit tests for statistical parity and equalized odds."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.fairness.group_metrics import (
+    equalized_odds_difference,
+    group_positive_rates,
+    statistical_parity_difference,
+)
+
+
+class TestPositiveRates:
+    def test_rates_per_group(self):
+        predictions = np.array([1, 1, 0, 0, 1, 0])
+        groups = np.array([0, 0, 0, 1, 1, 1])
+        rates = group_positive_rates(predictions, groups)
+        assert rates[0] == pytest.approx(2 / 3)
+        assert rates[1] == pytest.approx(1 / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            group_positive_rates(np.array([]), np.array([]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            group_positive_rates(np.array([1]), np.array([0, 1]))
+
+
+class TestStatisticalParity:
+    def test_identical_groups_zero_gap(self):
+        predictions = np.array([1, 0, 1, 0])
+        groups = np.array([0, 0, 1, 1])
+        assert statistical_parity_difference(predictions, groups) == 0.0
+
+    def test_maximal_gap(self):
+        predictions = np.array([1, 1, 0, 0])
+        groups = np.array([0, 0, 1, 1])
+        assert statistical_parity_difference(predictions, groups) == 1.0
+
+    def test_single_group_zero(self):
+        assert statistical_parity_difference(np.array([1, 0]), np.array([0, 0])) == 0.0
+
+
+class TestEqualizedOdds:
+    def test_perfect_classifier_zero_gap(self):
+        labels = np.array([1, 0, 1, 0, 1, 0])
+        groups = np.array([0, 0, 0, 1, 1, 1])
+        assert equalized_odds_difference(labels, labels, groups) == 0.0
+
+    def test_group_specific_errors_detected(self):
+        # Group 0 predicted perfectly; group 1 always predicted negative.
+        labels = np.array([1, 0, 1, 0])
+        predictions = np.array([1, 0, 0, 0])
+        groups = np.array([0, 0, 1, 1])
+        assert equalized_odds_difference(predictions, labels, groups) == 1.0
+
+    def test_groups_missing_a_class_are_skipped(self):
+        labels = np.array([1, 1, 0, 0])
+        predictions = np.array([1, 0, 0, 1])
+        groups = np.array([0, 0, 1, 1])
+        # Group 0 has no negatives and group 1 no positives: each rate has a
+        # single group, so both gaps are zero.
+        assert equalized_odds_difference(predictions, labels, groups) == 0.0
+
+    def test_label_shape_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            equalized_odds_difference(np.array([1, 0]), np.array([1]), np.array([0, 1]))

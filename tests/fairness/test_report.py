@@ -1,0 +1,124 @@
+"""Unit tests for the before/after fairness report."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.fairness.report import (
+    compare_partitions,
+    improvement_summary,
+    summarize_partition,
+)
+
+
+@pytest.fixture()
+def audited_population():
+    rng = np.random.default_rng(8)
+    n = 500
+    scores = rng.uniform(size=n)
+    labels = (rng.uniform(size=n) < scores).astype(int)
+    coarse = rng.integers(0, 4, size=n)
+    fine = coarse * 2 + rng.integers(0, 2, size=n)
+    return scores, labels, coarse, fine
+
+
+class TestSummarizePartition:
+    def test_summary_fields(self, audited_population):
+        scores, labels, coarse, _ = audited_population
+        summary = summarize_partition("coarse", scores, labels, coarse)
+        assert summary.label == "coarse"
+        assert summary.n_neighborhoods == 4
+        assert 0.0 <= summary.ence <= 1.0
+        assert 0.0 <= summary.worst_neighborhood_error <= 1.0
+        assert 0.0 < summary.largest_neighborhood_share <= 1.0
+        assert 0.0 <= summary.statistical_parity <= 1.0
+        assert 0.0 <= summary.equalized_odds <= 1.0
+
+    def test_worst_error_at_least_ence(self, audited_population):
+        scores, labels, coarse, _ = audited_population
+        summary = summarize_partition("coarse", scores, labels, coarse)
+        assert summary.worst_neighborhood_error >= summary.ence
+
+    def test_as_row_keys(self, audited_population):
+        scores, labels, coarse, _ = audited_population
+        row = summarize_partition("coarse", scores, labels, coarse).as_row()
+        assert {"partition", "ence", "worst_error", "largest_share"} <= set(row)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            summarize_partition("x", np.array([0.5]), np.array([1, 0]), np.array([0, 0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            summarize_partition("x", np.array([]), np.array([]), np.array([]))
+
+
+class TestComparePartitions:
+    def test_one_row_per_assignment(self, audited_population):
+        scores, labels, coarse, fine = audited_population
+        rows = compare_partitions(scores, labels, {"coarse": coarse, "fine": fine})
+        assert [row["partition"] for row in rows] == ["coarse", "fine"]
+
+    def test_refined_partition_has_higher_or_equal_ence(self, audited_population):
+        """Theorem 2 seen through the report: the finer partition's ENCE is >=."""
+        scores, labels, coarse, fine = audited_population
+        rows = compare_partitions(scores, labels, {"coarse": coarse, "fine": fine})
+        by_label = {row["partition"]: row for row in rows}
+        assert by_label["fine"]["ence"] >= by_label["coarse"]["ence"] - 1e-9
+
+    def test_empty_assignments_raise(self, audited_population):
+        scores, labels, _, _ = audited_population
+        with pytest.raises(EvaluationError):
+            compare_partitions(scores, labels, {})
+
+
+class TestImprovementSummary:
+    def test_improvement_computed_against_baseline(self):
+        rows = [
+            {"partition": "median", "ence": 0.10},
+            {"partition": "fair", "ence": 0.05},
+            {"partition": "reweighting", "ence": 0.12},
+        ]
+        improvements = improvement_summary(rows, baseline="median")
+        assert improvements["fair"] == pytest.approx(0.5)
+        assert improvements["reweighting"] == pytest.approx(-0.2)
+        assert "median" not in improvements
+
+    def test_unknown_baseline_raises(self):
+        with pytest.raises(EvaluationError):
+            improvement_summary([{"partition": "fair", "ence": 0.1}], baseline="median")
+
+    def test_zero_baseline_handled(self):
+        rows = [{"partition": "a", "ence": 0.0}, {"partition": "b", "ence": 0.1}]
+        assert improvement_summary(rows, baseline="a") == {"b": 0.0}
+
+
+class TestEndToEndReport:
+    def test_fair_partition_improves_over_median_in_report(
+        self, la_dataset, la_labels, fast_logistic_factory
+    ):
+        """Full loop: train once on the base grid, compare median vs fair
+        assignments of the same scores through the report API."""
+        from repro.core.base import train_scores_on_dataset
+        from repro.core.fair_kdtree import FairKDTreePartitioner
+        from repro.core.median_kdtree import MedianKDTreePartitioner
+
+        base = la_dataset.with_neighborhoods(np.zeros(la_dataset.n_records, dtype=int))
+        scores, _, _ = train_scores_on_dataset(base, la_labels, fast_logistic_factory)
+        residuals = scores - la_labels
+
+        fair = FairKDTreePartitioner(height=4).build_from_residuals(la_dataset, residuals)
+        median = MedianKDTreePartitioner(4).build(
+            la_dataset, la_labels, fast_logistic_factory
+        ).partition
+
+        rows = compare_partitions(
+            scores,
+            la_labels,
+            {
+                "median_kdtree": median.assign(la_dataset.cell_rows, la_dataset.cell_cols),
+                "fair_kdtree": fair.assign(la_dataset.cell_rows, la_dataset.cell_cols),
+            },
+        )
+        improvements = improvement_summary(rows, baseline="median_kdtree")
+        assert improvements["fair_kdtree"] > 0.0

@@ -1,0 +1,75 @@
+"""Unit tests for Kamiran-Calders re-weighting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.fairness.reweighting import kamiran_calders_weights, reweighting_by_group
+
+
+class TestWeights:
+    def test_independent_groups_get_unit_weights(self):
+        """When label rates are identical across groups, all weights are 1."""
+        groups = np.array([0] * 10 + [1] * 10)
+        labels = np.array([1, 0] * 10)
+        weights = kamiran_calders_weights(groups, labels)
+        np.testing.assert_allclose(weights, 1.0)
+
+    def test_underrepresented_cell_gets_large_weight(self):
+        # Group 0: 9 negatives, 1 positive.  Group 1: 1 negative, 9 positives.
+        groups = np.array([0] * 10 + [1] * 10)
+        labels = np.array([0] * 9 + [1] + [0] + [1] * 9)
+        weights = kamiran_calders_weights(groups, labels)
+        positive_in_group0 = weights[(groups == 0) & (labels == 1)][0]
+        negative_in_group0 = weights[(groups == 0) & (labels == 0)][0]
+        assert positive_in_group0 > 1.0
+        assert negative_in_group0 < 1.0
+
+    def test_reweighted_label_rates_equalised(self):
+        """After weighting, each group's weighted positive rate matches the global rate."""
+        rng = np.random.default_rng(0)
+        groups = rng.integers(0, 4, 500)
+        labels = (rng.uniform(size=500) < 0.2 + 0.15 * groups).astype(int)
+        weights = kamiran_calders_weights(groups, labels)
+        global_rate = np.average(labels, weights=weights)
+        for group in range(4):
+            mask = groups == group
+            group_rate = np.average(labels[mask], weights=weights[mask])
+            assert group_rate == pytest.approx(global_rate, abs=1e-9)
+
+    def test_total_weight_preserved(self):
+        rng = np.random.default_rng(1)
+        groups = rng.integers(0, 3, 200)
+        labels = rng.integers(0, 2, 200)
+        weights = kamiran_calders_weights(groups, labels)
+        assert weights.sum() == pytest.approx(200.0, rel=0.05)
+
+    def test_all_weights_positive(self):
+        rng = np.random.default_rng(2)
+        groups = rng.integers(0, 5, 300)
+        labels = rng.integers(0, 2, 300)
+        assert kamiran_calders_weights(groups, labels).min() > 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            kamiran_calders_weights(np.array([0, 1]), np.array([0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            kamiran_calders_weights(np.array([]), np.array([]))
+
+
+class TestWeightTable:
+    def test_table_has_one_entry_per_observed_cell(self):
+        groups = np.array([0, 0, 1, 1, 1])
+        labels = np.array([0, 1, 1, 1, 0])
+        table = reweighting_by_group(groups, labels)
+        assert set(table) == {(0, 0), (0, 1), (1, 1), (1, 0)}
+
+    def test_table_matches_weights(self):
+        groups = np.array([0, 0, 1, 1])
+        labels = np.array([0, 1, 1, 1])
+        weights = kamiran_calders_weights(groups, labels)
+        table = reweighting_by_group(groups, labels)
+        for g, y, w in zip(groups, labels, weights):
+            assert table[(g, y)] == pytest.approx(w)

@@ -1,0 +1,90 @@
+"""End-to-end integration tests exercising the public package API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    DatasetConfig,
+    FairKDTreePartitioner,
+    GridConfig,
+    IterativeFairKDTreePartitioner,
+    MedianKDTreePartitioner,
+    ModelConfig,
+    RedistrictingPipeline,
+    act_task,
+    employment_task,
+    load_edgap_city,
+    quick_fair_partition,
+)
+from repro.fairness import expected_neighborhood_calibration_error
+from repro.ml.model_selection import factory_for
+
+
+class TestQuickstart:
+    def test_quick_fair_partition_runs(self):
+        result = quick_fair_partition(city="houston", height=4, grid_rows=16, grid_cols=16)
+        assert result.method == "fair_kdtree"
+        assert 1 <= result.n_neighborhoods <= 16
+        assert 0.0 <= result.test_metrics.ence <= 1.0
+
+    def test_quick_fair_partition_model_choice(self):
+        result = quick_fair_partition(
+            city="los_angeles", height=3, model_kind="naive_bayes", grid_rows=16, grid_cols=16
+        )
+        assert result.test_metrics.accuracy > 0.5
+
+
+class TestFullWorkflow:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        config = DatasetConfig(
+            city="los_angeles", n_records=400, grid=GridConfig(24, 24), seed=11
+        )
+        dataset = load_edgap_city(config)
+        factory = factory_for(ModelConfig(kind="logistic_regression", max_iter=150))
+        pipeline = RedistrictingPipeline(factory, test_fraction=0.3, seed=2)
+        return dataset, pipeline
+
+    def test_three_methods_ence_ordering(self, setting):
+        """Headline reproduction: iterative <= fair < median on training ENCE."""
+        dataset, pipeline = setting
+        median = pipeline.run(dataset, act_task(), MedianKDTreePartitioner(height=5))
+        fair = pipeline.run(dataset, act_task(), FairKDTreePartitioner(height=5))
+        iterative = pipeline.run(dataset, act_task(), IterativeFairKDTreePartitioner(height=5))
+        assert fair.train_metrics.ence < median.train_metrics.ence
+        assert iterative.train_metrics.ence <= fair.train_metrics.ence * 1.5
+        assert fair.test_metrics.ence < median.test_metrics.ence * 1.2
+
+    def test_ence_grows_with_height_for_fixed_method(self, setting):
+        """Theorem 2's practical consequence: finer partitions cannot improve ENCE
+        when the scores come from the same model family."""
+        dataset, pipeline = setting
+        coarse = pipeline.run(dataset, act_task(), MedianKDTreePartitioner(height=2))
+        fine = pipeline.run(dataset, act_task(), MedianKDTreePartitioner(height=6))
+        assert fine.train_metrics.ence >= coarse.train_metrics.ence * 0.8
+
+    def test_employment_task_also_supported(self, setting):
+        dataset, pipeline = setting
+        result = pipeline.run(dataset, employment_task(), FairKDTreePartitioner(height=4))
+        assert 0.0 <= result.test_metrics.ence <= 1.0
+
+    def test_partition_usable_for_manual_ence(self, setting):
+        """The partition returned by the pipeline can be fed to the metric directly."""
+        dataset, pipeline = setting
+        result = pipeline.run(dataset, act_task(), FairKDTreePartitioner(height=4))
+        labels = act_task().labels(dataset)
+        assignment = result.partition.assign(dataset.cell_rows, dataset.cell_cols)
+        scores = np.full(dataset.n_records, labels.mean())
+        value = expected_neighborhood_calibration_error(scores, labels, assignment)
+        assert 0.0 <= value <= 1.0
+
+
+class TestPackageSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_paper_constants_exposed(self):
+        assert repro.PAPER_ACT_THRESHOLD == 22.0
+        assert repro.PAPER_ECE_BINS == 15

@@ -1,0 +1,107 @@
+"""Unit tests for the classifier base class contract."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, TrainingError
+from repro.ml.base import Classifier, check_fitted
+
+
+class ConstantClassifier(Classifier):
+    """Minimal concrete classifier used to test the shared contract."""
+
+    def __init__(self, constant: float = 0.5):
+        super().__init__()
+        self._constant = constant
+
+    def _fit(self, features, labels, sample_weight):
+        self._constant = float(np.average(labels, weights=sample_weight))
+
+    def _predict_proba(self, features):
+        return np.full(features.shape[0], self._constant)
+
+
+@pytest.fixture()
+def xy():
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(50, 3))
+    labels = (rng.uniform(size=50) < 0.3).astype(int)
+    return features, labels
+
+
+class TestFitContract:
+    def test_fit_returns_self(self, xy):
+        model = ConstantClassifier()
+        assert model.fit(*xy) is model
+        assert model.is_fitted
+        assert model.n_features == 3
+
+    def test_weighted_fit_changes_estimate(self, xy):
+        features, labels = xy
+        weights = np.where(labels == 1, 10.0, 1.0)
+        unweighted = ConstantClassifier().fit(features, labels)
+        weighted = ConstantClassifier().fit(features, labels, sample_weight=weights)
+        assert weighted._constant > unweighted._constant
+
+    def test_non_binary_labels_raise(self, xy):
+        features, _ = xy
+        with pytest.raises(TrainingError):
+            ConstantClassifier().fit(features, np.full(50, 2))
+
+    def test_label_shape_mismatch_raises(self, xy):
+        features, labels = xy
+        with pytest.raises(TrainingError):
+            ConstantClassifier().fit(features, labels[:-1])
+
+    def test_1d_features_raise(self, xy):
+        _, labels = xy
+        with pytest.raises(TrainingError):
+            ConstantClassifier().fit(np.zeros(50), labels)
+
+    def test_negative_weights_raise(self, xy):
+        features, labels = xy
+        with pytest.raises(TrainingError):
+            ConstantClassifier().fit(features, labels, sample_weight=np.full(50, -1.0))
+
+    def test_zero_total_weight_raises(self, xy):
+        features, labels = xy
+        with pytest.raises(TrainingError):
+            ConstantClassifier().fit(features, labels, sample_weight=np.zeros(50))
+
+    def test_weight_shape_mismatch_raises(self, xy):
+        features, labels = xy
+        with pytest.raises(TrainingError):
+            ConstantClassifier().fit(features, labels, sample_weight=np.ones(10))
+
+
+class TestPredictContract:
+    def test_predict_before_fit_raises(self, xy):
+        features, _ = xy
+        with pytest.raises(NotFittedError):
+            ConstantClassifier().predict_proba(features)
+
+    def test_predict_proba_clipped_to_unit_interval(self, xy):
+        features, labels = xy
+        model = ConstantClassifier().fit(features, labels)
+        scores = model.predict_proba(features)
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_predict_threshold(self, xy):
+        features, labels = xy
+        model = ConstantClassifier().fit(features, labels)
+        rate = labels.mean()
+        assert np.all(model.predict(features, threshold=rate + 0.01) == 0)
+        assert np.all(model.predict(features, threshold=rate - 0.01) == 1)
+
+    def test_wrong_feature_width_raises(self, xy):
+        features, labels = xy
+        model = ConstantClassifier().fit(features, labels)
+        with pytest.raises(NotFittedError):
+            model.predict_proba(features[:, :2])
+
+    def test_check_fitted_helper(self, xy):
+        model = ConstantClassifier()
+        with pytest.raises(NotFittedError):
+            check_fitted(model)
+        model.fit(*xy)
+        check_fitted(model)

@@ -1,0 +1,107 @@
+"""Hypothesis property tests for metrics and calibration utilities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.calibration import (
+    expected_calibration_error,
+    miscalibration,
+    reliability_bins,
+)
+from repro.ml.metrics import accuracy_score, confusion_matrix, f1_score, roc_auc_score
+
+sizes = st.integers(min_value=1, max_value=200)
+
+
+@st.composite
+def scores_and_labels(draw):
+    n = draw(sizes)
+    scores = draw(
+        hnp.arrays(
+            dtype=float,
+            shape=n,
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        )
+    )
+    labels = draw(hnp.arrays(dtype=int, shape=n, elements=st.integers(0, 1)))
+    return scores, labels
+
+
+@st.composite
+def prediction_pairs(draw):
+    n = draw(sizes)
+    y_true = draw(hnp.arrays(dtype=int, shape=n, elements=st.integers(0, 1)))
+    y_pred = draw(hnp.arrays(dtype=int, shape=n, elements=st.integers(0, 1)))
+    return y_true, y_pred
+
+
+class TestMetricProperties:
+    @given(prediction_pairs())
+    def test_accuracy_in_unit_interval(self, pair):
+        y_true, y_pred = pair
+        assert 0.0 <= accuracy_score(y_true, y_pred) <= 1.0
+
+    @given(prediction_pairs())
+    def test_accuracy_from_confusion_matrix(self, pair):
+        y_true, y_pred = pair
+        matrix = confusion_matrix(y_true, y_pred)
+        assert accuracy_score(y_true, y_pred) == (matrix[0, 0] + matrix[1, 1]) / matrix.sum()
+
+    @given(prediction_pairs())
+    def test_f1_in_unit_interval(self, pair):
+        y_true, y_pred = pair
+        assert 0.0 <= f1_score(y_true, y_pred) <= 1.0
+
+    @given(scores_and_labels())
+    def test_auc_in_unit_interval(self, data):
+        scores, labels = data
+        assert 0.0 <= roc_auc_score(labels, scores) <= 1.0
+
+    @given(scores_and_labels())
+    def test_auc_symmetry_under_label_flip(self, data):
+        scores, labels = data
+        if len(np.unique(labels)) < 2:
+            return
+        auc = roc_auc_score(labels, scores)
+        flipped = roc_auc_score(1 - labels, scores)
+        assert abs((auc + flipped) - 1.0) < 1e-9
+
+
+class TestCalibrationProperties:
+    @given(scores_and_labels())
+    def test_miscalibration_bounded(self, data):
+        scores, labels = data
+        assert 0.0 <= miscalibration(scores, labels) <= 1.0
+
+    @given(scores_and_labels(), st.integers(min_value=1, max_value=30))
+    def test_ece_bounded(self, data, n_bins):
+        scores, labels = data
+        assert 0.0 <= expected_calibration_error(scores, labels, n_bins) <= 1.0
+
+    @given(scores_and_labels(), st.integers(min_value=1, max_value=30))
+    def test_ece_lower_bounded_by_overall_miscalibration(self, data, n_bins):
+        """Binning refines the trivial single-bin partition, so ECE >= |e - o|.
+
+        This is the same triangle-inequality argument as the paper's Theorem 1,
+        applied to score bins instead of neighborhoods.
+        """
+        scores, labels = data
+        assert (
+            expected_calibration_error(scores, labels, n_bins)
+            >= miscalibration(scores, labels) - 1e-9
+        )
+
+    @given(scores_and_labels(), st.integers(min_value=1, max_value=30))
+    def test_reliability_bins_population_preserved(self, data, n_bins):
+        scores, labels = data
+        bins = reliability_bins(scores, labels, n_bins)
+        assert sum(b.count for b in bins) == scores.size
+
+    @settings(max_examples=50)
+    @given(scores_and_labels())
+    def test_ece_of_labels_as_scores_is_zero(self, data):
+        _, labels = data
+        scores = labels.astype(float)
+        assert expected_calibration_error(scores, labels, 10) < 1e-9

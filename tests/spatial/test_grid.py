@@ -1,0 +1,141 @@
+"""Unit tests for the base grid."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GridError
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import Grid, GridCell, counts_per_cell
+
+
+class TestGridConstruction:
+    def test_shape_and_cell_count(self):
+        grid = Grid(4, 8)
+        assert grid.shape == (4, 8)
+        assert grid.n_cells == 32
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(GridError):
+            Grid(0, 5)
+        with pytest.raises(GridError):
+            Grid(5, -1)
+
+    def test_zero_area_bounds_raise(self):
+        with pytest.raises(GridError):
+            Grid(2, 2, BoundingBox(0, 0, 0, 1))
+
+    def test_cell_sizes(self):
+        grid = Grid(4, 5, BoundingBox(0, 0, 10, 8))
+        assert grid.cell_width == pytest.approx(2.0)
+        assert grid.cell_height == pytest.approx(2.0)
+
+    def test_equality_and_hash(self):
+        assert Grid(4, 4) == Grid(4, 4)
+        assert Grid(4, 4) != Grid(4, 5)
+        assert len({Grid(4, 4), Grid(4, 4)}) == 1
+
+
+class TestCellIds:
+    def test_roundtrip(self):
+        grid = Grid(6, 7)
+        for row in range(6):
+            for col in range(7):
+                cell_id = grid.cell_id(row, col)
+                assert grid.cell_from_id(cell_id) == GridCell(row, col)
+
+    def test_cell_ids_are_unique(self):
+        grid = Grid(5, 9)
+        ids = {grid.cell_id(c.row, c.col) for c in grid.cells()}
+        assert len(ids) == grid.n_cells
+
+    def test_out_of_range_raises(self):
+        grid = Grid(3, 3)
+        with pytest.raises(GridError):
+            grid.cell_id(3, 0)
+        with pytest.raises(GridError):
+            grid.cell_from_id(9)
+
+
+class TestLocate:
+    def test_locate_interior_point(self):
+        grid = Grid(4, 4)
+        assert grid.locate(Point(0.1, 0.1)) == GridCell(0, 0)
+        assert grid.locate(Point(0.9, 0.9)) == GridCell(3, 3)
+
+    def test_locate_boundary_clamps_to_last_cell(self):
+        grid = Grid(4, 4)
+        assert grid.locate(Point(1.0, 1.0)) == GridCell(3, 3)
+
+    def test_locate_outside_raises(self):
+        grid = Grid(4, 4)
+        with pytest.raises(GridError):
+            grid.locate(Point(1.5, 0.5))
+
+    def test_locate_many_matches_scalar(self):
+        grid = Grid(8, 8)
+        rng = np.random.default_rng(0)
+        xs = rng.uniform(0, 1, 50)
+        ys = rng.uniform(0, 1, 50)
+        rows, cols = grid.locate_many(xs, ys)
+        for x, y, r, c in zip(xs, ys, rows, cols):
+            assert grid.locate(Point(x, y)) == GridCell(int(r), int(c))
+
+    def test_locate_many_shape_mismatch_raises(self):
+        grid = Grid(4, 4)
+        with pytest.raises(GridError):
+            grid.locate_many(np.zeros(3), np.zeros(4))
+
+    def test_locate_many_out_of_bounds_raises(self):
+        grid = Grid(4, 4)
+        with pytest.raises(GridError):
+            grid.locate_many(np.array([0.5, 2.0]), np.array([0.5, 0.5]))
+
+
+class TestCellGeometry:
+    def test_cell_bounds_tile_the_grid(self):
+        grid = Grid(2, 2)
+        total_area = sum(grid.cell_bounds(c.row, c.col).area for c in grid.cells())
+        assert total_area == pytest.approx(grid.bounds.area)
+
+    def test_cell_center_inside_cell(self):
+        grid = Grid(5, 3)
+        for cell in grid.cells():
+            assert grid.cell_bounds(cell.row, cell.col).contains_point(
+                grid.cell_center(cell.row, cell.col)
+            )
+
+    def test_row_slice_bounds(self):
+        grid = Grid(4, 4)
+        block = grid.row_slice_bounds(1, 3, 0, 2)
+        assert block.width == pytest.approx(0.5)
+        assert block.height == pytest.approx(0.5)
+
+    def test_row_slice_bounds_empty_raises(self):
+        grid = Grid(4, 4)
+        with pytest.raises(GridError):
+            grid.row_slice_bounds(2, 2, 0, 1)
+
+
+class TestCountsPerCell:
+    def test_total_preserved(self):
+        grid = Grid(4, 4)
+        rows = np.array([0, 0, 1, 3, 3, 3])
+        cols = np.array([0, 1, 1, 3, 3, 0])
+        counts = counts_per_cell(grid, rows, cols)
+        assert counts.sum() == 6
+        assert counts[3, 3] == 2
+
+    def test_empty_input(self):
+        grid = Grid(4, 4)
+        counts = counts_per_cell(grid, np.array([], dtype=int), np.array([], dtype=int))
+        assert counts.sum() == 0
+
+    def test_out_of_range_raises(self):
+        grid = Grid(2, 2)
+        with pytest.raises(GridError):
+            counts_per_cell(grid, np.array([2]), np.array([0]))
+
+    def test_shape_mismatch_raises(self):
+        grid = Grid(2, 2)
+        with pytest.raises(GridError):
+            counts_per_cell(grid, np.array([0, 1]), np.array([0]))

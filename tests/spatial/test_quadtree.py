@@ -1,0 +1,67 @@
+"""Unit tests for the quadtree partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.grid import Grid
+from repro.spatial.quadtree import QuadTree
+
+
+@pytest.fixture()
+def grid() -> Grid:
+    return Grid(16, 16)
+
+
+@pytest.fixture()
+def points():
+    rng = np.random.default_rng(11)
+    rows = rng.integers(0, 16, 500)
+    cols = rng.integers(0, 16, 500)
+    return rows, cols
+
+
+class TestQuadTree:
+    def test_leaf_partition_complete(self, grid, points):
+        rows, cols = points
+        tree = QuadTree(grid, rows, cols, max_depth=4, max_points=32)
+        partition = tree.leaf_partition()
+        assert partition.is_complete
+
+    def test_max_points_respected_or_depth_reached(self, grid, points):
+        rows, cols = points
+        max_points = 40
+        tree = QuadTree(grid, rows, cols, max_depth=6, max_points=max_points)
+        tree.build()
+        for leaf in tree.root.leaves():
+            count = int(leaf.region.member_mask(rows, cols).sum())
+            assert count <= max_points or leaf.depth == 6 or leaf.region.n_cells == 1
+
+    def test_depth_zero_single_leaf(self, grid, points):
+        rows, cols = points
+        tree = QuadTree(grid, rows, cols, max_depth=0)
+        assert len(tree.leaf_partition()) == 1
+
+    def test_empty_data_single_leaf(self, grid):
+        tree = QuadTree(grid, np.array([], dtype=int), np.array([], dtype=int), max_depth=4)
+        assert len(tree.leaf_partition()) == 1
+
+    def test_depth_reports_max_leaf_depth(self, grid, points):
+        rows, cols = points
+        tree = QuadTree(grid, rows, cols, max_depth=3, max_points=8)
+        assert 1 <= tree.depth() <= 3
+
+    def test_invalid_parameters_raise(self, grid, points):
+        rows, cols = points
+        with pytest.raises(ValueError):
+            QuadTree(grid, rows, cols, max_depth=-1)
+        with pytest.raises(ValueError):
+            QuadTree(grid, rows, cols, max_points=0)
+
+    def test_narrow_grid_splits_along_single_axis(self):
+        grid = Grid(1, 16)
+        rows = np.zeros(200, dtype=int)
+        cols = np.random.default_rng(3).integers(0, 16, 200)
+        tree = QuadTree(grid, rows, cols, max_depth=3, max_points=20)
+        partition = tree.leaf_partition()
+        assert partition.is_complete
+        assert len(partition) > 1

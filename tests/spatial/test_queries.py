@@ -1,0 +1,94 @@
+"""Unit tests for point-location and range queries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import Grid
+from repro.spatial.partition import Partition, uniform_partition
+from repro.spatial.queries import (
+    PartitionLocator,
+    neighbors_of,
+    range_query,
+    region_containing_cell,
+)
+from repro.spatial.region import GridRegion
+
+
+@pytest.fixture()
+def grid() -> Grid:
+    return Grid(8, 8)
+
+
+@pytest.fixture()
+def quarters(grid) -> Partition:
+    return uniform_partition(grid, 2, 2)
+
+
+class TestPartitionLocator:
+    def test_locate_point_matches_partition(self, quarters):
+        locator = PartitionLocator(quarters)
+        index = locator.locate_point(Point(0.1, 0.1))
+        assert quarters.regions[index].contains_cell(0, 0)
+
+    def test_locate_point_uncovered_raises(self, grid):
+        partial = Partition(grid, [GridRegion(grid, 0, 4, 0, 8)], require_complete=False)
+        locator = PartitionLocator(partial)
+        with pytest.raises(PartitionError):
+            locator.locate_point(Point(0.1, 0.9))
+
+    def test_locate_cells_vectorised(self, quarters):
+        locator = PartitionLocator(quarters)
+        result = locator.locate_cells([0, 7], [0, 7])
+        assert result.shape == (2,)
+        assert result[0] != result[1]
+
+    def test_locate_coordinates(self, quarters):
+        locator = PartitionLocator(quarters)
+        xs = np.array([0.1, 0.9])
+        ys = np.array([0.1, 0.9])
+        result = locator.locate_coordinates(xs, ys)
+        assert len(set(result.tolist())) == 2
+
+
+class TestRangeQuery:
+    def test_full_extent_returns_all_regions(self, quarters):
+        assert range_query(quarters, BoundingBox.unit()) == [0, 1, 2, 3]
+
+    def test_small_box_returns_one_region(self, quarters):
+        matches = range_query(quarters, BoundingBox(0.05, 0.05, 0.1, 0.1))
+        assert len(matches) == 1
+
+    def test_boundary_box_touches_multiple(self, quarters):
+        matches = range_query(quarters, BoundingBox(0.45, 0.45, 0.55, 0.55))
+        assert len(matches) == 4
+
+
+class TestRegionContainingCell:
+    def test_found(self, quarters):
+        region = region_containing_cell(quarters, 0, 0)
+        assert region.contains_cell(0, 0)
+
+    def test_uncovered_cell_raises(self, grid):
+        partial = Partition(grid, [GridRegion(grid, 0, 4, 0, 8)], require_complete=False)
+        with pytest.raises(PartitionError):
+            region_containing_cell(partial, 7, 7)
+
+
+class TestNeighborsOf:
+    def test_quarters_all_adjacent(self, quarters):
+        for index in range(4):
+            assert sorted(neighbors_of(quarters, index)) == sorted(
+                i for i in range(4) if i != index
+            )
+
+    def test_strip_partition_chain_adjacency(self, grid):
+        strips = uniform_partition(grid, 4, 1)
+        assert neighbors_of(strips, 0) == [1]
+        assert sorted(neighbors_of(strips, 1)) == [0, 2]
+        assert sorted(neighbors_of(strips, 3)) == [2]
+
+    def test_invalid_index_raises(self, quarters):
+        with pytest.raises(PartitionError):
+            neighbors_of(quarters, 10)

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, run
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["ence", "--heights", "3", "5"])
+        assert args.experiment == "ence"
+        assert args.heights == [3, 5]
+
+    def test_invalid_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["nonexistent"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["timing"])
+        assert args.model == "logistic_regression"
+        assert args.grid == 32
+        assert args.output is None
+
+    def test_catalogue_covers_all_paper_figures(self):
+        assert set(EXPERIMENTS) == {
+            "disparity", "ence", "utility", "features", "multi-objective", "timing", "compare"
+        }
+
+
+class TestRun:
+    def test_list_command(self, capsys):
+        assert run(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_timing_command_small(self, capsys):
+        code = run([
+            "timing", "--cities", "los_angeles", "--heights", "3",
+            "--grid", "16", "--seed", "3",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fair_kdtree" in output
+        assert "iterative_fair_kdtree" in output
+
+    def test_ence_command_writes_csv(self, tmp_path, capsys):
+        target = tmp_path / "ence.csv"
+        code = run([
+            "ence", "--cities", "los_angeles", "--heights", "3",
+            "--grid", "16", "--output", str(target),
+        ])
+        assert code == 0
+        assert target.exists()
+        text = target.read_text()
+        assert "fair_kdtree" in text
+        assert "ence_test" in text.splitlines()[0]
+
+    def test_disparity_command(self, capsys, tmp_path):
+        target = tmp_path / "disparity.csv"
+        code = run([
+            "disparity", "--cities", "houston", "--grid", "16",
+            "--output", str(target),
+        ])
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out
+        assert target.exists()
+
+    def test_compare_command(self, capsys, tmp_path):
+        target = tmp_path / "compare.csv"
+        code = run([
+            "compare", "--cities", "los_angeles", "--heights", "4",
+            "--grid", "16", "--output", str(target),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Fairness report" in output
+        assert "ENCE improvement" in output
+        assert "fair_kdtree" in output
+        # The ASCII map of the fair partition is included.
+        assert "one letter per neighborhood" in output
+        assert target.exists()
+        assert "statistical_parity" in target.read_text().splitlines()[0]

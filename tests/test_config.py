@@ -1,0 +1,116 @@
+"""Unit tests for configuration objects and package-level constants."""
+
+import pytest
+
+import repro
+from repro.config import (
+    DatasetConfig,
+    ExperimentConfig,
+    GridConfig,
+    ModelConfig,
+    PartitionerConfig,
+    PAPER_ACT_THRESHOLD,
+    PAPER_ECE_BINS,
+    PAPER_EMPLOYMENT_THRESHOLD,
+    PAPER_HEIGHTS,
+    PAPER_MULTI_OBJECTIVE_HEIGHTS,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestPaperConstants:
+    def test_thresholds_match_paper(self):
+        assert PAPER_ACT_THRESHOLD == 22.0
+        assert PAPER_EMPLOYMENT_THRESHOLD == 10.0
+
+    def test_ece_bins_match_paper(self):
+        assert PAPER_ECE_BINS == 15
+
+    def test_height_sweeps_match_paper(self):
+        assert PAPER_HEIGHTS == (4, 5, 6, 7, 8, 9, 10)
+        assert PAPER_MULTI_OBJECTIVE_HEIGHTS == (4, 6, 8, 10)
+
+    def test_package_exports_version(self):
+        assert repro.__version__
+
+
+class TestGridConfig:
+    def test_shape_and_cells(self):
+        config = GridConfig(rows=10, cols=20)
+        assert config.shape == (10, 20)
+        assert config.n_cells == 200
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ConfigurationError):
+            GridConfig(rows=0, cols=5)
+
+
+class TestDatasetConfig:
+    def test_defaults(self):
+        config = DatasetConfig()
+        assert config.city == "los_angeles"
+        assert config.n_records == 1153
+
+    def test_with_seed_returns_new_config(self):
+        config = DatasetConfig()
+        other = config.with_seed(99)
+        assert other.seed == 99
+        assert config.seed != 99
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(n_records=0)
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(city="")
+
+
+class TestModelConfig:
+    def test_valid_kinds(self):
+        for kind in ("logistic_regression", "decision_tree", "naive_bayes"):
+            assert ModelConfig(kind=kind).kind == kind
+
+    def test_invalid_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(kind="svm")
+
+    def test_invalid_hyperparameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(max_iter=0)
+        with pytest.raises(ConfigurationError):
+            ModelConfig(learning_rate=0.0)
+
+
+class TestPartitionerConfig:
+    def test_valid_methods(self):
+        config = PartitionerConfig(method="fair_kdtree", height=6)
+        assert config.height == 6
+
+    def test_invalid_method_raises(self):
+        with pytest.raises(ConfigurationError):
+            PartitionerConfig(method="rtree")
+
+    def test_negative_height_raises(self):
+        with pytest.raises(ConfigurationError):
+            PartitionerConfig(height=-1)
+
+    def test_alpha_must_sum_to_one(self):
+        PartitionerConfig(method="multi_objective_fair_kdtree", alpha=(0.5, 0.5))
+        with pytest.raises(ConfigurationError):
+            PartitionerConfig(method="multi_objective_fair_kdtree", alpha=(0.5, 0.6))
+
+
+class TestExperimentConfig:
+    def test_valid_configuration(self):
+        config = ExperimentConfig(name="fig7", dataset=DatasetConfig())
+        assert config.heights == PAPER_HEIGHTS
+        assert 0 < config.test_fraction < 1
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(name="", dataset=DatasetConfig())
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(name="x", dataset=DatasetConfig(), test_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(name="x", dataset=DatasetConfig(), ece_bins=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(name="x", dataset=DatasetConfig(), heights=(4, -1))

@@ -1,0 +1,98 @@
+"""Unit tests for partition / result serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.io.export import (
+    partition_from_dict,
+    partition_to_dict,
+    partition_to_geojson,
+    rows_to_csv,
+    save_json,
+    save_rows_csv,
+)
+from repro.spatial.grid import Grid
+from repro.spatial.partition import uniform_partition
+
+
+@pytest.fixture()
+def quarters():
+    return uniform_partition(Grid(8, 8), 2, 2)
+
+
+class TestPartitionRoundTrip:
+    def test_dict_roundtrip_preserves_regions(self, quarters):
+        payload = partition_to_dict(quarters)
+        restored = partition_from_dict(payload)
+        assert len(restored) == len(quarters)
+        assert [r.bounds for r in restored.regions] == [r.bounds for r in quarters.regions]
+
+    def test_dict_is_json_serialisable(self, quarters):
+        text = json.dumps(partition_to_dict(quarters))
+        restored = partition_from_dict(json.loads(text))
+        assert restored.is_complete
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(PartitionError):
+            partition_from_dict({"grid": {"rows": 4}})
+
+    def test_roundtrip_preserves_assignments(self, quarters):
+        restored = partition_from_dict(partition_to_dict(quarters))
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 8, 50)
+        cols = rng.integers(0, 8, 50)
+        np.testing.assert_array_equal(restored.assign(rows, cols), quarters.assign(rows, cols))
+
+
+class TestGeoJson:
+    def test_feature_collection_structure(self, quarters):
+        geojson = partition_to_geojson(quarters)
+        assert geojson["type"] == "FeatureCollection"
+        assert len(geojson["features"]) == 4
+        feature = geojson["features"][0]
+        assert feature["geometry"]["type"] == "Polygon"
+        ring = feature["geometry"]["coordinates"][0]
+        assert ring[0] == ring[-1]  # closed ring
+        assert len(ring) == 5
+
+    def test_properties_attached(self, quarters):
+        properties = [{"ence": 0.1 * i} for i in range(4)]
+        geojson = partition_to_geojson(quarters, properties)
+        assert geojson["features"][2]["properties"]["ence"] == pytest.approx(0.2)
+        assert geojson["features"][2]["properties"]["neighborhood"] == 2
+
+    def test_property_count_mismatch_raises(self, quarters):
+        with pytest.raises(PartitionError):
+            partition_to_geojson(quarters, [{}])
+
+    def test_geojson_is_json_serialisable(self, quarters):
+        json.dumps(partition_to_geojson(quarters))
+
+
+class TestRowExports:
+    def test_rows_to_csv_header_and_rows(self):
+        rows = [{"method": "fair", "ence": 0.1}, {"method": "median", "ence": 0.2}]
+        text = rows_to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "method,ence"
+        assert len(lines) == 3
+
+    def test_rows_with_heterogeneous_keys(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = rows_to_csv(rows)
+        assert text.splitlines()[0] == "a,b"
+
+    def test_empty_rows_give_empty_text(self):
+        assert rows_to_csv([]) == ""
+
+    def test_save_rows_csv_creates_file(self, tmp_path):
+        path = save_rows_csv([{"x": 1}], tmp_path / "out" / "rows.csv")
+        assert path.exists()
+        assert "x" in path.read_text()
+
+    def test_save_json_creates_file(self, tmp_path):
+        path = save_json({"a": [1, 2]}, tmp_path / "payload.json")
+        assert json.loads(path.read_text()) == {"a": [1, 2]}
