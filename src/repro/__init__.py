@@ -35,6 +35,8 @@ from .config import (
     PAPER_MULTI_OBJECTIVE_HEIGHTS,
 )
 from .core import (
+    DEFAULT_SPLIT_ENGINE,
+    SPLIT_ENGINES,
     FairKDTreePartitioner,
     FairQuadTreePartitioner,
     GridReweightingPartitioner,
@@ -43,6 +45,7 @@ from .core import (
     MultiObjectiveFairKDTreePartitioner,
     PipelineResult,
     RedistrictingPipeline,
+    make_split_engine,
 )
 from .datasets import act_task, employment_task, load_edgap_city
 from .datasets.edgap import city_model
@@ -74,6 +77,9 @@ __all__ = [
     "GridReweightingPartitioner",
     "RedistrictingPipeline",
     "PipelineResult",
+    "make_split_engine",
+    "SPLIT_ENGINES",
+    "DEFAULT_SPLIT_ENGINE",
     "load_edgap_city",
     "act_task",
     "employment_task",

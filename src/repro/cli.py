@@ -25,6 +25,7 @@ import numpy as np
 
 from .core.base import train_scores_on_dataset
 from .core.results import comparisons_to_rows
+from .core.split_engine import DEFAULT_SPLIT_ENGINE, SPLIT_ENGINES
 from .datasets.labels import act_task
 from .experiments.disparity import run_disparity_experiment
 from .experiments.ence_sweep import run_ence_sweep
@@ -68,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="classifier family",
     )
     parser.add_argument("--grid", type=int, default=32, help="base grid resolution (grid x grid)")
+    parser.add_argument(
+        "--split-engine",
+        default=DEFAULT_SPLIT_ENGINE,
+        choices=SPLIT_ENGINES,
+        help="how tree builders compute split statistics (prefix_sum: cumulative "
+        "tables built once per tree; record_scan: legacy per-node record scan)",
+    )
     parser.add_argument("--seed", type=int, default=11, help="evaluation seed")
     parser.add_argument("--output", default=None, help="optional CSV output path")
     parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
@@ -82,6 +90,7 @@ def _context(args: argparse.Namespace):
         grid_rows=args.grid,
         grid_cols=args.grid,
         seed=args.seed,
+        split_engine=args.split_engine,
     )
 
 
@@ -122,7 +131,7 @@ def _run_compare(context, args: argparse.Namespace) -> List[dict]:
     assignments = {}
     fair_partition = None
     for method in ("median_kdtree", "fair_kdtree", "iterative_fair_kdtree", "grid_reweighting"):
-        partitioner = build_partitioner(method, height)
+        partitioner = build_partitioner(method, height, split_engine=context.split_engine)
         output = partitioner.build(dataset, labels, factory)
         assignments[method] = output.partition.assign(dataset.cell_rows, dataset.cell_cols)
         if method == "fair_kdtree":

@@ -28,6 +28,29 @@ PAPER_ACT_THRESHOLD = 22.0
 #: Family-employment threshold (percent) for the second task (Section 5.4).
 PAPER_EMPLOYMENT_THRESHOLD = 10.0
 
+#: Registered split-statistics engines, in preference order.  This is the
+#: canonical registry: ``repro.core.split_engine`` re-exports it, and every
+#: layer (config validation, CLI choices, ``MedianKDTree``) validates
+#: against this tuple so adding an engine means editing one place.
+SPLIT_ENGINES: Tuple[str, ...] = ("prefix_sum", "record_scan")
+
+#: Engine used when callers do not ask for a specific one.
+DEFAULT_SPLIT_ENGINE = "prefix_sum"
+
+
+def validate_split_engine(kind: str) -> str:
+    """Return ``kind`` if it names a registered split engine, else raise.
+
+    Lives next to the registry so every consumer — partitioner
+    constructors in :mod:`repro.core` and :class:`repro.spatial.kdtree.MedianKDTree`
+    alike — validates against the same set of names.
+    """
+    if kind not in SPLIT_ENGINES:
+        raise ConfigurationError(
+            f"unknown split engine {kind!r}; available: {SPLIT_ENGINES}"
+        )
+    return kind
+
 
 @dataclass(frozen=True)
 class GridConfig:
@@ -100,12 +123,19 @@ class ModelConfig:
 
 @dataclass(frozen=True)
 class PartitionerConfig:
-    """Configuration of a spatial partitioner run."""
+    """Configuration of a spatial partitioner run.
+
+    ``split_engine`` selects how tree builders compute per-node split
+    statistics: ``"prefix_sum"`` (default) uses cumulative-sum tables built
+    once per tree, ``"record_scan"`` re-scans the record arrays per node
+    (the original, slower reference path).
+    """
 
     method: str = "fair_kdtree"
     height: int = 6
     alpha: Tuple[float, ...] = (1.0,)
     objective: str = "balance"
+    split_engine: str = "prefix_sum"
 
     _VALID_METHODS = (
         "fair_kdtree",
@@ -127,6 +157,11 @@ class PartitionerConfig:
         if self.alpha and abs(total - 1.0) > 1e-9:
             raise ConfigurationError(
                 f"alpha weights must sum to 1, got {self.alpha} (sum={total})"
+            )
+        if self.split_engine not in SPLIT_ENGINES:
+            raise ConfigurationError(
+                f"unknown split engine {self.split_engine!r}; "
+                f"expected one of {SPLIT_ENGINES}"
             )
 
 

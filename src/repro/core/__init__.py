@@ -14,6 +14,9 @@ partitioner interface:
 * :class:`~repro.core.pipeline.RedistrictingPipeline` — the end-to-end
   train -> partition -> re-district -> retrain -> evaluate loop shared by all
   experiments.
+* :mod:`~repro.core.split_engine` — pluggable split-statistics engines; the
+  default prefix-sum engine turns every candidate-split evaluation into
+  constant-time cumulative-table reads.
 """
 
 from .base import PartitionerOutput, SpatialPartitioner
@@ -26,7 +29,15 @@ from .multi_objective import MultiObjectiveFairKDTreePartitioner
 from .objective import SplitScorer, available_objectives
 from .pipeline import PipelineResult, RedistrictingPipeline
 from .results import EvaluationMetrics, MethodComparison
-from .split import SplitDecision, split_neighborhood
+from .split import SplitDecision, best_axis_split, split_neighborhood
+from .split_engine import (
+    DEFAULT_SPLIT_ENGINE,
+    SPLIT_ENGINES,
+    PrefixSumEngine,
+    RecordScanEngine,
+    SplitEngine,
+    make_split_engine,
+)
 
 __all__ = [
     "SpatialPartitioner",
@@ -41,6 +52,13 @@ __all__ = [
     "available_objectives",
     "SplitDecision",
     "split_neighborhood",
+    "best_axis_split",
+    "SplitEngine",
+    "PrefixSumEngine",
+    "RecordScanEngine",
+    "make_split_engine",
+    "SPLIT_ENGINES",
+    "DEFAULT_SPLIT_ENGINE",
     "RedistrictingPipeline",
     "PipelineResult",
     "EvaluationMetrics",

@@ -27,6 +27,12 @@ from ..spatial.region import GridRegion
 from .base import PartitionerOutput, SpatialPartitioner, train_scores_on_dataset
 from .objective import SplitScorer, make_scorer
 from .split import best_axis_split
+from .split_engine import (
+    DEFAULT_SPLIT_ENGINE,
+    SplitEngine,
+    make_split_engine,
+    validate_split_engine,
+)
 
 
 class FairKDTreePartitioner(SpatialPartitioner):
@@ -43,6 +49,11 @@ class FairKDTreePartitioner(SpatialPartitioner):
         Optional lower bound on the number of training records per leaf; a
         split producing a smaller side is rejected (the node stays a leaf).
         The paper does not bound leaf sizes, so the default is 0.
+    split_engine:
+        How per-node split statistics are computed: ``"prefix_sum"`` (default)
+        builds cumulative-sum tables once per tree, ``"record_scan"`` re-scans
+        the record arrays at every node (the original, slower path, kept for
+        equivalence testing).
     """
 
     name = "fair_kdtree"
@@ -52,6 +63,7 @@ class FairKDTreePartitioner(SpatialPartitioner):
         height: int,
         objective: str = "balance",
         min_records_per_leaf: int = 0,
+        split_engine: str = DEFAULT_SPLIT_ENGINE,
     ) -> None:
         if height < 0:
             raise ConfigurationError(f"height must be non-negative, got {height}")
@@ -60,11 +72,17 @@ class FairKDTreePartitioner(SpatialPartitioner):
         self._height = int(height)
         self._scorer: SplitScorer = make_scorer(objective)
         self._min_records = int(min_records_per_leaf)
+        self._split_engine = validate_split_engine(split_engine)
         self._root: Optional[KDNode] = None
 
     @property
     def height(self) -> int:
         return self._height
+
+    @property
+    def split_engine(self) -> str:
+        """Name of the engine used to compute split statistics."""
+        return self._split_engine
 
     @property
     def root(self) -> Optional[KDNode]:
@@ -89,6 +107,7 @@ class FairKDTreePartitioner(SpatialPartitioner):
                 "method": self.name,
                 "height": self._height,
                 "objective": self._scorer.name,
+                "split_engine": self._split_engine,
                 "n_model_trainings": 1,
                 "initial_model": type(model).__name__,
             },
@@ -105,30 +124,23 @@ class FairKDTreePartitioner(SpatialPartitioner):
         residuals = np.asarray(residuals, dtype=float)
         if residuals.shape != (dataset.n_records,):
             raise ConfigurationError("residuals must match the dataset's record count")
-        self._root = self._build_node(
-            GridRegion.full(dataset.grid),
+        engine = make_split_engine(
+            self._split_engine,
+            dataset.grid,
             dataset.cell_rows,
             dataset.cell_cols,
             residuals,
-            depth=0,
         )
+        self._root = self._build_node(GridRegion.full(dataset.grid), engine, depth=0)
         regions = [leaf.region for leaf in self._root.leaves()]
         return Partition(dataset.grid, regions)
 
-    def _build_node(
-        self,
-        region: GridRegion,
-        cell_rows: np.ndarray,
-        cell_cols: np.ndarray,
-        residuals: np.ndarray,
-        depth: int,
-    ) -> KDNode:
+    def _build_node(self, region: GridRegion, engine: SplitEngine, depth: int) -> KDNode:
         node = KDNode(region=region, depth=depth)
         if depth >= self._height:
             return node
         decision = best_axis_split(
-            region, cell_rows, cell_cols, residuals, preferred_axis=depth % 2,
-            scorer=self._scorer,
+            region, preferred_axis=depth % 2, scorer=self._scorer, engine=engine
         )
         if decision is None:
             return node
@@ -137,8 +149,8 @@ class FairKDTreePartitioner(SpatialPartitioner):
         node.axis = decision.axis
         node.split_index = decision.index
         node.metadata["objective_score"] = decision.score
-        node.left = self._build_node(decision.left, cell_rows, cell_cols, residuals, depth + 1)
-        node.right = self._build_node(decision.right, cell_rows, cell_cols, residuals, depth + 1)
+        node.left = self._build_node(decision.left, engine, depth + 1)
+        node.right = self._build_node(decision.right, engine, depth + 1)
         return node
 
     def leaf_regions(self) -> List[GridRegion]:

@@ -26,6 +26,12 @@ from ..spatial.region import GridRegion
 from .base import PartitionerOutput, SpatialPartitioner, train_scores_on_dataset
 from .objective import SplitScorer, make_scorer
 from .split import split_neighborhood
+from .split_engine import (
+    DEFAULT_SPLIT_ENGINE,
+    SplitEngine,
+    make_split_engine,
+    validate_split_engine,
+)
 
 
 @dataclass
@@ -61,6 +67,9 @@ class FairQuadTreePartitioner(SpatialPartitioner):
     min_records_per_child:
         Optional lower bound on the records in each child; a quadrant split
         producing a smaller child is rejected (the node stays a leaf).
+    split_engine:
+        ``"prefix_sum"`` (default) or ``"record_scan"``; see
+        :mod:`repro.core.split_engine`.
     """
 
     name = "fair_quadtree"
@@ -70,6 +79,7 @@ class FairQuadTreePartitioner(SpatialPartitioner):
         depth: int,
         objective: str = "balance",
         min_records_per_child: int = 0,
+        split_engine: str = DEFAULT_SPLIT_ENGINE,
     ) -> None:
         if depth < 0:
             raise ConfigurationError(f"depth must be non-negative, got {depth}")
@@ -78,11 +88,17 @@ class FairQuadTreePartitioner(SpatialPartitioner):
         self._depth = int(depth)
         self._scorer: SplitScorer = make_scorer(objective)
         self._min_records = int(min_records_per_child)
+        self._split_engine = validate_split_engine(split_engine)
         self._root: Optional[FairQuadNode] = None
 
     @property
     def depth(self) -> int:
         return self._depth
+
+    @property
+    def split_engine(self) -> str:
+        """Name of the engine used to compute split statistics."""
+        return self._split_engine
 
     @property
     def root(self) -> Optional[FairQuadNode]:
@@ -107,6 +123,7 @@ class FairQuadTreePartitioner(SpatialPartitioner):
                 "depth": self._depth,
                 "height": self._depth,
                 "objective": self._scorer.name,
+                "split_engine": self._split_engine,
                 "n_model_trainings": 1,
             },
         )
@@ -118,48 +135,37 @@ class FairQuadTreePartitioner(SpatialPartitioner):
         residuals = np.asarray(residuals, dtype=float)
         if residuals.shape != (dataset.n_records,):
             raise ConfigurationError("residuals must match the dataset's record count")
-        self._root = self._build_node(
-            GridRegion.full(dataset.grid),
+        engine = make_split_engine(
+            self._split_engine,
+            dataset.grid,
             dataset.cell_rows,
             dataset.cell_cols,
             residuals,
-            depth=0,
         )
+        self._root = self._build_node(GridRegion.full(dataset.grid), engine, depth=0)
         regions = [leaf.region for leaf in self._root.leaves()]
         return Partition(dataset.grid, regions)
 
     def _build_node(
-        self,
-        region: GridRegion,
-        cell_rows: np.ndarray,
-        cell_cols: np.ndarray,
-        residuals: np.ndarray,
-        depth: int,
+        self, region: GridRegion, engine: SplitEngine, depth: int
     ) -> FairQuadNode:
         node = FairQuadNode(region=region, depth=depth)
         if depth >= self._depth:
             return node
-        children = self._fair_quadrants(region, cell_rows, cell_cols, residuals)
+        children = self._fair_quadrants(region, engine)
         if children is None:
             return node
         if self._min_records:
-            counts = [
-                int(child.member_mask(cell_rows, cell_cols).sum()) for child in children
-            ]
+            counts = [engine.region_count(child) for child in children]
             if min(counts) < self._min_records:
                 return node
         node.children = [
-            self._build_node(child, cell_rows, cell_cols, residuals, depth + 1)
-            for child in children
+            self._build_node(child, engine, depth + 1) for child in children
         ]
         return node
 
     def _fair_quadrants(
-        self,
-        region: GridRegion,
-        cell_rows: np.ndarray,
-        cell_cols: np.ndarray,
-        residuals: np.ndarray,
+        self, region: GridRegion, engine: SplitEngine
     ) -> Optional[List[GridRegion]]:
         """Cut ``region`` into quadrants at the fairest (row, column) indices.
 
@@ -167,10 +173,10 @@ class FairQuadTreePartitioner(SpatialPartitioner):
         ``None`` (leaf) when the region is a single cell.
         """
         row_decision = split_neighborhood(
-            region, cell_rows, cell_cols, residuals, axis=0, scorer=self._scorer
+            region, axis=0, scorer=self._scorer, engine=engine
         )
         col_decision = split_neighborhood(
-            region, cell_rows, cell_cols, residuals, axis=1, scorer=self._scorer
+            region, axis=1, scorer=self._scorer, engine=engine
         )
         if row_decision is None and col_decision is None:
             return None
@@ -181,9 +187,7 @@ class FairQuadTreePartitioner(SpatialPartitioner):
 
         children: List[GridRegion] = []
         for half in (row_decision.left, row_decision.right):
-            sub = split_neighborhood(
-                half, cell_rows, cell_cols, residuals, axis=1, scorer=self._scorer
-            )
+            sub = split_neighborhood(half, axis=1, scorer=self._scorer, engine=engine)
             if sub is None:
                 children.append(half)
             else:

@@ -22,6 +22,7 @@ from ..spatial.region import GridRegion
 from .base import PartitionerOutput, SpatialPartitioner, train_scores_on_dataset
 from .objective import SplitScorer, make_scorer
 from .split import best_axis_split
+from .split_engine import DEFAULT_SPLIT_ENGINE, make_split_engine, validate_split_engine
 
 
 class IterativeFairKDTreePartitioner(SpatialPartitioner):
@@ -36,6 +37,10 @@ class IterativeFairKDTreePartitioner(SpatialPartitioner):
         Split objective name; the paper uses the balance objective (Eq. 9).
     min_records_per_leaf:
         Optional minimum training records per side for a split to be accepted.
+    split_engine:
+        ``"prefix_sum"`` (default) or ``"record_scan"``.  The residuals are
+        refreshed at every level, so the prefix-sum engine rebuilds its
+        tables once per level and serves the whole frontier from them.
     """
 
     name = "iterative_fair_kdtree"
@@ -45,6 +50,7 @@ class IterativeFairKDTreePartitioner(SpatialPartitioner):
         height: int,
         objective: str = "balance",
         min_records_per_leaf: int = 0,
+        split_engine: str = DEFAULT_SPLIT_ENGINE,
     ) -> None:
         if height < 0:
             raise ConfigurationError(f"height must be non-negative, got {height}")
@@ -53,11 +59,17 @@ class IterativeFairKDTreePartitioner(SpatialPartitioner):
         self._height = int(height)
         self._scorer: SplitScorer = make_scorer(objective)
         self._min_records = int(min_records_per_leaf)
+        self._split_engine = validate_split_engine(split_engine)
         self._n_trainings = 0
 
     @property
     def height(self) -> int:
         return self._height
+
+    @property
+    def split_engine(self) -> str:
+        """Name of the engine used to compute split statistics."""
+        return self._split_engine
 
     @property
     def n_model_trainings(self) -> int:
@@ -81,18 +93,16 @@ class IterativeFairKDTreePartitioner(SpatialPartitioner):
             scores, _, _ = train_scores_on_dataset(current, labels, model_factory)
             self._n_trainings += 1
             residuals = scores - labels.astype(float)
+            engine = make_split_engine(
+                self._split_engine, grid, dataset.cell_rows, dataset.cell_cols, residuals
+            )
 
             axis = level % 2
             next_frontier: List[GridRegion] = []
             any_split = False
             for region in frontier:
                 decision = best_axis_split(
-                    region,
-                    dataset.cell_rows,
-                    dataset.cell_cols,
-                    residuals,
-                    preferred_axis=axis,
-                    scorer=self._scorer,
+                    region, preferred_axis=axis, scorer=self._scorer, engine=engine
                 )
                 reject = decision is not None and self._min_records and (
                     min(decision.left_count, decision.right_count) < self._min_records
@@ -113,6 +123,7 @@ class IterativeFairKDTreePartitioner(SpatialPartitioner):
                 "method": self.name,
                 "height": self._height,
                 "objective": self._scorer.name,
+                "split_engine": self._split_engine,
                 "n_model_trainings": self._n_trainings,
             },
         )

@@ -9,6 +9,7 @@ from ..exceptions import ConfigurationError
 from ..ml.model_selection import ModelFactory
 from ..spatial.kdtree import MedianKDTree
 from .base import PartitionerOutput, SpatialPartitioner
+from .split_engine import DEFAULT_SPLIT_ENGINE, validate_split_engine
 
 
 class MedianKDTreePartitioner(SpatialPartitioner):
@@ -21,14 +22,20 @@ class MedianKDTreePartitioner(SpatialPartitioner):
 
     name = "median_kdtree"
 
-    def __init__(self, height: int) -> None:
+    def __init__(self, height: int, split_engine: str = DEFAULT_SPLIT_ENGINE) -> None:
         if height < 0:
             raise ConfigurationError(f"height must be non-negative, got {height}")
         self._height = int(height)
+        self._split_engine = validate_split_engine(split_engine)
 
     @property
     def height(self) -> int:
         return self._height
+
+    @property
+    def split_engine(self) -> str:
+        """Name of the engine used to locate per-node medians."""
+        return self._split_engine
 
     def build(
         self,
@@ -43,6 +50,7 @@ class MedianKDTreePartitioner(SpatialPartitioner):
             cell_rows=dataset.cell_rows,
             cell_cols=dataset.cell_cols,
             max_height=self._height,
+            split_engine=self._split_engine,
         )
         tree.build()
         partition = tree.leaf_partition()
@@ -51,6 +59,7 @@ class MedianKDTreePartitioner(SpatialPartitioner):
             metadata={
                 "method": self.name,
                 "height": self._height,
+                "split_engine": self._split_engine,
                 "n_model_trainings": 0,
             },
         )

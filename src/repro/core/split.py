@@ -5,18 +5,26 @@ Given a rectangular region of the base grid, per-record residuals
 evaluates every possible split index ``k`` along the axis, scores it with a
 :class:`~repro.core.objective.SplitScorer`, and returns the two sub-regions
 of the best split.
+
+The per-line aggregates that drive the scoring come from a
+:class:`~repro.core.split_engine.SplitEngine`.  Tree builders construct one
+engine per build (the prefix-sum engine amortises all record scanning into a
+single binning pass) and pass it down the recursion; callers that only have
+raw record arrays can still invoke the procedure directly and a record-scan
+engine is created on the fly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from ..exceptions import SplitError
 from ..spatial.region import GridRegion
 from .objective import SplitScorer
+from .split_engine import RecordScanEngine, SplitEngine
 
 
 @dataclass(frozen=True)
@@ -33,39 +41,31 @@ class SplitDecision:
     right_count: int
 
 
-def _line_sums(
+def _resolve_engine(
     region: GridRegion,
-    cell_rows: np.ndarray,
-    cell_cols: np.ndarray,
-    residuals: np.ndarray,
-    axis: int,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-line residual sums and record counts along ``axis`` inside ``region``.
-
-    Line ``i`` is the ``i``-th row (axis 0) or column (axis 1) of the region.
-    """
-    mask = region.member_mask(cell_rows, cell_cols)
-    if axis == 0:
-        coords = cell_rows[mask] - region.row_start
-        n_lines = region.n_rows
-    else:
-        coords = cell_cols[mask] - region.col_start
-        n_lines = region.n_cols
-    line_residuals = np.zeros(n_lines, dtype=float)
-    line_counts = np.zeros(n_lines, dtype=float)
-    if coords.size:
-        np.add.at(line_residuals, coords, residuals[mask])
-        np.add.at(line_counts, coords, 1.0)
-    return line_residuals, line_counts
+    cell_rows: Optional[np.ndarray],
+    cell_cols: Optional[np.ndarray],
+    residuals: Optional[np.ndarray],
+    engine: Optional[SplitEngine],
+) -> SplitEngine:
+    """Use the caller's engine, or wrap raw record arrays in a record scan."""
+    if engine is not None:
+        return engine
+    if cell_rows is None or cell_cols is None or residuals is None:
+        raise SplitError(
+            "either a split engine or (cell_rows, cell_cols, residuals) is required"
+        )
+    return RecordScanEngine(region.grid, cell_rows, cell_cols, residuals)
 
 
 def split_neighborhood(
     region: GridRegion,
-    cell_rows: np.ndarray,
-    cell_cols: np.ndarray,
-    residuals: np.ndarray,
-    axis: int,
+    cell_rows: Optional[np.ndarray] = None,
+    cell_cols: Optional[np.ndarray] = None,
+    residuals: Optional[np.ndarray] = None,
+    axis: int = 0,
     scorer: Optional[SplitScorer] = None,
+    engine: Optional[SplitEngine] = None,
 ) -> Optional[SplitDecision]:
     """Find the best split of ``region`` along ``axis`` (Algorithm 2).
 
@@ -75,48 +75,74 @@ def split_neighborhood(
         The neighborhood to split.
     cell_rows, cell_cols:
         Grid-cell coordinates of **all** dataset records (records outside the
-        region are ignored via the region's membership mask).
+        region are ignored).  May be omitted when ``engine`` is given.
     residuals:
         Per-record residuals ``s_u - y_u`` aligned with the coordinate arrays.
+        May be omitted when ``engine`` is given.
     axis:
         0 to split on rows, 1 to split on columns (the paper's transpose).
     scorer:
         Split objective; defaults to the paper's balance objective (Eq. 9).
+    engine:
+        Pre-built :class:`~repro.core.split_engine.SplitEngine` carrying the
+        record statistics; tree builders pass one engine down the whole
+        recursion so record scanning happens at most once per build.
 
     Returns
     -------
     SplitDecision or None
         ``None`` when the region cannot be split along ``axis`` (it spans a
-        single row/column).  Ties between equally-scored candidates are broken
-        toward the most central split index, which avoids degenerate slivers
-        when several candidate splits are equivalent (for example when a side
-        of the region is empty).
+        single row/column).  A region whose candidate lines hold no records
+        at all is split at its geometric centre with score 0 — every
+        candidate is equally (vacuously) fair, and the central cut avoids
+        degenerate slivers while keeping the domain fully covered.  For
+        non-empty regions, ties between equally-scored candidates are broken
+        toward the most central split index for the same reason.
     """
-    cell_rows = np.asarray(cell_rows, dtype=int)
-    cell_cols = np.asarray(cell_cols, dtype=int)
-    residuals = np.asarray(residuals, dtype=float)
-    if cell_rows.shape != cell_cols.shape or cell_rows.shape != residuals.shape:
-        raise SplitError("cell coordinates and residuals must have the same length")
+    engine = _resolve_engine(region, cell_rows, cell_cols, residuals, engine)
     if axis not in (0, 1):
         raise SplitError(f"axis must be 0 or 1, got {axis}")
     if not region.can_split(axis):
         return None
     scorer = scorer or SplitScorer()
 
-    line_residuals, line_counts = _line_sums(region, cell_rows, cell_cols, residuals, axis)
+    line_residuals, line_counts = engine.line_sums(region, axis)
     n_lines = line_residuals.shape[0]
-
-    prefix_residuals = np.cumsum(line_residuals)[:-1]
-    prefix_counts = np.cumsum(line_counts)[:-1]
-    total_residual = float(line_residuals.sum())
     total_count = int(line_counts.sum())
+
+    if total_count == 0:
+        # Empty region: no objective can distinguish the candidates, so cut
+        # at the geometric centre explicitly instead of running the scorer.
+        index = region.center_split_index(axis)
+        left, right = region.split(axis, index)
+        return SplitDecision(
+            region=region,
+            axis=axis,
+            index=index,
+            score=0.0,
+            left=left,
+            right=right,
+            left_count=0,
+            right_count=0,
+        )
+
+    prefix_residuals = line_residuals.cumsum()[:-1]
+    prefix_counts = line_counts.cumsum()[:-1]
+    total_residual = float(line_residuals.sum())
 
     scores = scorer.score_prefixes(prefix_residuals, prefix_counts, total_residual, total_count)
 
     best_score = float(scores.min())
-    candidates = np.flatnonzero(np.isclose(scores, best_score, rtol=0.0, atol=1e-12))
+    # Every score is >= the minimum, so the tolerance band |s - best| <= atol
+    # reduces to a one-sided threshold (cheaper than np.isclose).
+    candidates = np.flatnonzero(scores <= best_score + 1e-12)
+    if candidates.size == 0:
+        # Only possible for a scorer that returns non-finite values.
+        raise SplitError(
+            f"objective {scorer.name!r} produced no scoreable candidate for {region}"
+        )
     center = (n_lines - 1) / 2.0 - 0.5
-    best_offset = int(candidates[np.argmin(np.abs(candidates - center))])
+    best_offset = int(candidates[np.abs(candidates - center).argmin()])
     best_index = best_offset + 1  # split keeps lines [0, best_index) on the left
 
     left, right = region.split(axis, best_index)
@@ -135,22 +161,27 @@ def split_neighborhood(
 
 def best_axis_split(
     region: GridRegion,
-    cell_rows: np.ndarray,
-    cell_cols: np.ndarray,
-    residuals: np.ndarray,
-    preferred_axis: int,
+    cell_rows: Optional[np.ndarray] = None,
+    cell_cols: Optional[np.ndarray] = None,
+    residuals: Optional[np.ndarray] = None,
+    preferred_axis: int = 0,
     scorer: Optional[SplitScorer] = None,
+    engine: Optional[SplitEngine] = None,
 ) -> Optional[SplitDecision]:
     """Split along ``preferred_axis`` if possible, otherwise along the other axis.
 
     Mirrors the axis-alternation of the KD-tree while guaranteeing progress on
-    regions that have shrunk to a single row or column.
+    regions that have shrunk to a single row or column.  Regions whose
+    candidate lines are all empty of records are handled explicitly by
+    :func:`split_neighborhood` (a central geometric cut), so the fallback
+    never depends on a downstream :class:`~repro.exceptions.SplitError`.
     """
+    engine = _resolve_engine(region, cell_rows, cell_cols, residuals, engine)
     decision = split_neighborhood(
-        region, cell_rows, cell_cols, residuals, preferred_axis, scorer
+        region, axis=preferred_axis, scorer=scorer, engine=engine
     )
     if decision is not None:
         return decision
     return split_neighborhood(
-        region, cell_rows, cell_cols, residuals, 1 - preferred_axis, scorer
+        region, axis=1 - preferred_axis, scorer=scorer, engine=engine
     )

@@ -1,0 +1,231 @@
+"""Split-statistics engines powering the SplitNeighborhood procedure.
+
+Algorithm 2 evaluates every candidate split of a tree node from two
+per-line aggregates: the residual sum and the record count of each row
+(or column) of the node's region.  How those aggregates are obtained is
+independent of the rest of the procedure, so it is factored behind the
+:class:`SplitEngine` interface with two implementations:
+
+* :class:`RecordScanEngine` — the original approach: mask the full record
+  arrays against the region and bin the members into lines.  Every call
+  costs ``O(n_records)``, which dominates tree construction because the
+  mask is recomputed for every node and axis.
+* :class:`PrefixSumEngine` — bins residuals and counts into dense
+  ``(grid.rows, grid.cols)`` arrays **once per tree build** and keeps 2-D
+  cumulative-sum tables (the summed-area-table trick also offered as
+  :class:`~repro.spatial.region.CumulativeGrid`).  Any region's total is
+  four table lookups and any region's per-line sums are one slice
+  subtraction, so each candidate-split evaluation costs ``O(side length)``
+  regardless of the dataset size.
+
+Both engines feed the identical downstream scoring code.  Record counts are
+integers, so count-driven decisions (medians, empty-region detection) are
+identical by construction; residual sums are floating-point and the two
+engines accumulate them in different orders, so split decisions are
+guaranteed bit-identical only when every residual sum is exactly
+representable (e.g. dyadic-rational residuals, which the equivalence tests
+use) and agree empirically — to the last bit in practice — for arbitrary
+residuals.  The record-scan path is kept available (via the
+``split_engine`` flag on the partitioners and on
+:class:`~repro.config.PartitionerConfig`) for equivalence testing and as a
+reference implementation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_SPLIT_ENGINE, SPLIT_ENGINES, validate_split_engine
+from ..exceptions import ConfigurationError, SplitError
+from ..spatial.grid import Grid, counts_per_cell, sums_per_cell
+from ..spatial.region import GridRegion
+
+__all__ = [
+    "SPLIT_ENGINES",
+    "DEFAULT_SPLIT_ENGINE",
+    "SplitEngine",
+    "RecordScanEngine",
+    "PrefixSumEngine",
+    "make_split_engine",
+    "validate_split_engine",
+]
+
+
+class SplitEngine(ABC):
+    """Provider of per-line split statistics for one tree build.
+
+    An engine is constructed once per tree (it captures the record
+    coordinates and residuals of the build) and is then threaded down the
+    recursion, answering line-sum queries for every node.
+    """
+
+    #: Engine identifier (matches the ``split_engine`` configuration value).
+    kind: str = "abstract"
+
+    @abstractmethod
+    def line_sums(self, region: GridRegion, axis: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-line residual sums and record counts of ``region`` along ``axis``.
+
+        Line ``i`` is the ``i``-th row (axis 0) or column (axis 1) of the
+        region.  Returns ``(line_residuals, line_counts)`` as float arrays of
+        length ``region.n_rows`` / ``region.n_cols``.
+        """
+
+    @abstractmethod
+    def region_count(self, region: GridRegion) -> int:
+        """Number of records whose cells fall inside ``region``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(kind={self.kind!r})"
+
+    def _check_grid(self, region: GridRegion) -> None:
+        """Reject regions of a different grid (identity fast path)."""
+        if region.grid is not self._grid and region.grid != self._grid:
+            raise SplitError(
+                f"region of grid {region.grid!r} queried against an engine "
+                f"built for grid {self._grid!r}"
+            )
+
+
+def _validated_records(
+    cell_rows: np.ndarray, cell_cols: np.ndarray, residuals: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    cell_rows = np.asarray(cell_rows, dtype=int)
+    cell_cols = np.asarray(cell_cols, dtype=int)
+    residuals = np.asarray(residuals, dtype=float)
+    if cell_rows.shape != cell_cols.shape or cell_rows.shape != residuals.shape:
+        raise SplitError("cell coordinates and residuals must have the same length")
+    return cell_rows, cell_cols, residuals
+
+
+class RecordScanEngine(SplitEngine):
+    """Reference engine: re-scan the record arrays for every query.
+
+    This is the behaviour the paper's pseudo-code implies and what the
+    implementation did originally; it is retained behind the
+    ``split_engine="record_scan"`` flag so the optimised engine can be
+    checked against it.
+    """
+
+    kind = "record_scan"
+
+    def __init__(
+        self,
+        grid: Grid,
+        cell_rows: np.ndarray,
+        cell_cols: np.ndarray,
+        residuals: np.ndarray,
+    ) -> None:
+        self._grid = grid
+        self._cell_rows, self._cell_cols, self._residuals = _validated_records(
+            cell_rows, cell_cols, residuals
+        )
+
+    def line_sums(self, region: GridRegion, axis: int) -> Tuple[np.ndarray, np.ndarray]:
+        self._check_grid(region)
+        mask = region.member_mask(self._cell_rows, self._cell_cols)
+        if axis == 0:
+            coords = self._cell_rows[mask] - region.row_start
+            n_lines = region.n_rows
+        elif axis == 1:
+            coords = self._cell_cols[mask] - region.col_start
+            n_lines = region.n_cols
+        else:
+            raise SplitError(f"axis must be 0 or 1, got {axis}")
+        line_residuals = np.zeros(n_lines, dtype=float)
+        line_counts = np.zeros(n_lines, dtype=float)
+        if coords.size:
+            np.add.at(line_residuals, coords, self._residuals[mask])
+            np.add.at(line_counts, coords, 1.0)
+        return line_residuals, line_counts
+
+    def region_count(self, region: GridRegion) -> int:
+        self._check_grid(region)
+        return int(region.member_mask(self._cell_rows, self._cell_cols).sum())
+
+
+class PrefixSumEngine(SplitEngine):
+    """Optimised engine backed by 2-D cumulative-sum tables.
+
+    Construction bins every record once (``O(n_records + n_cells)``); every
+    subsequent query is independent of the dataset size.  Residual and count
+    tables are stacked into one ``(2, rows+1, cols+1)`` array so a node's
+    per-line sums for both statistics come out of a single slice
+    subtraction.
+    """
+
+    kind = "prefix_sum"
+
+    def __init__(
+        self,
+        grid: Grid,
+        cell_rows: np.ndarray,
+        cell_cols: np.ndarray,
+        residuals: np.ndarray,
+    ) -> None:
+        cell_rows, cell_cols, residuals = _validated_records(
+            cell_rows, cell_cols, residuals
+        )
+        self._grid = grid
+        cells = np.stack(
+            [
+                sums_per_cell(grid, cell_rows, cell_cols, residuals),
+                counts_per_cell(grid, cell_rows, cell_cols).astype(float),
+            ]
+        )
+        tables = np.zeros((2, grid.rows + 1, grid.cols + 1), dtype=float)
+        tables[:, 1:, 1:] = cells.cumsum(axis=1).cumsum(axis=2)
+        self._tables = tables
+
+    def line_sums(self, region: GridRegion, axis: int) -> Tuple[np.ndarray, np.ndarray]:
+        self._check_grid(region)
+        t = self._tables
+        r0, r1 = region.row_start, region.row_stop
+        c0, c1 = region.col_start, region.col_stop
+        if axis == 0:
+            cumulative = t[:, r0 : r1 + 1, c1] - t[:, r0 : r1 + 1, c0]
+        elif axis == 1:
+            cumulative = t[:, r1, c0 : c1 + 1] - t[:, r0, c0 : c1 + 1]
+        else:
+            raise SplitError(f"axis must be 0 or 1, got {axis}")
+        lines = cumulative[:, 1:] - cumulative[:, :-1]
+        return lines[0], lines[1]
+
+    def region_count(self, region: GridRegion) -> int:
+        self._check_grid(region)
+        t = self._tables[1]
+        r0, r1 = region.row_start, region.row_stop
+        c0, c1 = region.col_start, region.col_stop
+        # Counts are integers, so the float table is exact (well below 2**53).
+        return int(t[r1, c1] - t[r0, c1] - t[r1, c0] + t[r0, c0])
+
+
+def make_split_engine(
+    kind: str,
+    grid: Grid,
+    cell_rows: np.ndarray,
+    cell_cols: np.ndarray,
+    residuals: np.ndarray,
+) -> SplitEngine:
+    """Build the engine named ``kind`` for one tree build.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`SPLIT_ENGINES` (``"prefix_sum"`` or ``"record_scan"``).
+    grid:
+        The base grid the tree is built over.
+    cell_rows, cell_cols:
+        Grid-cell coordinates of every record of the build.
+    residuals:
+        Per-record residuals ``s_u - y_u`` aligned with the coordinates.
+    """
+    if kind == "prefix_sum":
+        return PrefixSumEngine(grid, cell_rows, cell_cols, residuals)
+    if kind == "record_scan":
+        return RecordScanEngine(grid, cell_rows, cell_cols, residuals)
+    validate_split_engine(kind)
+    raise ConfigurationError(f"split engine {kind!r} has no implementation")

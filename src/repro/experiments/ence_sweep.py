@@ -83,7 +83,9 @@ def run_ence_sweep(
             pipeline = context.pipeline(model_kind)
             for height in context.heights:
                 for method in context.methods:
-                    partitioner = build_partitioner(method, height)
+                    partitioner = build_partitioner(
+                        method, height, split_engine=context.split_engine
+                    )
                     run = pipeline.run(dataset, task, partitioner)
                     comparisons.append(
                         MethodComparison(

@@ -76,7 +76,9 @@ def run_feature_heatmap(
         factory = context.model_factory(model_kind)
         for method in methods:
             for height in context.heights:
-                partitioner = build_partitioner(method, height)
+                partitioner = build_partitioner(
+                    method, height, split_engine=context.split_engine
+                )
                 output = partitioner.build(dataset, labels, factory)
                 redistricted = dataset.with_partition(output.partition)
 

@@ -94,14 +94,18 @@ def run_multi_objective_experiment(
                         seed=context.seed,
                     )
                     if method == "multi_objective_fair_kdtree":
-                        partitioner = MultiObjectiveFairKDTreePartitioner(height, alphas=alphas)
+                        partitioner = MultiObjectiveFairKDTreePartitioner(
+                            height, alphas=alphas, split_engine=context.split_engine
+                        )
                         # The shared partition is built once from *all* tasks'
                         # training labels, then evaluated under the current task.
                         task_labels = [t.labels(dataset)[split.train_indices] for t in tasks]
                         output = partitioner.build_multi(split.train, task_labels, factory)
                         run = pipeline.run_split(split, partitioner, precomputed=output)
                     else:
-                        partitioner = build_partitioner(method, height)
+                        partitioner = build_partitioner(
+                            method, height, split_engine=context.split_engine
+                        )
                         run = pipeline.run_split(split, partitioner)
                     ence[(city, height, method, task.name)] = run.test_metrics.ence
     return MultiObjectiveResult(ence=ence)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence, Tuple
 
-from ..config import DatasetConfig, GridConfig, ModelConfig
+from ..config import DatasetConfig, GridConfig, ModelConfig, PartitionerConfig
 from ..core.base import SpatialPartitioner
 from ..core.fair_kdtree import FairKDTreePartitioner
 from ..core.fair_quadtree import FairQuadTreePartitioner
@@ -20,6 +20,7 @@ from ..core.iterative import IterativeFairKDTreePartitioner
 from ..core.median_kdtree import MedianKDTreePartitioner
 from ..core.multi_objective import MultiObjectiveFairKDTreePartitioner
 from ..core.pipeline import RedistrictingPipeline
+from ..core.split_engine import DEFAULT_SPLIT_ENGINE
 from ..datasets.dataset import SpatialDataset
 from ..datasets.edgap import city_model, load_edgap_city
 from ..exceptions import ExperimentError
@@ -58,23 +59,62 @@ def build_dataset(
     return load_edgap_city(config)
 
 
-def build_partitioner(method: str, height: int, alphas: Sequence[float] = (0.5, 0.5)) -> SpatialPartitioner:
+def build_partitioner(
+    method: str,
+    height: int,
+    alphas: Sequence[float] = (0.5, 0.5),
+    split_engine: str = DEFAULT_SPLIT_ENGINE,
+) -> SpatialPartitioner:
     """Instantiate a partitioner by its method name."""
     if method == "median_kdtree":
-        return MedianKDTreePartitioner(height)
+        return MedianKDTreePartitioner(height, split_engine=split_engine)
     if method == "fair_kdtree":
-        return FairKDTreePartitioner(height)
+        return FairKDTreePartitioner(height, split_engine=split_engine)
     if method == "iterative_fair_kdtree":
-        return IterativeFairKDTreePartitioner(height)
+        return IterativeFairKDTreePartitioner(height, split_engine=split_engine)
     if method == "grid_reweighting":
         return GridReweightingPartitioner(height)
     if method == "multi_objective_fair_kdtree":
-        return MultiObjectiveFairKDTreePartitioner(height, alphas=alphas)
+        return MultiObjectiveFairKDTreePartitioner(
+            height, alphas=alphas, split_engine=split_engine
+        )
     if method == "fair_quadtree":
         # A fair quadtree of depth d is granularity-comparable to a KD-tree of
         # height 2d, so the requested height is halved (rounded up).
-        return FairQuadTreePartitioner(depth=(height + 1) // 2)
+        return FairQuadTreePartitioner(depth=(height + 1) // 2, split_engine=split_engine)
     raise ExperimentError(f"unknown method {method!r}; known methods: {PAPER_METHODS}")
+
+
+def build_partitioner_from_config(config: PartitionerConfig) -> SpatialPartitioner:
+    """Instantiate a partitioner from a :class:`~repro.config.PartitionerConfig`.
+
+    Honours every field of the configuration (method, height, objective,
+    alpha weights and split engine), unlike :func:`build_partitioner` which
+    covers the common method+height case.
+    """
+    if config.method == "median_kdtree":
+        return MedianKDTreePartitioner(config.height, split_engine=config.split_engine)
+    if config.method == "fair_kdtree":
+        return FairKDTreePartitioner(
+            config.height, objective=config.objective, split_engine=config.split_engine
+        )
+    if config.method == "iterative_fair_kdtree":
+        return IterativeFairKDTreePartitioner(
+            config.height, objective=config.objective, split_engine=config.split_engine
+        )
+    if config.method == "multi_objective_fair_kdtree":
+        return MultiObjectiveFairKDTreePartitioner(
+            config.height,
+            alphas=config.alpha,
+            objective=config.objective,
+            split_engine=config.split_engine,
+        )
+    if config.method == "grid_reweighting":
+        return GridReweightingPartitioner(config.height)
+    raise ExperimentError(
+        f"method {config.method!r} has no partitioner class "
+        "(zipcode partitions come from repro.datasets.zipcodes)"
+    )
 
 
 @dataclass(frozen=True)
@@ -96,6 +136,9 @@ class ExperimentContext:
         fast while leaving room for height-10 trees).
     test_fraction, seed, ece_bins:
         Evaluation controls shared by every pipeline run.
+    split_engine:
+        Split-statistics engine used by every tree partitioner the
+        experiments build (``"prefix_sum"`` or ``"record_scan"``).
     """
 
     cities: Tuple[str, ...] = PAPER_CITIES
@@ -108,6 +151,7 @@ class ExperimentContext:
     seed: int = 11
     ece_bins: int = 15
     dataset_seed: int = 7
+    split_engine: str = DEFAULT_SPLIT_ENGINE
     datasets: Dict[str, SpatialDataset] = field(default_factory=dict, compare=False)
 
     def dataset(self, city: str) -> SpatialDataset:

@@ -57,9 +57,14 @@ def run_timing_experiment(
     height: int = 10,
     model_kind: str = "logistic_regression",
     methods: tuple = ("fair_kdtree", "iterative_fair_kdtree", "median_kdtree"),
+    split_engine: Optional[str] = None,
 ) -> TimingResult:
-    """Measure partition build time for each method at ``height``."""
+    """Measure partition build time for each method at ``height``.
+
+    ``split_engine`` overrides the context's engine when given.
+    """
     context = context or default_context()
+    split_engine = split_engine or context.split_engine
     task = task or act_task()
     dataset = context.dataset(city)
     labels = task.labels(dataset)
@@ -68,7 +73,7 @@ def run_timing_experiment(
     seconds: Dict[str, float] = {}
     trainings: Dict[str, int] = {}
     for method in methods:
-        partitioner = build_partitioner(method, height)
+        partitioner = build_partitioner(method, height, split_engine=split_engine)
         start = time.perf_counter()
         output = partitioner.build(dataset, labels, factory)
         seconds[method] = time.perf_counter() - start

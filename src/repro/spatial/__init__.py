@@ -21,8 +21,8 @@ on the map.  This package provides:
 """
 
 from .geometry import BoundingBox, Point
-from .grid import Grid, GridCell, counts_per_cell
-from .region import GridRegion
+from .grid import Grid, GridCell, counts_per_cell, sums_per_cell
+from .region import CumulativeGrid, GridRegion
 from .partition import Partition, single_region_partition, uniform_partition
 from .kdtree import KDNode, MedianKDTree, RegionKDTree
 from .quadtree import QuadNode, QuadTree
@@ -34,6 +34,8 @@ __all__ = [
     "Grid",
     "GridCell",
     "counts_per_cell",
+    "sums_per_cell",
+    "CumulativeGrid",
     "GridRegion",
     "Partition",
     "single_region_partition",

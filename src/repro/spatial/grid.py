@@ -180,6 +180,20 @@ class Grid:
         return lower.union(upper)
 
 
+def _validated_cell_coords(
+    grid: Grid, rows: Sequence[int], cols: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Convert per-record cell coordinates to arrays and bounds-check them."""
+    rows = np.asarray(rows, dtype=int)
+    cols = np.asarray(cols, dtype=int)
+    if rows.shape != cols.shape:
+        raise GridError("rows and cols must have the same shape")
+    if rows.size and (rows.min() < 0 or rows.max() >= grid.rows
+                      or cols.min() < 0 or cols.max() >= grid.cols):
+        raise GridError("cell coordinates outside the grid")
+    return rows, cols
+
+
 def counts_per_cell(grid: Grid, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
     """Histogram of data points per grid cell.
 
@@ -195,13 +209,38 @@ def counts_per_cell(grid: Grid, rows: Sequence[int], cols: Sequence[int]) -> np.
     numpy.ndarray
         A ``grid.rows x grid.cols`` integer matrix of record counts.
     """
-    rows = np.asarray(rows, dtype=int)
-    cols = np.asarray(cols, dtype=int)
-    if rows.shape != cols.shape:
-        raise GridError("rows and cols must have the same shape")
-    if rows.size and (rows.min() < 0 or rows.max() >= grid.rows
-                      or cols.min() < 0 or cols.max() >= grid.cols):
-        raise GridError("cell coordinates outside the grid")
+    rows, cols = _validated_cell_coords(grid, rows, cols)
     counts = np.zeros(grid.shape, dtype=int)
     np.add.at(counts, (rows, cols), 1)
     return counts
+
+
+def sums_per_cell(
+    grid: Grid, rows: Sequence[int], cols: Sequence[int], values: Sequence[float]
+) -> np.ndarray:
+    """Per-cell totals of a per-record statistic (a weighted histogram).
+
+    The prefix-sum split engine bins every record's residual into its grid
+    cell with this helper before building cumulative tables.
+
+    Parameters
+    ----------
+    grid:
+        The base grid.
+    rows, cols:
+        Per-record cell coordinates.
+    values:
+        Per-record statistic to accumulate, aligned with the coordinates.
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``grid.rows x grid.cols`` float matrix of per-cell sums.
+    """
+    rows, cols = _validated_cell_coords(grid, rows, cols)
+    values = np.asarray(values, dtype=float)
+    if values.shape != rows.shape:
+        raise GridError("values must have the same shape as the cell coordinates")
+    sums = np.zeros(grid.shape, dtype=float)
+    np.add.at(sums, (rows, cols), values)
+    return sums

@@ -7,6 +7,7 @@ from repro.core.grid_reweighting import GridReweightingPartitioner
 from repro.core.iterative import IterativeFairKDTreePartitioner
 from repro.core.median_kdtree import MedianKDTreePartitioner
 from repro.core.multi_objective import MultiObjectiveFairKDTreePartitioner
+from repro.config import PartitionerConfig
 from repro.exceptions import ExperimentError
 from repro.experiments.runner import (
     PAPER_CITIES,
@@ -15,6 +16,7 @@ from repro.experiments.runner import (
     ExperimentContext,
     build_dataset,
     build_partitioner,
+    build_partitioner_from_config,
     default_context,
     paper_context,
 )
@@ -42,6 +44,33 @@ class TestBuilders:
     def test_unknown_method_raises(self):
         with pytest.raises(ExperimentError):
             build_partitioner("quadtree", 4)
+
+    def test_build_partitioner_threads_split_engine(self):
+        for engine in ("prefix_sum", "record_scan"):
+            for method in ("median_kdtree", "fair_kdtree", "iterative_fair_kdtree"):
+                assert build_partitioner(method, 4, split_engine=engine).split_engine == engine
+
+    def test_build_partitioner_from_config_honours_all_fields(self):
+        config = PartitionerConfig(
+            method="fair_kdtree", height=5, objective="total", split_engine="record_scan"
+        )
+        partitioner = build_partitioner_from_config(config)
+        assert isinstance(partitioner, FairKDTreePartitioner)
+        assert partitioner.height == 5
+        assert partitioner.split_engine == "record_scan"
+        assert partitioner._scorer.name == "total"
+
+        multi = build_partitioner_from_config(
+            PartitionerConfig(
+                method="multi_objective_fair_kdtree", height=3, alpha=(0.3, 0.7)
+            )
+        )
+        assert isinstance(multi, MultiObjectiveFairKDTreePartitioner)
+        assert multi.alphas == (0.3, 0.7)
+
+    def test_build_partitioner_from_config_rejects_zipcode(self):
+        with pytest.raises(ExperimentError):
+            build_partitioner_from_config(PartitionerConfig(method="zipcode"))
 
 
 class TestContext:
@@ -81,3 +110,8 @@ class TestContext:
         context = ExperimentContext()
         assert context.grid_rows == 32
         assert context.methods == PAPER_METHODS
+        assert context.split_engine == "prefix_sum"
+
+    def test_context_split_engine_override(self):
+        context = default_context(split_engine="record_scan")
+        assert context.split_engine == "record_scan"

@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import GridError, SplitError
 from repro.spatial.grid import Grid
-from repro.spatial.region import GridRegion
+from repro.spatial.region import CumulativeGrid, GridRegion
 
 
 @pytest.fixture()
@@ -127,3 +127,46 @@ class TestRelations:
     def test_repr_mentions_ranges(self, grid):
         text = repr(GridRegion(grid, 1, 3, 2, 5))
         assert "rows=[1,3)" in text and "cols=[2,5)" in text
+
+
+class TestCumulativeGrid:
+    """Summed-area tables over per-cell statistics (used by split engines)."""
+
+    @pytest.fixture()
+    def values(self, grid):
+        rng = np.random.default_rng(9)
+        return rng.integers(-8, 9, size=grid.shape) / 4.0  # dyadic: sums exact
+
+    def test_region_sum_matches_brute_force(self, grid, values):
+        table = CumulativeGrid(grid, values)
+        rng = np.random.default_rng(21)
+        for _ in range(25):
+            r0 = int(rng.integers(0, grid.rows))
+            r1 = int(rng.integers(r0 + 1, grid.rows + 1))
+            c0 = int(rng.integers(0, grid.cols))
+            c1 = int(rng.integers(c0 + 1, grid.cols + 1))
+            region = GridRegion(grid, r0, r1, c0, c1)
+            assert table.region_sum(region) == values[r0:r1, c0:c1].sum()
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_line_sums_match_brute_force(self, grid, values, axis):
+        table = CumulativeGrid(grid, values)
+        region = GridRegion(grid, 1, 7, 2, 6)
+        expected = values[1:7, 2:6].sum(axis=1 - axis)
+        np.testing.assert_array_equal(table.line_sums(region, axis), expected)
+
+    def test_line_sums_rejects_bad_axis(self, grid, values):
+        table = CumulativeGrid(grid, values)
+        with pytest.raises(ValueError):
+            table.line_sums(GridRegion.full(grid), axis=2)
+
+    def test_rejects_mismatched_cell_values(self, grid):
+        with pytest.raises(GridError):
+            CumulativeGrid(grid, np.zeros((3, 3)))
+
+    def test_rejects_region_of_other_grid(self, grid, values):
+        table = CumulativeGrid(grid, values)
+        with pytest.raises(GridError):
+            table.region_sum(GridRegion.full(Grid(16, 16)))
+        with pytest.raises(GridError):
+            table.line_sums(GridRegion.full(Grid(16, 16)), axis=0)
