@@ -28,6 +28,7 @@ from .config import (
     GridConfig,
     ModelConfig,
     PartitionerConfig,
+    ServingConfig,
     PAPER_ACT_THRESHOLD,
     PAPER_ECE_BINS,
     PAPER_EMPLOYMENT_THRESHOLD,
@@ -50,6 +51,8 @@ from .core import (
 from .datasets import act_task, employment_task, load_edgap_city
 from .datasets.edgap import city_model
 from .exceptions import ReproError
+from .io import load_partition_artifact, save_partition_artifact
+from .serving import ArtifactCache, PartitionServer
 from .fairness import expected_neighborhood_calibration_error
 from .ml import make_classifier
 from .ml.model_selection import factory_for
@@ -64,6 +67,7 @@ __all__ = [
     "ModelConfig",
     "PartitionerConfig",
     "ExperimentConfig",
+    "ServingConfig",
     "PAPER_HEIGHTS",
     "PAPER_MULTI_OBJECTIVE_HEIGHTS",
     "PAPER_ECE_BINS",
@@ -85,6 +89,10 @@ __all__ = [
     "employment_task",
     "make_classifier",
     "expected_neighborhood_calibration_error",
+    "save_partition_artifact",
+    "load_partition_artifact",
+    "PartitionServer",
+    "ArtifactCache",
     "quick_fair_partition",
 ]
 

@@ -11,6 +11,12 @@ Usage (after ``pip install -e .`` or from the repository root)::
     python -m repro timing                     # Section 5.3.1 timing
     python -m repro ence --cities houston --heights 4 6 --output results.csv
 
+Serving verbs persist a built partition and query it later without
+retraining::
+
+    python -m repro build --cities los_angeles --heights 6 --artifact la.artifact
+    python -m repro query --artifact la.artifact --points points.csv --output out.csv
+
 Every command prints the regenerated table to stdout; ``--output`` also writes
 the underlying rows to CSV.
 """
@@ -35,13 +41,26 @@ from .experiments.reporting import format_table
 from .experiments.runner import PAPER_CITIES, build_partitioner, default_context
 from .experiments.timing import run_timing_experiment
 from .experiments.utility_sweep import run_utility_sweep
+from .config import ServingConfig
+from .exceptions import ReproError
 from .fairness.report import compare_partitions, improvement_summary
+from .io.artifacts import save_partition_artifact
 from .io.export import save_rows_csv
+from .io.points import read_points_csv
 from .logging_utils import configure_logging
+from .serving import PartitionServer
 from .viz import render_partition_ascii
 
 EXPERIMENTS = (
     "disparity", "ence", "utility", "features", "multi-objective", "timing", "compare",
+)
+
+#: Serving verbs: persist a partition artifact / batch-query a stored one.
+SERVING_COMMANDS = ("build", "query")
+
+#: Methods the ``build`` verb can persist (single-task partitioners).
+BUILD_METHODS = (
+    "fair_kdtree", "iterative_fair_kdtree", "median_kdtree", "grid_reweighting",
 )
 
 
@@ -53,8 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("list",),
-        help="which experiment to run ('list' prints the catalogue)",
+        choices=EXPERIMENTS + SERVING_COMMANDS + ("list",),
+        help="which experiment or serving verb to run ('list' prints the catalogue)",
     )
     parser.add_argument(
         "--cities", nargs="+", default=list(PAPER_CITIES), help="cities to evaluate"
@@ -79,6 +98,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=11, help="evaluation seed")
     parser.add_argument("--output", default=None, help="optional CSV output path")
     parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
+    serving = parser.add_argument_group("serving (build / query verbs)")
+    serving.add_argument(
+        "--method",
+        default="fair_kdtree",
+        choices=BUILD_METHODS,
+        help="partitioning method the 'build' verb persists",
+    )
+    serving.add_argument(
+        "--artifact",
+        default=None,
+        help="partition artifact bundle directory ('build' writes it, 'query' reads it)",
+    )
+    serving.add_argument(
+        "--points",
+        default=None,
+        help="CSV file with x,y columns — the coordinates the 'query' verb locates",
+    )
+    serving.add_argument(
+        "--strict",
+        action="store_true",
+        help="make 'query' fail on off-map points instead of reporting -1",
+    )
     return parser
 
 
@@ -107,6 +148,13 @@ def _experiment_catalogue() -> str:
     }
     for name in EXPERIMENTS:
         lines.append(f"  {name:16s} {descriptions[name]}")
+    lines.append("Serving verbs:")
+    serving_descriptions = {
+        "build": "Build a partition once and persist it as an artifact bundle",
+        "query": "Batch point-location against a stored artifact (--points CSV)",
+    }
+    for name in SERVING_COMMANDS:
+        lines.append(f"  {name:16s} {serving_descriptions[name]}")
     return "\n".join(lines)
 
 
@@ -149,6 +197,85 @@ def _run_compare(context, args: argparse.Namespace) -> List[dict]:
     return rows
 
 
+def _run_build(context, args: argparse.Namespace) -> List[dict]:
+    """Build one partition and persist it as an artifact bundle.
+
+    The partition is built for the first requested city at the largest
+    requested height; the artifact records full provenance (city, method,
+    height, grid, engine, model, seeds) so ``query`` can report what it
+    serves.
+    """
+    city = context.cities[0]
+    height = max(context.heights)
+    dataset = context.dataset(city)
+    task = act_task()
+    labels = task.labels(dataset)
+    factory = context.model_factory(args.model)
+    partitioner = build_partitioner(args.method, height, split_engine=context.split_engine)
+    output = partitioner.build(dataset, labels, factory)
+    provenance = {
+        "city": city,
+        "method": args.method,
+        "height": height,
+        "split_engine": context.split_engine,
+        "model": args.model,
+        "task": task.name,
+        "grid_rows": context.grid_rows,
+        "grid_cols": context.grid_cols,
+        "n_records": dataset.n_records,
+        "seed": args.seed,
+        "dataset_seed": context.dataset_seed,
+    }
+    path = save_partition_artifact(output.partition, args.artifact, provenance=provenance)
+    summary = output.partition.summary()
+    print(
+        f"built {args.method} partition of {city} at height {height}: "
+        f"{output.n_neighborhoods} neighborhoods over a "
+        f"{context.grid_rows}x{context.grid_cols} grid"
+    )
+    print(f"artifact written to {path}")
+    return [
+        {
+            "city": city,
+            "method": args.method,
+            "height": height,
+            "n_regions": output.n_neighborhoods,
+            "min_cells": summary["min_cells"],
+            "max_cells": summary["max_cells"],
+            "artifact": str(path),
+        }
+    ]
+
+
+def _run_query(args: argparse.Namespace) -> List[dict]:
+    """Batch point-location against a stored partition artifact."""
+    server = PartitionServer.from_artifact(
+        args.artifact, config=ServingConfig(strict=args.strict)
+    )
+    xs, ys = read_points_csv(args.points)
+    assignment = server.locate_points(xs, ys)
+    located = int(np.count_nonzero(assignment >= 0))
+    provenance = server.provenance
+    source = ", ".join(
+        f"{key}={provenance[key]}"
+        for key in ("city", "method", "height", "split_engine")
+        if key in provenance
+    )
+    print(f"artifact {args.artifact}: {server.n_regions} neighborhoods" +
+          (f" ({source})" if source else ""))
+    print(
+        f"located {located}/{len(assignment)} points in "
+        f"{len(np.unique(assignment[assignment >= 0]))} distinct neighborhoods"
+        + (f"; {len(assignment) - located} off-map -> -1" if located < len(assignment) else "")
+    )
+    if not args.output:
+        return []
+    return [
+        {"x": float(x), "y": float(y), "neighborhood": int(index)}
+        for x, y, index in zip(xs, ys, assignment)
+    ]
+
+
 def run(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -159,6 +286,11 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment == "list":
         print(_experiment_catalogue())
         return 0
+
+    if args.experiment in SERVING_COMMANDS and not args.artifact:
+        parser.error(f"'{args.experiment}' requires --artifact")
+    if args.experiment == "query" and not args.points:
+        parser.error("'query' requires --points")
 
     context = _context(args)
     rows: List[dict] = []
@@ -205,6 +337,15 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         ]
     elif args.experiment == "compare":
         rows = _run_compare(context, args)
+    elif args.experiment in SERVING_COMMANDS:
+        # Serving failures (missing/corrupt artifact, off-map points under
+        # --strict, malformed points file) are expected user errors, not bugs:
+        # report them cleanly instead of dumping a traceback.
+        try:
+            rows = _run_build(context, args) if args.experiment == "build" else _run_query(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     if args.output and rows:
         path = save_rows_csv(rows, args.output)

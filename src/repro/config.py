@@ -166,6 +166,27 @@ class PartitionerConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Configuration of the partition serving layer.
+
+    ``cache_entries`` bounds the number of partition artifacts the
+    :class:`~repro.serving.ArtifactCache` keeps resident (least recently
+    used beyond that are evicted).  ``strict`` selects how the server treats
+    query points outside the map: ``False`` (default) maps them to ``-1``,
+    ``True`` raises — the same switch as ``Partition.assign``.
+    """
+
+    cache_entries: int = 8
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cache_entries < 1:
+            raise ConfigurationError(
+                f"cache_entries must be >= 1, got {self.cache_entries}"
+            )
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """Top-level experiment description used by the harness and benches."""
 

@@ -1,0 +1,58 @@
+"""Coordinate-file I/O for the serving layer's batch queries.
+
+The ``query`` CLI verb reads the points to locate from a CSV file with
+``x`` and ``y`` columns (extra columns are ignored; a header row is
+required so column order never matters) and writes one assignment row per
+input point.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import DatasetError
+
+
+def read_points_csv(path: str | Path) -> Tuple[np.ndarray, np.ndarray]:
+    """Read ``(xs, ys)`` coordinate arrays from a CSV file with x/y columns."""
+    path = Path(path)
+    if not path.is_file():
+        raise DatasetError(f"points file {path} does not exist")
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        fields = [name.strip().lower() for name in (reader.fieldnames or [])]
+        if "x" not in fields or "y" not in fields:
+            raise DatasetError(
+                f"points file {path} needs 'x' and 'y' columns, found {reader.fieldnames}"
+            )
+        xs: list[float] = []
+        ys: list[float] = []
+        for line_number, row in enumerate(reader, start=2):
+            normalised = {key.strip().lower(): value for key, value in row.items() if key}
+            try:
+                xs.append(float(normalised["x"]))
+                ys.append(float(normalised["y"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise DatasetError(
+                    f"points file {path} line {line_number}: bad coordinate ({exc})"
+                ) from exc
+    return np.asarray(xs, dtype=float), np.asarray(ys, dtype=float)
+
+
+def write_points_csv(path: str | Path, xs: np.ndarray, ys: np.ndarray) -> Path:
+    """Write coordinate arrays as an x/y CSV (the inverse of :func:`read_points_csv`)."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape:
+        raise DatasetError("xs and ys must have the same shape")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "y"])
+        writer.writerows(zip(xs.tolist(), ys.tolist()))
+    return path

@@ -1,0 +1,20 @@
+"""Partition serving: batched queries against stored partitions.
+
+The packages below this one build partitions; this package serves them.
+Its unit of work is "answer queries against a stored partition", not
+"build one":
+
+* :class:`~repro.serving.server.PartitionServer` — fully vectorised batch
+  point-location and range queries straight off a partition's dense label
+  grid (``-1`` for off-map points in the default non-strict mode).
+* :class:`~repro.serving.cache.ArtifactCache` — an LRU cache that keeps hot
+  artifact bundles resident as ready-to-query servers.
+
+Pair with :mod:`repro.io.artifacts` (the on-disk bundle format) and the
+``build`` / ``query`` CLI verbs.
+"""
+
+from .cache import ArtifactCache
+from .server import PartitionServer
+
+__all__ = ["PartitionServer", "ArtifactCache"]

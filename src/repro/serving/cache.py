@@ -1,0 +1,85 @@
+"""LRU cache of loaded partition artifacts.
+
+A serving process answers queries against a handful of hot partitions but
+may have hundreds of artifact bundles on disk.  :class:`ArtifactCache`
+keeps the most recently used ones resident as ready-to-query
+:class:`~repro.serving.server.PartitionServer` instances and reloads
+evicted ones on demand, so callers address partitions by bundle path and
+never think about load lifecycles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict
+
+from ..config import ServingConfig
+from .server import PartitionServer
+
+
+class ArtifactCache:
+    """Bounded, least-recently-used cache of :class:`PartitionServer` instances.
+
+    Parameters
+    ----------
+    config:
+        ``config.cache_entries`` bounds the resident server count and the
+        config is handed to every server the cache constructs (so its
+        ``strict`` default applies uniformly).
+    """
+
+    def __init__(self, config: ServingConfig | None = None) -> None:
+        self._config = config or ServingConfig()
+        self._servers: "OrderedDict[str, PartitionServer]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def max_entries(self) -> int:
+        return self._config.cache_entries
+
+    def _key(self, path: str | Path) -> str:
+        return str(Path(path).resolve())
+
+    def get(self, path: str | Path) -> PartitionServer:
+        """The server for the bundle at ``path``, loading it on first use."""
+        key = self._key(path)
+        server = self._servers.get(key)
+        if server is not None:
+            self._hits += 1
+            self._servers.move_to_end(key)
+            return server
+        self._misses += 1
+        server = PartitionServer.from_artifact(path, config=self._config)
+        self._servers[key] = server
+        while len(self._servers) > self._config.cache_entries:
+            self._servers.popitem(last=False)
+            self._evictions += 1
+        return server
+
+    def invalidate(self, path: str | Path) -> bool:
+        """Drop the cached server for ``path`` (e.g. after a rebuild)."""
+        return self._servers.pop(self._key(path), None) is not None
+
+    def clear(self) -> None:
+        self._servers.clear()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache effectiveness counters (monotonic until :meth:`clear`)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "resident": len(self._servers),
+        }
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __contains__(self, path: object) -> bool:
+        if not isinstance(path, (str, Path)):
+            return False
+        return self._key(path) in self._servers

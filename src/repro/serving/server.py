@@ -1,0 +1,187 @@
+"""Batched point-location and range queries over a (stored) partition.
+
+The build side of the system produces a :class:`~repro.spatial.partition.Partition`
+once; the serve side answers millions of "which neighborhood is this point
+in?" questions against it.  :class:`PartitionServer` is that serve side: it
+holds the partition's dense cell->region label grid and answers fully
+vectorised batch queries from it —
+
+* :meth:`locate_points` — continuous coordinates -> region indices, one
+  fancy-indexing pass over the label grid, ``-1`` for off-map points in the
+  default non-strict mode;
+* :meth:`locate_cells` — the same for pre-discretised cell coordinates;
+* :meth:`range_query` — regions intersecting a box, found by slicing the
+  label grid down to the box's cell window instead of scanning every region.
+
+Servers are cheap to construct from an in-memory partition and cheap to
+restore from an artifact bundle (:meth:`from_artifact`), which is how the
+``query`` CLI verb and the :class:`~repro.serving.cache.ArtifactCache` use
+them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from ..config import ServingConfig
+from ..io.artifacts import load_partition_artifact
+from ..spatial.geometry import BoundingBox
+from ..spatial.partition import Partition
+
+
+class PartitionServer:
+    """Read-only query front-end over one partition.
+
+    Parameters
+    ----------
+    partition:
+        The partition to serve.
+    provenance:
+        Optional build metadata (surfaced by :meth:`describe`; filled in
+        automatically when the server is restored from an artifact).
+    config:
+        Serving knobs; ``config.strict`` sets the default out-of-map
+        behaviour of the locate methods.
+    """
+
+    def __init__(
+        self,
+        partition: Partition,
+        provenance: Dict[str, Any] | None = None,
+        config: ServingConfig | None = None,
+    ) -> None:
+        self._partition = partition
+        self._grid = partition.grid
+        self._labels = partition.label_grid
+        self._provenance = dict(provenance or {})
+        self._config = config or ServingConfig()
+
+    @classmethod
+    def from_artifact(
+        cls, path: str | Path, config: ServingConfig | None = None
+    ) -> "PartitionServer":
+        """Restore a server from an artifact bundle written by the build side."""
+        artifact = load_partition_artifact(path)
+        return cls(artifact.partition, provenance=artifact.provenance, config=config)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def partition(self) -> Partition:
+        return self._partition
+
+    @property
+    def provenance(self) -> Dict[str, Any]:
+        return dict(self._provenance)
+
+    @property
+    def n_regions(self) -> int:
+        return len(self._partition)
+
+    def describe(self) -> Dict[str, Any]:
+        """One-line-able summary of what this server is serving."""
+        grid = self._grid
+        return {
+            "n_regions": len(self._partition),
+            "grid_rows": grid.rows,
+            "grid_cols": grid.cols,
+            "bounds": [
+                grid.bounds.min_x, grid.bounds.min_y, grid.bounds.max_x, grid.bounds.max_y,
+            ],
+            "provenance": dict(self._provenance),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionServer({len(self._partition)} regions over "
+            f"{self._grid.rows}x{self._grid.cols} grid)"
+        )
+
+    # -- batched point location ------------------------------------------------
+
+    def _resolve_strict(self, strict: bool | None) -> bool:
+        return self._config.strict if strict is None else strict
+
+    def locate_points(
+        self, xs: np.ndarray, ys: np.ndarray, strict: bool | None = None
+    ) -> np.ndarray:
+        """Region index for every coordinate pair, in one vectorised pass.
+
+        In non-strict mode (the default), coordinates outside the map — or
+        inside an uncovered cell of an incomplete partition — come back as
+        ``-1``.  In strict mode, off-map coordinates raise
+        :class:`~repro.exceptions.GridError`, matching ``Grid.locate_many``.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if self._resolve_strict(strict):
+            rows, cols = self._grid.locate_many(xs, ys)
+            return self._labels[rows, cols]
+        rows, cols = self._grid.locate_many(xs, ys, strict=False)
+        inside = rows >= 0
+        if bool(np.all(inside)):
+            return self._labels[rows, cols]
+        result = np.full(xs.shape, -1, dtype=int)
+        result[inside] = self._labels[rows[inside], cols[inside]]
+        return result
+
+    def locate_cells(
+        self, rows: Sequence[int], cols: Sequence[int], strict: bool | None = None
+    ) -> np.ndarray:
+        """Region index for every grid-cell coordinate pair.
+
+        Non-strict mode maps out-of-grid cells to ``-1``; strict mode raises
+        (see :meth:`~repro.spatial.partition.Partition.assign`).
+        """
+        return self._partition.assign(rows, cols, strict=self._resolve_strict(strict))
+
+    # -- range queries ----------------------------------------------------------
+
+    def range_query(self, query: BoundingBox) -> List[int]:
+        """Indices of all regions whose extent intersects ``query``.
+
+        Semantically identical to :func:`repro.spatial.queries.range_query`
+        (closed boxes: touching counts, region order preserved), but instead
+        of testing every region it slices the label grid down to the cell
+        window covering the query box and reads the candidate region indices
+        off the slice.  The window is widened by one cell on each side so
+        boxes that exactly touch a cell boundary cannot lose a neighbor to
+        floating-point rounding; candidates then pass the exact
+        ``bounds.intersects`` test, so no false positives survive.  Cost is
+        proportional to the window area plus the handful of candidates, not
+        to the total region count.
+        """
+        grid = self._grid
+        bounds = grid.bounds
+        if not bounds.intersects(query):
+            return []
+        row_lo = int(np.floor((query.min_y - bounds.min_y) / grid.cell_height)) - 1
+        row_hi = int(np.floor((query.max_y - bounds.min_y) / grid.cell_height)) + 2
+        col_lo = int(np.floor((query.min_x - bounds.min_x) / grid.cell_width)) - 1
+        col_hi = int(np.floor((query.max_x - bounds.min_x) / grid.cell_width)) + 2
+        row_lo, col_lo = max(row_lo, 0), max(col_lo, 0)
+        row_hi, col_hi = min(row_hi, grid.rows), min(col_hi, grid.cols)
+        if row_lo >= row_hi or col_lo >= col_hi:
+            return []
+        candidates = np.unique(self._labels[row_lo:row_hi, col_lo:col_hi])
+        regions = self._partition.regions
+        return [
+            int(index)
+            for index in candidates
+            if index >= 0 and regions[index].bounds.intersects(query)
+        ]
+
+    # -- aggregates --------------------------------------------------------------
+
+    def region_counts(
+        self, xs: np.ndarray, ys: np.ndarray, strict: bool | None = None
+    ) -> np.ndarray:
+        """Points per region for a coordinate batch (off-map points dropped)."""
+        assignment = self.locate_points(xs, ys, strict=strict)
+        counts = np.zeros(len(self._partition), dtype=int)
+        located = assignment >= 0
+        np.add.at(counts, assignment[located], 1)
+        return counts

@@ -123,11 +123,16 @@ class Grid:
         col = min(col, self._cols - 1)
         return GridCell(row, col)
 
-    def locate_many(self, xs: np.ndarray, ys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def locate_many(
+        self, xs: np.ndarray, ys: np.ndarray, strict: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorised :meth:`locate` for coordinate arrays.
 
-        Returns ``(rows, cols)`` integer arrays.  Out-of-bounds coordinates
-        raise :class:`GridError`.
+        Returns ``(rows, cols)`` integer arrays.  Points exactly on the
+        maximal boundary clamp into the last row/column, like :meth:`locate`.
+        Out-of-bounds coordinates raise :class:`GridError` when ``strict``
+        (default); with ``strict=False`` they yield ``-1`` in both output
+        arrays instead, so batch callers can treat "not on this map" as data.
         """
         xs = np.asarray(xs, dtype=float)
         ys = np.asarray(ys, dtype=float)
@@ -139,13 +144,25 @@ class Grid:
             & (ys >= self._bounds.min_y)
             & (ys <= self._bounds.max_y)
         )
-        if not bool(np.all(inside)):
+        if bool(np.all(inside)):
+            cols = np.minimum(
+                ((xs - self._bounds.min_x) / self.cell_width).astype(int), self._cols - 1
+            )
+            rows = np.minimum(
+                ((ys - self._bounds.min_y) / self.cell_height).astype(int), self._rows - 1
+            )
+            return rows, cols
+        if strict:
             raise GridError("some coordinates fall outside the grid bounds")
-        cols = np.minimum(
-            ((xs - self._bounds.min_x) / self.cell_width).astype(int), self._cols - 1
+        rows = np.full(xs.shape, -1, dtype=int)
+        cols = np.full(xs.shape, -1, dtype=int)
+        cols[inside] = np.minimum(
+            ((xs[inside] - self._bounds.min_x) / self.cell_width).astype(int),
+            self._cols - 1,
         )
-        rows = np.minimum(
-            ((ys - self._bounds.min_y) / self.cell_height).astype(int), self._rows - 1
+        rows[inside] = np.minimum(
+            ((ys[inside] - self._bounds.min_y) / self.cell_height).astype(int),
+            self._rows - 1,
         )
         return rows, cols
 

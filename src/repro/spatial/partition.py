@@ -75,6 +75,7 @@ class Partition:
         labels = np.full(self._grid.shape, -1, dtype=int)
         for idx, region in enumerate(self._regions):
             labels[region.row_start:region.row_stop, region.col_start:region.col_stop] = idx
+        labels.setflags(write=False)
         return labels
 
     # -- basic accessors ----------------------------------------------------------
@@ -86,6 +87,16 @@ class Partition:
     @property
     def regions(self) -> Tuple[GridRegion, ...]:
         return self._regions
+
+    @property
+    def label_grid(self) -> np.ndarray:
+        """Dense ``rows x cols`` cell->region index grid (read-only).
+
+        ``label_grid[r, c]`` is the index of the region covering cell
+        ``(r, c)``, or ``-1`` for uncovered cells of incomplete partitions.
+        This is the array the serving layer answers batched lookups from.
+        """
+        return self._label_grid
 
     def __len__(self) -> int:
         return len(self._regions)
@@ -101,11 +112,26 @@ class Partition:
 
     # -- assignment ------------------------------------------------------------------
 
-    def assign(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+    def assign(
+        self, rows: Sequence[int], cols: Sequence[int], strict: bool = True
+    ) -> np.ndarray:
         """Neighborhood index for each record given its grid-cell coordinates.
 
         Returns an integer array; ``-1`` marks records whose cell is not
-        covered (only possible for incomplete partitions).
+        covered (possible for incomplete partitions and, when ``strict`` is
+        false, for coordinates outside the grid).
+
+        Parameters
+        ----------
+        rows, cols:
+            Per-record cell coordinates (same shape).
+        strict:
+            When true (default), coordinates outside the grid raise
+            :class:`PartitionError` — the historical contract, right for
+            build-time callers whose coordinates come from the grid itself.
+            When false, out-of-grid coordinates map to ``-1`` instead, so
+            the serving path can answer "not on this map" without an
+            exception round-trip per stray point.
         """
         rows = np.asarray(rows, dtype=int)
         cols = np.asarray(cols, dtype=int)
@@ -113,10 +139,17 @@ class Partition:
             raise PartitionError("rows and cols must have the same shape")
         if rows.size == 0:
             return np.empty(0, dtype=int)
-        if (rows.min() < 0 or rows.max() >= self._grid.rows
-                or cols.min() < 0 or cols.max() >= self._grid.cols):
+        inside = (
+            (rows >= 0) & (rows < self._grid.rows)
+            & (cols >= 0) & (cols < self._grid.cols)
+        )
+        if bool(np.all(inside)):
+            return self._label_grid[rows, cols]
+        if strict:
             raise PartitionError("cell coordinates outside the grid")
-        return self._label_grid[rows, cols]
+        result = np.full(rows.shape, -1, dtype=int)
+        result[inside] = self._label_grid[rows[inside], cols[inside]]
+        return result
 
     def region_sizes(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
         """Number of records per neighborhood, ordered like :attr:`regions`."""

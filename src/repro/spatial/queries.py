@@ -28,6 +28,7 @@ class PartitionLocator:
     def __init__(self, partition: Partition) -> None:
         self._partition = partition
         self._grid = partition.grid
+        self._labels = partition.label_grid
 
     @property
     def partition(self) -> Partition:
@@ -36,11 +37,13 @@ class PartitionLocator:
     def locate_point(self, point: Point) -> int:
         """Index of the neighborhood containing ``point``.
 
-        Raises :class:`PartitionError` when the point's cell is not covered
-        (possible only for incomplete partitions).
+        A true scalar path: the point's cell is read straight off the dense
+        label grid without building any intermediate arrays, keeping the
+        documented O(1) cost honest.  Raises :class:`PartitionError` when the
+        point's cell is not covered (possible only for incomplete partitions).
         """
         cell = self._grid.locate(point)
-        index = int(self._partition.assign([cell.row], [cell.col])[0])
+        index = int(self._labels[cell.row, cell.col])
         if index < 0:
             raise PartitionError(f"point {point} falls in an uncovered cell")
         return index

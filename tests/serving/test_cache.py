@@ -1,0 +1,83 @@
+"""Tests for the LRU artifact cache."""
+
+import pytest
+
+from repro.config import ServingConfig
+from repro.exceptions import PartitionError
+from repro.io.artifacts import save_partition_artifact
+from repro.serving import ArtifactCache
+from repro.spatial.grid import Grid
+from repro.spatial.partition import uniform_partition
+
+
+def _bundle(tmp_path, name: str, blocks: int):
+    partition = uniform_partition(Grid(8, 8), blocks, blocks)
+    return save_partition_artifact(partition, tmp_path / name, {"name": name})
+
+
+class TestArtifactCache:
+    def test_loads_once_then_hits(self, tmp_path):
+        path = _bundle(tmp_path, "a", 2)
+        cache = ArtifactCache()
+        first = cache.get(path)
+        second = cache.get(path)
+        assert first is second
+        assert cache.stats["misses"] == 1
+        assert cache.stats["hits"] == 1
+
+    def test_same_bundle_different_spelling_shares_entry(self, tmp_path):
+        path = _bundle(tmp_path, "a", 2)
+        cache = ArtifactCache()
+        assert cache.get(path) is cache.get(tmp_path / "." / "a")
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self, tmp_path):
+        paths = [_bundle(tmp_path, name, 2) for name in ("a", "b", "c")]
+        cache = ArtifactCache(ServingConfig(cache_entries=2))
+        cache.get(paths[0])
+        cache.get(paths[1])
+        cache.get(paths[0])      # refresh 'a'; 'b' is now least recent
+        cache.get(paths[2])      # evicts 'b'
+        assert paths[0] in cache
+        assert paths[1] not in cache
+        assert paths[2] in cache
+        assert cache.stats["evictions"] == 1
+
+    def test_evicted_bundle_reloads(self, tmp_path):
+        paths = [_bundle(tmp_path, name, blocks) for name, blocks in (("a", 2), ("b", 4))]
+        cache = ArtifactCache(ServingConfig(cache_entries=1))
+        assert cache.get(paths[0]).n_regions == 4
+        assert cache.get(paths[1]).n_regions == 16
+        assert cache.get(paths[0]).n_regions == 4
+        assert cache.stats["misses"] == 3
+
+    def test_invalidate_drops_entry(self, tmp_path):
+        path = _bundle(tmp_path, "a", 2)
+        cache = ArtifactCache()
+        cache.get(path)
+        assert cache.invalidate(path)
+        assert path not in cache
+        assert not cache.invalidate(path)
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache()
+        cache.get(_bundle(tmp_path, "a", 2))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_missing_bundle_propagates_error(self, tmp_path):
+        cache = ArtifactCache()
+        with pytest.raises(PartitionError):
+            cache.get(tmp_path / "missing")
+        assert len(cache) == 0
+
+    def test_config_strict_reaches_served_partitions(self, tmp_path):
+        import numpy as np
+
+        from repro.exceptions import GridError
+
+        path = _bundle(tmp_path, "a", 2)
+        strict_cache = ArtifactCache(ServingConfig(strict=True))
+        server = strict_cache.get(path)
+        with pytest.raises(GridError):
+            server.locate_points(np.array([5.0]), np.array([0.5]))

@@ -1,0 +1,161 @@
+"""Tests for the batched partition serving layer."""
+
+import numpy as np
+import pytest
+
+from repro.config import ServingConfig
+from repro.exceptions import GridError
+from repro.io.artifacts import save_partition_artifact
+from repro.serving import PartitionServer
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import Grid
+from repro.spatial.partition import Partition, uniform_partition
+from repro.spatial.queries import PartitionLocator, range_query
+from repro.spatial.region import GridRegion
+
+
+@pytest.fixture()
+def grid() -> Grid:
+    return Grid(16, 16, BoundingBox(-2.0, 1.0, 6.0, 5.0))
+
+
+@pytest.fixture()
+def partition(grid) -> Partition:
+    return uniform_partition(grid, 4, 4)
+
+
+@pytest.fixture()
+def server(partition) -> PartitionServer:
+    return PartitionServer(partition)
+
+
+class TestLocatePoints:
+    def test_matches_per_point_locator(self, partition, server):
+        locator = PartitionLocator(partition)
+        rng = np.random.default_rng(0)
+        bounds = partition.grid.bounds
+        xs = rng.uniform(bounds.min_x, bounds.max_x, 300)
+        ys = rng.uniform(bounds.min_y, bounds.max_y, 300)
+        batch = server.locate_points(xs, ys)
+        for x, y, index in zip(xs, ys, batch):
+            assert locator.locate_point(Point(x, y)) == int(index)
+
+    def test_off_map_points_get_minus_one(self, server, grid):
+        bounds = grid.bounds
+        xs = np.array([bounds.min_x - 1.0, bounds.min_x + 0.1, bounds.max_x + 1.0])
+        ys = np.array([bounds.min_y + 0.1, bounds.min_y + 0.1, bounds.max_y + 1.0])
+        assert server.locate_points(xs, ys).tolist()[0] == -1
+        assert server.locate_points(xs, ys)[1] >= 0
+        assert server.locate_points(xs, ys)[2] == -1
+
+    def test_strict_mode_raises_off_map(self, server, grid):
+        xs = np.array([grid.bounds.max_x + 1.0])
+        ys = np.array([grid.bounds.min_y])
+        with pytest.raises(GridError):
+            server.locate_points(xs, ys, strict=True)
+
+    def test_strict_default_comes_from_config(self, partition, grid):
+        strict_server = PartitionServer(partition, config=ServingConfig(strict=True))
+        with pytest.raises(GridError):
+            strict_server.locate_points(
+                np.array([grid.bounds.max_x + 1.0]), np.array([grid.bounds.min_y])
+            )
+
+    def test_map_max_corner_served(self, server, grid):
+        bounds = grid.bounds
+        result = server.locate_points(
+            np.array([bounds.max_x]), np.array([bounds.max_y])
+        )
+        assert int(result[0]) == server.n_regions - 1
+
+    def test_all_off_map_batch(self, server, grid):
+        xs = np.full(5, grid.bounds.max_x + 10.0)
+        ys = np.full(5, grid.bounds.max_y + 10.0)
+        assert server.locate_points(xs, ys).tolist() == [-1] * 5
+
+    def test_shape_mismatch_raises(self, server):
+        with pytest.raises(GridError):
+            server.locate_points(np.zeros(2), np.zeros(3))
+
+    def test_uncovered_cell_of_incomplete_partition(self, grid):
+        partial = Partition(grid, [GridRegion(grid, 0, 8, 0, 16)], require_complete=False)
+        server = PartitionServer(partial)
+        bounds = grid.bounds
+        low_y = bounds.min_y + 0.1   # covered half (rows start at min_y)
+        high_y = bounds.max_y - 0.1  # uncovered half
+        result = server.locate_points(
+            np.array([0.0, 0.0]), np.array([low_y, high_y])
+        )
+        assert result.tolist() == [0, -1]
+
+
+class TestLocateCells:
+    def test_matches_partition_assign(self, partition, server):
+        rng = np.random.default_rng(2)
+        rows = rng.integers(0, 16, 100)
+        cols = rng.integers(0, 16, 100)
+        np.testing.assert_array_equal(
+            server.locate_cells(rows, cols), partition.assign(rows, cols)
+        )
+
+    def test_out_of_grid_cells_nonstrict(self, server):
+        assert server.locate_cells([-1, 0, 99], [0, 0, 0]).tolist()[0] == -1
+        assert server.locate_cells([-1, 0, 99], [0, 0, 0]).tolist()[2] == -1
+
+
+class TestRangeQuery:
+    def test_matches_reference_on_random_boxes(self, partition, server):
+        rng = np.random.default_rng(4)
+        bounds = partition.grid.bounds
+        for _ in range(200):
+            x0, x1 = sorted(rng.uniform(bounds.min_x - 1.0, bounds.max_x + 1.0, 2))
+            y0, y1 = sorted(rng.uniform(bounds.min_y - 1.0, bounds.max_y + 1.0, 2))
+            query = BoundingBox(x0, y0, x1, y1)
+            assert server.range_query(query) == range_query(partition, query)
+
+    def test_edge_touching_box(self, partition, server, grid):
+        # Zero-width box exactly on an internal region boundary.
+        split_x = grid.bounds.min_x + grid.bounds.width / 4.0
+        query = BoundingBox(split_x, grid.bounds.min_y, split_x, grid.bounds.max_y)
+        assert server.range_query(query) == range_query(partition, query)
+
+    def test_disjoint_box_is_empty(self, server, grid):
+        query = BoundingBox(grid.bounds.max_x + 1.0, 0.0, grid.bounds.max_x + 2.0, 1.0)
+        assert server.range_query(query) == []
+
+    def test_full_map_returns_all_regions(self, server, grid):
+        assert server.range_query(grid.bounds) == list(range(server.n_regions))
+
+
+class TestFromArtifact:
+    def test_served_assignments_match_in_memory(self, partition, server, tmp_path):
+        path = save_partition_artifact(
+            partition, tmp_path / "bundle", {"method": "uniform"}
+        )
+        restored = PartitionServer.from_artifact(path)
+        assert restored.provenance == {"method": "uniform"}
+        rng = np.random.default_rng(6)
+        bounds = partition.grid.bounds
+        xs = rng.uniform(bounds.min_x - 0.5, bounds.max_x + 0.5, 400)
+        ys = rng.uniform(bounds.min_y - 0.5, bounds.max_y + 0.5, 400)
+        np.testing.assert_array_equal(
+            restored.locate_points(xs, ys), server.locate_points(xs, ys)
+        )
+
+    def test_describe_reports_geometry(self, server, grid):
+        info = server.describe()
+        assert info["n_regions"] == 16
+        assert info["grid_rows"] == grid.rows
+        assert info["bounds"][0] == grid.bounds.min_x
+
+
+class TestRegionCounts:
+    def test_counts_sum_to_on_map_points(self, server, grid):
+        rng = np.random.default_rng(8)
+        bounds = grid.bounds
+        xs = rng.uniform(bounds.min_x - 1.0, bounds.max_x + 1.0, 1000)
+        ys = rng.uniform(bounds.min_y - 1.0, bounds.max_y + 1.0, 1000)
+        counts = server.region_counts(xs, ys)
+        located = int(np.count_nonzero(server.locate_points(xs, ys) >= 0))
+        assert counts.shape == (server.n_regions,)
+        assert int(counts.sum()) == located

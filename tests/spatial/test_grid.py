@@ -90,6 +90,79 @@ class TestLocate:
         with pytest.raises(GridError):
             grid.locate_many(np.array([0.5, 2.0]), np.array([0.5, 0.5]))
 
+    def test_locate_many_nonstrict_marks_off_map_minus_one(self):
+        grid = Grid(4, 4)
+        rows, cols = grid.locate_many(
+            np.array([0.5, 2.0, -0.5, 1.0]),
+            np.array([0.5, 0.5, 0.5, 1.0]),
+            strict=False,
+        )
+        assert rows.tolist() == [2, -1, -1, 3]
+        assert cols.tolist() == [2, -1, -1, 3]
+
+    def test_locate_many_nonstrict_matches_strict_on_map(self):
+        grid = Grid(8, 8)
+        rng = np.random.default_rng(1)
+        xs = rng.uniform(0, 1, 50)
+        ys = rng.uniform(0, 1, 50)
+        strict_rows, strict_cols = grid.locate_many(xs, ys)
+        lax_rows, lax_cols = grid.locate_many(xs, ys, strict=False)
+        np.testing.assert_array_equal(strict_rows, lax_rows)
+        np.testing.assert_array_equal(strict_cols, lax_cols)
+
+
+class TestLocateBoundaryClamping:
+    """Points exactly on the map's max-x/max-y edge must clamp into the last
+    row/column instead of indexing one past the grid (regression: all four
+    corners and both max edges, on unit and offset non-unit bounds)."""
+
+    BOUNDS = (None, BoundingBox(-118.7, 33.6, -117.6, 34.4))
+
+    @pytest.mark.parametrize("bounds", BOUNDS)
+    def test_four_corners(self, bounds):
+        grid = Grid(5, 7, bounds)
+        b = grid.bounds
+        corner_cells = {
+            (b.min_x, b.min_y): GridCell(0, 0),
+            (b.max_x, b.min_y): GridCell(0, 6),
+            (b.min_x, b.max_y): GridCell(4, 0),
+            (b.max_x, b.max_y): GridCell(4, 6),
+        }
+        for (x, y), expected in corner_cells.items():
+            assert grid.locate(Point(x, y)) == expected
+
+    @pytest.mark.parametrize("bounds", BOUNDS)
+    def test_max_x_edge_clamps_to_last_column(self, bounds):
+        grid = Grid(5, 7, bounds)
+        b = grid.bounds
+        for frac in (0.0, 0.3, 0.72, 1.0):
+            y = b.min_y + frac * b.height
+            cell = grid.locate(Point(b.max_x, y))
+            assert cell.col == grid.cols - 1
+            assert 0 <= cell.row < grid.rows
+
+    @pytest.mark.parametrize("bounds", BOUNDS)
+    def test_max_y_edge_clamps_to_last_row(self, bounds):
+        grid = Grid(5, 7, bounds)
+        b = grid.bounds
+        for frac in (0.0, 0.3, 0.72, 1.0):
+            x = b.min_x + frac * b.width
+            cell = grid.locate(Point(x, b.max_y))
+            assert cell.row == grid.rows - 1
+            assert 0 <= cell.col < grid.cols
+
+    @pytest.mark.parametrize("bounds", BOUNDS)
+    def test_locate_many_boundary_matches_scalar(self, bounds):
+        grid = Grid(5, 7, bounds)
+        b = grid.bounds
+        xs = np.array([b.min_x, b.max_x, b.min_x, b.max_x, b.max_x, b.min_x + 0.5 * b.width])
+        ys = np.array([b.min_y, b.min_y, b.max_y, b.max_y, b.min_y + 0.5 * b.height, b.max_y])
+        rows, cols = grid.locate_many(xs, ys)
+        assert int(rows.max()) <= grid.rows - 1
+        assert int(cols.max()) <= grid.cols - 1
+        for x, y, row, col in zip(xs, ys, rows, cols):
+            assert grid.locate(Point(x, y)) == GridCell(int(row), int(col))
+
 
 class TestCellGeometry:
     def test_cell_bounds_tile_the_grid(self):

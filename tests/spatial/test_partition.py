@@ -73,6 +73,31 @@ class TestAssignment:
         with pytest.raises(PartitionError):
             partition.assign([8], [0])
 
+    def test_assign_strict_false_maps_out_of_grid_to_minus_one(self, grid):
+        partition = Partition(grid, halves(grid))
+        assignment = partition.assign([0, -1, 8, 5], [0, 0, 3, -2], strict=False)
+        assert assignment.tolist() == [0, -1, -1, -1]
+
+    def test_assign_strict_false_matches_strict_inside_grid(self, grid):
+        partition = Partition(grid, halves(grid))
+        rng = np.random.default_rng(5)
+        rows = rng.integers(0, 8, 60)
+        cols = rng.integers(0, 8, 60)
+        np.testing.assert_array_equal(
+            partition.assign(rows, cols, strict=False), partition.assign(rows, cols)
+        )
+
+    def test_assign_strict_false_incomplete_partition(self, grid):
+        partition = Partition(grid, [GridRegion(grid, 0, 4, 0, 8)], require_complete=False)
+        assignment = partition.assign([0, 7, 9], [0, 0, 0], strict=False)
+        assert assignment.tolist() == [0, -1, -1]
+
+    def test_label_grid_is_read_only(self, grid):
+        partition = Partition(grid, halves(grid))
+        assert partition.label_grid.shape == grid.shape
+        with pytest.raises(ValueError):
+            partition.label_grid[0, 0] = 99
+
     def test_region_sizes_sum_to_records(self, grid):
         partition = Partition(grid, halves(grid))
         rng = np.random.default_rng(1)

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import numpy as np
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, run
+from repro.cli import EXPERIMENTS, SERVING_COMMANDS, build_parser, run
+from repro.io.points import write_points_csv
 
 
 class TestParser:
@@ -27,6 +29,21 @@ class TestParser:
         assert set(EXPERIMENTS) == {
             "disparity", "ence", "utility", "features", "multi-objective", "timing", "compare"
         }
+
+    def test_serving_verbs_registered(self):
+        assert SERVING_COMMANDS == ("build", "query")
+        args = build_parser().parse_args(
+            ["build", "--artifact", "x.artifact", "--method", "median_kdtree"]
+        )
+        assert args.method == "median_kdtree"
+
+    def test_build_requires_artifact(self, capsys):
+        with pytest.raises(SystemExit):
+            run(["build", "--cities", "los_angeles", "--heights", "3", "--grid", "16"])
+
+    def test_query_requires_points(self, capsys):
+        with pytest.raises(SystemExit):
+            run(["query", "--artifact", "x.artifact"])
 
 
 class TestRun:
@@ -67,6 +84,69 @@ class TestRun:
         assert code == 0
         assert "Figure 6" in capsys.readouterr().out
         assert target.exists()
+
+    def test_build_then_query_roundtrip(self, capsys, tmp_path):
+        artifact = tmp_path / "la_h4.artifact"
+        code = run([
+            "build", "--cities", "los_angeles", "--heights", "4",
+            "--grid", "16", "--artifact", str(artifact),
+        ])
+        assert code == 0
+        assert (artifact / "manifest.json").exists()
+        output = capsys.readouterr().out
+        assert "artifact written to" in output
+
+        rng = np.random.default_rng(9)
+        points = tmp_path / "points.csv"
+        write_points_csv(points, rng.uniform(-0.2, 1.2, 50), rng.uniform(-0.2, 1.2, 50))
+        assignments = tmp_path / "assignments.csv"
+        code = run([
+            "query", "--artifact", str(artifact),
+            "--points", str(points), "--output", str(assignments),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "located" in output
+        lines = assignments.read_text().splitlines()
+        assert lines[0] == "x,y,neighborhood"
+        assert len(lines) == 51
+        labels = {int(line.rsplit(",", 1)[1]) for line in lines[1:]}
+        assert -1 in labels  # the generated batch includes off-map points
+        assert any(label >= 0 for label in labels)
+
+    def test_query_missing_artifact_fails_cleanly(self, capsys, tmp_path):
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.5]), np.array([0.5]))
+        code = run([
+            "query", "--artifact", str(tmp_path / "absent"), "--points", str(points),
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_strict_off_map_fails_cleanly(self, capsys, tmp_path):
+        artifact = tmp_path / "la.artifact"
+        run([
+            "build", "--cities", "los_angeles", "--heights", "3",
+            "--grid", "16", "--artifact", str(artifact),
+        ])
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([5.0]), np.array([0.5]))
+        code = run([
+            "query", "--artifact", str(artifact), "--points", str(points), "--strict",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_without_output_prints_summary_only(self, capsys, tmp_path):
+        artifact = tmp_path / "la.artifact"
+        run([
+            "build", "--cities", "los_angeles", "--heights", "3",
+            "--grid", "16", "--artifact", str(artifact),
+        ])
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.5]), np.array([0.5]))
+        assert run(["query", "--artifact", str(artifact), "--points", str(points)]) == 0
+        assert "located 1/1" in capsys.readouterr().out
 
     def test_compare_command(self, capsys, tmp_path):
         target = tmp_path / "compare.csv"

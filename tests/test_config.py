@@ -9,6 +9,7 @@ from repro.config import (
     GridConfig,
     ModelConfig,
     PartitionerConfig,
+    ServingConfig,
     PAPER_ACT_THRESHOLD,
     PAPER_ECE_BINS,
     PAPER_EMPLOYMENT_THRESHOLD,
@@ -97,6 +98,17 @@ class TestPartitionerConfig:
         PartitionerConfig(method="multi_objective_fair_kdtree", alpha=(0.5, 0.5))
         with pytest.raises(ConfigurationError):
             PartitionerConfig(method="multi_objective_fair_kdtree", alpha=(0.5, 0.6))
+
+
+class TestServingConfig:
+    def test_defaults(self):
+        config = ServingConfig()
+        assert config.cache_entries == 8
+        assert config.strict is False
+
+    def test_invalid_cache_entries_raise(self):
+        with pytest.raises(ConfigurationError):
+            ServingConfig(cache_entries=0)
 
 
 class TestExperimentConfig:
