@@ -10,7 +10,10 @@ as:
 * :mod:`repro.fairness` — ENCE, disparity audits, re-weighting, theorems;
 * :mod:`repro.core` — the fair KD-tree family, baselines, and the
   re-districting pipeline (the paper's contribution);
-* :mod:`repro.experiments` — one module per figure of the paper's evaluation.
+* :mod:`repro.experiments` — one module per figure of the paper's evaluation;
+* :mod:`repro.api` — the public surface: component registries, declarative
+  run specs, and the facade (``build_partition`` / ``run_pipeline`` /
+  ``open_server``) that resolves them.
 
 Quickstart
 ----------
@@ -56,6 +59,19 @@ from .serving import ArtifactCache, PartitionServer
 from .fairness import expected_neighborhood_calibration_error
 from .ml import make_classifier
 from .ml.model_selection import factory_for
+from . import api
+from .api import (
+    MODELS,
+    PARTITIONERS,
+    TASKS,
+    PartitionSpec,
+    RunSpec,
+    build_partition,
+    make_partitioner,
+    open_server,
+    run_pipeline,
+)
+from .registry import register_model, register_partitioner, register_task
 
 __version__ = "1.0.0"
 
@@ -94,6 +110,19 @@ __all__ = [
     "PartitionServer",
     "ArtifactCache",
     "quick_fair_partition",
+    "api",
+    "PARTITIONERS",
+    "MODELS",
+    "TASKS",
+    "PartitionSpec",
+    "RunSpec",
+    "make_partitioner",
+    "build_partition",
+    "run_pipeline",
+    "open_server",
+    "register_partitioner",
+    "register_model",
+    "register_task",
 ]
 
 

@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .api import PartitionSpec, RunSpec, build_partition, open_server
 from .core.base import train_scores_on_dataset
 from .core.results import comparisons_to_rows
 from .core.split_engine import DEFAULT_SPLIT_ENGINE, SPLIT_ENGINES
@@ -38,17 +39,16 @@ from .experiments.ence_sweep import run_ence_sweep
 from .experiments.feature_heatmap import run_feature_heatmap
 from .experiments.multi_objective import run_multi_objective_experiment
 from .experiments.reporting import format_table
-from .experiments.runner import PAPER_CITIES, build_partitioner, default_context
+from .experiments.runner import PAPER_CITIES, default_context
 from .experiments.timing import run_timing_experiment
 from .experiments.utility_sweep import run_utility_sweep
 from .config import ServingConfig
 from .exceptions import ReproError
 from .fairness.report import compare_partitions, improvement_summary
-from .io.artifacts import save_partition_artifact
 from .io.export import save_rows_csv
 from .io.points import read_points_csv
 from .logging_utils import configure_logging
-from .serving import PartitionServer
+from .registry import MODELS, PARTITIONERS
 from .viz import render_partition_ascii
 
 EXPERIMENTS = (
@@ -58,10 +58,15 @@ EXPERIMENTS = (
 #: Serving verbs: persist a partition artifact / batch-query a stored one.
 SERVING_COMMANDS = ("build", "query")
 
-#: Methods the ``build`` verb can persist (single-task partitioners).
-BUILD_METHODS = (
-    "fair_kdtree", "iterative_fair_kdtree", "median_kdtree", "grid_reweighting",
-)
+#: Methods the ``build`` verb can persist (everything flagged ``servable``:
+#: the single-task partitioners).  Import-time snapshot for reference and
+#: tests; :func:`build_parser` re-derives the list from the registry on
+#: every call so partitioners registered later still appear.
+BUILD_METHODS = PARTITIONERS.names(servable=True)
+
+#: Registered classifier families (import-time snapshot; the parser
+#: re-derives them per call, like :data:`BUILD_METHODS`).
+MODEL_CHOICES = MODELS.names()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,7 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--model",
         default="logistic_regression",
-        choices=("logistic_regression", "decision_tree", "naive_bayes"),
+        choices=MODELS.names(),
         help="classifier family",
     )
     parser.add_argument("--grid", type=int, default=32, help="base grid resolution (grid x grid)")
@@ -102,8 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument(
         "--method",
         default="fair_kdtree",
-        choices=BUILD_METHODS,
-        help="partitioning method the 'build' verb persists",
+        choices=PARTITIONERS.names(servable=True),
+        help="partitioning method the 'build' verb persists; also selects the "
+        "partition the 'compare' verb renders",
     )
     serving.add_argument(
         "--artifact",
@@ -155,6 +161,14 @@ def _experiment_catalogue() -> str:
     }
     for name in SERVING_COMMANDS:
         lines.append(f"  {name:16s} {serving_descriptions[name]}")
+    lines.append("Partitioning methods (--method; from the registry):")
+    for entry in PARTITIONERS:
+        marker = "*" if entry.flag("servable") else " "
+        lines.append(f" {marker} {entry.name:28s} {entry.summary}")
+    lines.append("  (* = persistable by the 'build' verb)")
+    lines.append("Classifier families (--model):")
+    for name, summary in MODELS.summaries().items():
+        lines.append(f"   {name:28s} {summary}")
     return "\n".join(lines)
 
 
@@ -162,9 +176,9 @@ def _run_compare(context, args: argparse.Namespace) -> List[dict]:
     """Before/after fairness report for one city at one height.
 
     Trains a model once on the base grid (single neighborhood), then compares
-    how the same confidence scores distribute over the median, fair, iterative
-    and re-weighting partitions built at ``max(heights)``, and prints an ASCII
-    map of the fair partition.
+    how the same confidence scores distribute over every partition of the
+    registry's paper roster built at ``max(heights)``, and prints an ASCII
+    map of the ``--method`` partition.
     """
     city = context.cities[0]
     height = max(context.heights)
@@ -176,24 +190,28 @@ def _run_compare(context, args: argparse.Namespace) -> List[dict]:
     base = dataset.with_neighborhoods(np.zeros(dataset.n_records, dtype=int))
     scores, _, _ = train_scores_on_dataset(base, labels, factory)
 
+    # The roster's first entry is the paper's reference baseline; every
+    # improvement percentage below is relative to it.
+    roster = PARTITIONERS.paper_methods()
+    baseline = roster[0]
     assignments = {}
-    fair_partition = None
-    for method in ("median_kdtree", "fair_kdtree", "iterative_fair_kdtree", "grid_reweighting"):
-        partitioner = build_partitioner(method, height, split_engine=context.split_engine)
+    shown_partition = None
+    for method in roster:
+        partitioner = context.partitioner(method, height)
         output = partitioner.build(dataset, labels, factory)
         assignments[method] = output.partition.assign(dataset.cell_rows, dataset.cell_cols)
-        if method == "fair_kdtree":
-            fair_partition = output.partition
+        if method == args.method:
+            shown_partition = output.partition
 
     rows = compare_partitions(scores, labels, assignments)
     print(format_table(rows, title=f"Fairness report — {city}, height {height}, task {task.name}"))
-    improvements = improvement_summary(rows, baseline="median_kdtree")
-    print("\nENCE improvement over the median KD-tree:")
+    improvements = improvement_summary(rows, baseline=baseline)
+    print(f"\nENCE improvement over {baseline}:")
     for method, fraction in improvements.items():
         print(f"  {method:24s} {fraction * 100:6.1f}%")
-    if fair_partition is not None:
-        print("\nFair KD-tree partition (one letter per neighborhood, south at the bottom):")
-        print(render_partition_ascii(fair_partition))
+    if shown_partition is not None:
+        print(f"\n{args.method} partition (one letter per neighborhood, south at the bottom):")
+        print(render_partition_ascii(shown_partition))
     return rows
 
 
@@ -207,39 +225,32 @@ def _run_build(context, args: argparse.Namespace) -> List[dict]:
     """
     city = context.cities[0]
     height = max(context.heights)
-    dataset = context.dataset(city)
-    task = act_task()
-    labels = task.labels(dataset)
-    factory = context.model_factory(args.model)
-    partitioner = build_partitioner(args.method, height, split_engine=context.split_engine)
-    output = partitioner.build(dataset, labels, factory)
-    provenance = {
-        "city": city,
-        "method": args.method,
-        "height": height,
-        "split_engine": context.split_engine,
-        "model": args.model,
-        "task": task.name,
-        "grid_rows": context.grid_rows,
-        "grid_cols": context.grid_cols,
-        "n_records": dataset.n_records,
-        "seed": args.seed,
-        "dataset_seed": context.dataset_seed,
-    }
-    path = save_partition_artifact(output.partition, args.artifact, provenance=provenance)
-    summary = output.partition.summary()
+    spec = RunSpec(
+        partition=PartitionSpec(
+            method=args.method, height=height, split_engine=context.split_engine
+        ),
+        city=city,
+        model=args.model,
+        grid_rows=context.grid_rows,
+        grid_cols=context.grid_cols,
+        seed=args.seed,
+        dataset_seed=context.dataset_seed,
+    )
+    result = build_partition(spec, dataset=context.dataset(city))
+    path = result.save(args.artifact)
+    summary = result.partition.summary()
     print(
-        f"built {args.method} partition of {city} at height {height}: "
-        f"{output.n_neighborhoods} neighborhoods over a "
+        f"built {spec.partition.method} partition of {city} at height {height}: "
+        f"{result.n_neighborhoods} neighborhoods over a "
         f"{context.grid_rows}x{context.grid_cols} grid"
     )
     print(f"artifact written to {path}")
     return [
         {
             "city": city,
-            "method": args.method,
+            "method": spec.partition.method,
             "height": height,
-            "n_regions": output.n_neighborhoods,
+            "n_regions": result.n_neighborhoods,
             "min_cells": summary["min_cells"],
             "max_cells": summary["max_cells"],
             "artifact": str(path),
@@ -248,10 +259,13 @@ def _run_build(context, args: argparse.Namespace) -> List[dict]:
 
 
 def _run_query(args: argparse.Namespace) -> List[dict]:
-    """Batch point-location against a stored partition artifact."""
-    server = PartitionServer.from_artifact(
-        args.artifact, config=ServingConfig(strict=args.strict)
-    )
+    """Batch point-location against a stored partition artifact.
+
+    ``open_server`` re-validates the run spec embedded in the bundle, so a
+    stale artifact naming a method this installation no longer knows fails
+    here with a clean error instead of serving unidentifiable regions.
+    """
+    server = open_server(args.artifact, config=ServingConfig(strict=args.strict))
     xs, ys = read_points_csv(args.points)
     assignment = server.locate_points(xs, ys)
     located = int(np.count_nonzero(assignment >= 0))

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence, Tuple
 
 from .exceptions import ConfigurationError
+from .registry import MODELS, PARTITIONERS
 
 #: Tree heights swept in the paper's Figures 7 and 8.
 PAPER_HEIGHTS: Tuple[int, ...] = (4, 5, 6, 7, 8, 9, 10)
@@ -108,13 +109,12 @@ class ModelConfig:
     var_smoothing: float = 1e-6
     seed: int = 13
 
-    _VALID_KINDS = ("logistic_regression", "decision_tree", "naive_bayes")
-
     def __post_init__(self) -> None:
-        if self.kind not in self._VALID_KINDS:
-            raise ConfigurationError(
-                f"unknown model kind {self.kind!r}; expected one of {self._VALID_KINDS}"
-            )
+        # Known families live in the model registry (repro.registry.MODELS),
+        # populated by the @register_model decorators in repro.ml; the
+        # registry imports that package lazily on first lookup.
+        if self.kind not in MODELS:
+            raise ConfigurationError(MODELS.unknown_message(self.kind))
         if self.max_iter < 1:
             raise ConfigurationError("max_iter must be >= 1")
         if self.learning_rate <= 0:
@@ -137,20 +137,12 @@ class PartitionerConfig:
     objective: str = "balance"
     split_engine: str = "prefix_sum"
 
-    _VALID_METHODS = (
-        "fair_kdtree",
-        "iterative_fair_kdtree",
-        "multi_objective_fair_kdtree",
-        "median_kdtree",
-        "grid_reweighting",
-        "zipcode",
-    )
-
     def __post_init__(self) -> None:
-        if self.method not in self._VALID_METHODS:
-            raise ConfigurationError(
-                f"unknown partitioner {self.method!r}; expected one of {self._VALID_METHODS}"
-            )
+        # Known methods live in the partitioner registry
+        # (repro.registry.PARTITIONERS), populated by the
+        # @register_partitioner decorators in repro.core.
+        if self.method not in PARTITIONERS:
+            raise ConfigurationError(PARTITIONERS.unknown_message(self.method))
         if self.height < 0:
             raise ConfigurationError(f"height must be non-negative, got {self.height}")
         total = sum(self.alpha)

@@ -19,6 +19,7 @@ partitioner interface:
   constant-time cumulative-table reads.
 """
 
+from ..registry import PARTITIONERS
 from .base import PartitionerOutput, SpatialPartitioner
 from .fair_kdtree import FairKDTreePartitioner
 from .fair_quadtree import FairQuadTreePartitioner
@@ -64,3 +65,16 @@ __all__ = [
     "EvaluationMetrics",
     "MethodComparison",
 ]
+
+# Zipcode tessellations are a valid partitioning *method* (accepted by
+# PartitionerConfig, compared in disparity audits) but have no partitioner
+# class: the regions come from real zipcode geometry in
+# repro.datasets.zipcodes, not from a build() call.  Registering the name
+# with obj=None keeps the registry the single list of known methods while
+# letting the facade raise a precise error for attempts to construct one.
+PARTITIONERS.register(
+    "zipcode",
+    None,
+    summary="real zipcode tessellation (built by repro.datasets.zipcodes)",
+    paper_ref="Section 5.1 (real-world baseline regions)",
+)

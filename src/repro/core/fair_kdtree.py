@@ -21,6 +21,7 @@ import numpy as np
 from ..datasets.dataset import SpatialDataset
 from ..exceptions import ConfigurationError
 from ..ml.model_selection import ModelFactory
+from ..registry import register_partitioner
 from ..spatial.kdtree import KDNode
 from ..spatial.partition import Partition
 from ..spatial.region import GridRegion
@@ -35,6 +36,17 @@ from .split_engine import (
 )
 
 
+@register_partitioner(
+    "fair_kdtree",
+    aliases=("fair",),
+    summary="fairness-aware KD-tree: train once, split on residual balance",
+    paper_ref="Algorithm 1 + 2",
+    accepts_split_engine=True,
+    accepts_objective=True,
+    tree_based=True,
+    paper_order=1,
+    servable=True,
+)
 class FairKDTreePartitioner(SpatialPartitioner):
     """Fairness-aware KD-tree construction (single classification task).
 

@@ -21,6 +21,7 @@ import numpy as np
 from ..datasets.dataset import SpatialDataset
 from ..exceptions import ConfigurationError
 from ..ml.model_selection import ModelFactory
+from ..registry import register_partitioner
 from ..spatial.partition import Partition
 from ..spatial.region import GridRegion
 from .base import PartitionerOutput, SpatialPartitioner, train_scores_on_dataset
@@ -55,6 +56,15 @@ class FairQuadNode:
         return result
 
 
+@register_partitioner(
+    "fair_quadtree",
+    summary="four-way fair splits; a depth-d quadtree ~ a height-2d KD-tree",
+    paper_ref="future-work extension",
+    accepts_split_engine=True,
+    accepts_objective=True,
+    tree_based=True,
+    height_param="depth",
+)
 class FairQuadTreePartitioner(SpatialPartitioner):
     """Quadtree whose cut point minimises the calibration-balance objective.
 

@@ -18,6 +18,7 @@ from ..datasets.dataset import SpatialDataset
 from ..exceptions import ConfigurationError
 from ..fairness.reweighting import kamiran_calders_weights
 from ..ml.model_selection import ModelFactory
+from ..registry import register_partitioner
 from ..spatial.partition import Partition, uniform_partition
 from .base import PartitionerOutput, SpatialPartitioner
 
@@ -36,6 +37,15 @@ def grid_blocks_for_height(height: int, grid_rows: int, grid_cols: int) -> tuple
     return min(row_blocks, grid_rows), min(col_blocks, grid_cols)
 
 
+@register_partitioner(
+    "grid_reweighting",
+    aliases=("reweighting",),
+    summary="uniform grid neighborhoods + Kamiran-Calders instance re-weighting",
+    paper_ref="baseline",
+    baseline=True,
+    paper_order=3,
+    servable=True,
+)
 class GridReweightingPartitioner(SpatialPartitioner):
     """Uniform-grid neighborhoods plus Kamiran-Calders sample weights."""
 

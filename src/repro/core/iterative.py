@@ -17,6 +17,7 @@ import numpy as np
 from ..datasets.dataset import SpatialDataset
 from ..exceptions import ConfigurationError
 from ..ml.model_selection import ModelFactory
+from ..registry import register_partitioner
 from ..spatial.partition import Partition
 from ..spatial.region import GridRegion
 from .base import PartitionerOutput, SpatialPartitioner, train_scores_on_dataset
@@ -25,6 +26,17 @@ from .split import best_axis_split
 from .split_engine import DEFAULT_SPLIT_ENGINE, make_split_engine, validate_split_engine
 
 
+@register_partitioner(
+    "iterative_fair_kdtree",
+    aliases=("iterative",),
+    summary="breadth-first fair KD-tree; retrains the model at every level",
+    paper_ref="Algorithm 3",
+    accepts_split_engine=True,
+    accepts_objective=True,
+    tree_based=True,
+    paper_order=2,
+    servable=True,
+)
 class IterativeFairKDTreePartitioner(SpatialPartitioner):
     """Breadth-first fair KD-tree with per-level model retraining.
 

@@ -7,11 +7,23 @@ import numpy as np
 from ..datasets.dataset import SpatialDataset
 from ..exceptions import ConfigurationError
 from ..ml.model_selection import ModelFactory
+from ..registry import register_partitioner
 from ..spatial.kdtree import MedianKDTree
 from .base import PartitionerOutput, SpatialPartitioner
 from .split_engine import DEFAULT_SPLIT_ENGINE, validate_split_engine
 
 
+@register_partitioner(
+    "median_kdtree",
+    aliases=("median",),
+    summary="classic data-median KD-tree (density only, fairness-blind)",
+    paper_ref="baseline",
+    accepts_split_engine=True,
+    tree_based=True,
+    baseline=True,
+    paper_order=0,
+    servable=True,
+)
 class MedianKDTreePartitioner(SpatialPartitioner):
     """The standard data-median KD-tree (no fairness awareness).
 

@@ -17,12 +17,24 @@ import numpy as np
 from ..datasets.dataset import SpatialDataset
 from ..exceptions import ConfigurationError
 from ..ml.model_selection import ModelFactory
+from ..registry import register_partitioner
 from .base import PartitionerOutput, SpatialPartitioner, train_scores_on_dataset
 from .fair_kdtree import FairKDTreePartitioner
 from .objective import make_scorer
 from .split_engine import DEFAULT_SPLIT_ENGINE, validate_split_engine
 
 
+@register_partitioner(
+    "multi_objective_fair_kdtree",
+    aliases=("multi_objective",),
+    summary="one fair partition serving several tasks (alpha-weighted residuals)",
+    paper_ref="Section 4.3 (Eq. 11-13)",
+    accepts_split_engine=True,
+    accepts_objective=True,
+    accepts_alphas=True,
+    tree_based=True,
+    multi_task=True,
+)
 class MultiObjectiveFairKDTreePartitioner(SpatialPartitioner):
     """Fair KD-tree serving several classification tasks at once.
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..config import PAPER_ACT_THRESHOLD, PAPER_EMPLOYMENT_THRESHOLD
 from ..exceptions import DatasetError
+from ..registry import register_task
 from .dataset import SpatialDataset
 
 
@@ -57,3 +58,19 @@ def employment_task(threshold: float = PAPER_EMPLOYMENT_THRESHOLD) -> LabelTask:
     return LabelTask(
         name="Employment", outcome_column="family_employment_rate", threshold=threshold
     )
+
+
+register_task(
+    "act",
+    act_task,
+    aliases=("ACT",),
+    summary="average ACT score >= 22",
+    paper_ref="Section 5.1",
+)
+register_task(
+    "employment",
+    employment_task,
+    aliases=("Employment",),
+    summary="family employment percentage >= 10%",
+    paper_ref="Section 5.4",
+)

@@ -20,15 +20,22 @@ from .ence_sweep import EnceSweepResult, run_ence_sweep
 from .feature_heatmap import FeatureHeatmapResult, run_feature_heatmap
 from .multi_objective import MultiObjectiveResult, run_multi_objective_experiment
 from .reporting import format_table, format_series
-from .runner import (
-    ExperimentContext,
-    build_dataset,
-    build_partitioner,
-    default_context,
-    PAPER_METHODS,
-)
+from .runner import ExperimentContext, build_dataset, default_context
 from .timing import TimingResult, run_timing_experiment
 from .utility_sweep import UtilitySweepResult, run_utility_sweep
+
+
+def __getattr__(name: str):
+    """Deprecated re-exports (``PAPER_METHODS``, ``build_partitioner``).
+
+    Forwarded lazily to :mod:`repro.experiments.runner`, whose shims emit
+    the :class:`DeprecationWarning` — importing this package stays silent.
+    """
+    if name in ("PAPER_METHODS", "build_partitioner"):
+        from . import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ExperimentContext",

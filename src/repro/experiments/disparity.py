@@ -11,10 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..config import ModelConfig
+from ..api.facade import model_factory_for
 from ..datasets.labels import LabelTask, act_task
 from ..fairness.disparity import DisparityAudit, audit_disparity, audit_rows
-from ..ml.model_selection import factory_for
 from .reporting import format_table
 from .runner import ExperimentContext, default_context
 
@@ -56,7 +55,7 @@ def run_disparity_experiment(
     """Run the Figure 6 audit for every city in ``context``."""
     context = context or default_context()
     task = task or act_task()
-    factory = factory_for(ModelConfig(kind=model_kind))
+    factory = model_factory_for(model_kind)
     audits: Dict[str, DisparityAudit] = {}
     for city in context.cities:
         dataset = context.dataset(city)

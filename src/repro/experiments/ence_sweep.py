@@ -15,8 +15,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.results import MethodComparison
 from ..datasets.labels import LabelTask, act_task
+from ..registry import PARTITIONERS
 from .reporting import format_series
-from .runner import ExperimentContext, build_partitioner, default_context
+from .runner import ExperimentContext, default_context
 
 
 @dataclass(frozen=True)
@@ -38,15 +39,20 @@ class EnceSweepResult:
         return result
 
     def improvement_over_median(self, city: str, model: str, height: int) -> Dict[str, float]:
-        """Relative ENCE improvement of each method over the median KD-tree."""
+        """Relative ENCE improvement of each method over the median KD-tree.
+
+        The reference method is the first entry of the registry's paper
+        roster (the fairness-blind median KD-tree baseline).
+        """
+        reference = PARTITIONERS.paper_methods()[0]
         panel = self.series(city, model)
-        baseline = panel.get("median_kdtree", {}).get(height)
+        baseline = panel.get(reference, {}).get(height)
         if baseline is None or baseline == 0:
             return {}
         return {
             method: (baseline - values[height]) / baseline
             for method, values in panel.items()
-            if height in values and method != "median_kdtree"
+            if height in values and method != reference
         }
 
     def render(self, split: str = "test") -> str:
@@ -83,9 +89,7 @@ def run_ence_sweep(
             pipeline = context.pipeline(model_kind)
             for height in context.heights:
                 for method in context.methods:
-                    partitioner = build_partitioner(
-                        method, height, split_engine=context.split_engine
-                    )
+                    partitioner = context.partitioner(method, height)
                     run = pipeline.run(dataset, task, partitioner)
                     comparisons.append(
                         MethodComparison(

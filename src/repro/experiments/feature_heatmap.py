@@ -14,11 +14,23 @@ from typing import Dict, List, Optional, Tuple
 from ..datasets.labels import LabelTask, act_task
 from ..ml.feature_importance import normalized_importance, permutation_importance
 from ..ml.preprocessing import FeaturePipeline
+from ..registry import PARTITIONERS
 from .reporting import format_table
-from .runner import ExperimentContext, build_partitioner, default_context
+from .runner import ExperimentContext, default_context
 
-#: Methods shown in Figure 9 (the tree-based partitioners).
-HEATMAP_METHODS: Tuple[str, ...] = ("median_kdtree", "fair_kdtree", "iterative_fair_kdtree")
+def heatmap_methods() -> Tuple[str, ...]:
+    """Methods shown in Figure 9: the paper-roster methods that grow a tree
+    (the grid-reweighting baseline has no per-height structure to compare).
+
+    Derived from the registry at call time, so partitioners registered
+    after this module imported still appear in the sweep.
+    """
+    return PARTITIONERS.paper_methods(tree_based=True)
+
+
+#: Import-time snapshot of :func:`heatmap_methods`, kept for reference;
+#: ``run_feature_heatmap`` re-derives the roster per call.
+HEATMAP_METHODS: Tuple[str, ...] = heatmap_methods()
 
 
 @dataclass(frozen=True)
@@ -62,11 +74,12 @@ def run_feature_heatmap(
     context: Optional[ExperimentContext] = None,
     task: Optional[LabelTask] = None,
     model_kind: str = "logistic_regression",
-    methods: Tuple[str, ...] = HEATMAP_METHODS,
+    methods: Optional[Tuple[str, ...]] = None,
     n_repeats: int = 3,
 ) -> FeatureHeatmapResult:
     """Run the Figure 9 heatmap experiment."""
     context = context or default_context()
+    methods = methods if methods is not None else heatmap_methods()
     task = task or act_task()
     importances: Dict[Tuple[str, str, int], Dict[str, float]] = {}
 
@@ -76,9 +89,7 @@ def run_feature_heatmap(
         factory = context.model_factory(model_kind)
         for method in methods:
             for height in context.heights:
-                partitioner = build_partitioner(
-                    method, height, split_engine=context.split_engine
-                )
+                partitioner = context.partitioner(method, height)
                 output = partitioner.build(dataset, labels, factory)
                 redistricted = dataset.with_partition(output.partition)
 

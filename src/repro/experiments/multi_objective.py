@@ -12,19 +12,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
-from ..core.multi_objective import MultiObjectiveFairKDTreePartitioner
+from ..api.facade import make_partitioner
+from ..api.specs import PartitionSpec
 from ..core.pipeline import RedistrictingPipeline
 from ..datasets.labels import LabelTask, act_task, employment_task
 from ..datasets.splits import split_dataset
+from ..registry import PARTITIONERS
 from .reporting import format_table
-from .runner import ExperimentContext, build_partitioner, default_context
+from .runner import ExperimentContext, default_context
 
-#: Methods compared in Figure 10 (the iterative variant is omitted, as in the paper).
-MULTI_OBJECTIVE_METHODS: Tuple[str, ...] = (
-    "median_kdtree",
-    "multi_objective_fair_kdtree",
-    "grid_reweighting",
-)
+def multi_objective_methods() -> Tuple[str, ...]:
+    """Methods compared in Figure 10: every multi-task-capable method against
+    the paper's baselines (the iterative variant is omitted, as in the paper).
+
+    Derived from the registry at call time, so partitioners registered
+    after this module imported still appear in the sweep.
+    """
+    return PARTITIONERS.names(multi_task=True) + PARTITIONERS.paper_methods(
+        baseline=True
+    )
+
+
+#: Import-time snapshot of :func:`multi_objective_methods`, kept for
+#: reference; ``run_multi_objective_experiment`` re-derives it per call.
+MULTI_OBJECTIVE_METHODS: Tuple[str, ...] = multi_objective_methods()
 
 
 @dataclass(frozen=True)
@@ -68,10 +79,11 @@ def run_multi_objective_experiment(
     tasks: Optional[Sequence[LabelTask]] = None,
     alphas: Sequence[float] = (0.5, 0.5),
     model_kind: str = "logistic_regression",
-    methods: Tuple[str, ...] = MULTI_OBJECTIVE_METHODS,
+    methods: Optional[Tuple[str, ...]] = None,
 ) -> MultiObjectiveResult:
     """Run the Figure 10 experiment over the context's cities and heights."""
     context = context or default_context()
+    methods = methods if methods is not None else multi_objective_methods()
     tasks = list(tasks) if tasks is not None else [act_task(), employment_task()]
     if len(tasks) != len(alphas):
         raise ValueError("one alpha weight is required per task")
@@ -93,9 +105,14 @@ def run_multi_objective_experiment(
                         ece_bins=context.ece_bins,
                         seed=context.seed,
                     )
-                    if method == "multi_objective_fair_kdtree":
-                        partitioner = MultiObjectiveFairKDTreePartitioner(
-                            height, alphas=alphas, split_engine=context.split_engine
+                    if PARTITIONERS.resolve(method).flag("multi_task"):
+                        partitioner = make_partitioner(
+                            PartitionSpec(
+                                method=method,
+                                height=height,
+                                alphas=tuple(alphas),
+                                split_engine=context.split_engine,
+                            )
                         )
                         # The shared partition is built once from *all* tasks'
                         # training labels, then evaluated under the current task.
@@ -103,9 +120,7 @@ def run_multi_objective_experiment(
                         output = partitioner.build_multi(split.train, task_labels, factory)
                         run = pipeline.run_split(split, partitioner, precomputed=output)
                     else:
-                        partitioner = build_partitioner(
-                            method, height, split_engine=context.split_engine
-                        )
+                        partitioner = context.partitioner(method, height)
                         run = pipeline.run_split(split, partitioner)
                     ence[(city, height, method, task.name)] = run.test_metrics.ence
     return MultiObjectiveResult(ence=ence)

@@ -4,41 +4,50 @@ Every figure experiment needs the same ingredients — a synthetic city
 dataset, a classifier family, a set of partitioning methods and a tree-height
 sweep.  :class:`ExperimentContext` bundles them so the figure modules stay
 small and consistent.
+
+Method and model rosters come from the registries
+(:data:`repro.registry.PARTITIONERS` / :data:`repro.registry.MODELS`);
+partitioners are instantiated through :func:`repro.api.make_partitioner`.
+The old string-dispatch helpers (``build_partitioner``,
+``build_partitioner_from_config``) and the ``PAPER_METHODS`` tuple remain
+as thin deprecation shims over that registry path.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Sequence, Tuple
 
-from ..config import DatasetConfig, GridConfig, ModelConfig, PartitionerConfig
+from ..api.facade import make_partitioner, model_factory_for
+from ..api.specs import PartitionSpec
+from ..config import DatasetConfig, GridConfig, PartitionerConfig
 from ..core.base import SpatialPartitioner
-from ..core.fair_kdtree import FairKDTreePartitioner
-from ..core.fair_quadtree import FairQuadTreePartitioner
-from ..core.grid_reweighting import GridReweightingPartitioner
-from ..core.iterative import IterativeFairKDTreePartitioner
-from ..core.median_kdtree import MedianKDTreePartitioner
-from ..core.multi_objective import MultiObjectiveFairKDTreePartitioner
 from ..core.pipeline import RedistrictingPipeline
 from ..core.split_engine import DEFAULT_SPLIT_ENGINE
 from ..datasets.dataset import SpatialDataset
 from ..datasets.edgap import city_model, load_edgap_city
-from ..exceptions import ExperimentError
-from ..ml.model_selection import ModelFactory, factory_for
+from ..ml.model_selection import ModelFactory
+from ..registry import MODELS, PARTITIONERS
 
-#: Methods compared in the paper's Figures 7 and 8, in presentation order.
-PAPER_METHODS: Tuple[str, ...] = (
-    "median_kdtree",
-    "fair_kdtree",
-    "iterative_fair_kdtree",
-    "grid_reweighting",
-)
-
-#: Classifier families used in Figure 7.
-PAPER_MODELS: Tuple[str, ...] = ("logistic_regression", "decision_tree", "naive_bayes")
+#: Classifier families used in Figure 7, in presentation order.
+PAPER_MODELS: Tuple[str, ...] = MODELS.paper_models()
 
 #: Cities evaluated throughout Section 5.
 PAPER_CITIES: Tuple[str, ...] = ("los_angeles", "houston")
+
+
+def __getattr__(name: str):
+    """Deprecation shim: ``PAPER_METHODS`` now lives in the registry."""
+    if name == "PAPER_METHODS":
+        warnings.warn(
+            "repro.experiments.runner.PAPER_METHODS is deprecated; use "
+            "repro.registry.PARTITIONERS.paper_methods()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return PARTITIONERS.paper_methods()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def build_dataset(
@@ -65,55 +74,55 @@ def build_partitioner(
     alphas: Sequence[float] = (0.5, 0.5),
     split_engine: str = DEFAULT_SPLIT_ENGINE,
 ) -> SpatialPartitioner:
-    """Instantiate a partitioner by its method name."""
-    if method == "median_kdtree":
-        return MedianKDTreePartitioner(height, split_engine=split_engine)
-    if method == "fair_kdtree":
-        return FairKDTreePartitioner(height, split_engine=split_engine)
-    if method == "iterative_fair_kdtree":
-        return IterativeFairKDTreePartitioner(height, split_engine=split_engine)
-    if method == "grid_reweighting":
-        return GridReweightingPartitioner(height)
-    if method == "multi_objective_fair_kdtree":
-        return MultiObjectiveFairKDTreePartitioner(
-            height, alphas=alphas, split_engine=split_engine
+    """Instantiate a partitioner by its method name.
+
+    .. deprecated::
+        Use :func:`repro.api.make_partitioner` with a
+        :class:`~repro.api.specs.PartitionSpec`.  This shim delegates to the
+        registry resolver, so unknown methods raise
+        :class:`~repro.exceptions.ExperimentError` listing the available
+        names with a nearest-match suggestion.
+    """
+    warnings.warn(
+        "build_partitioner is deprecated; use "
+        "repro.api.make_partitioner(PartitionSpec(method=..., height=...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    entry = PARTITIONERS.resolve(method)
+    return make_partitioner(
+        PartitionSpec(
+            method=entry.name,
+            height=height,
+            alphas=tuple(alphas) if entry.flag("accepts_alphas") else None,
+            split_engine=split_engine,
         )
-    if method == "fair_quadtree":
-        # A fair quadtree of depth d is granularity-comparable to a KD-tree of
-        # height 2d, so the requested height is halved (rounded up).
-        return FairQuadTreePartitioner(depth=(height + 1) // 2, split_engine=split_engine)
-    raise ExperimentError(f"unknown method {method!r}; known methods: {PAPER_METHODS}")
+    )
 
 
 def build_partitioner_from_config(config: PartitionerConfig) -> SpatialPartitioner:
     """Instantiate a partitioner from a :class:`~repro.config.PartitionerConfig`.
 
-    Honours every field of the configuration (method, height, objective,
-    alpha weights and split engine), unlike :func:`build_partitioner` which
-    covers the common method+height case.
+    .. deprecated::
+        Use :func:`repro.api.make_partitioner`; a ``PartitionerConfig``
+        translates field-for-field into a
+        :class:`~repro.api.specs.PartitionSpec`.
     """
-    if config.method == "median_kdtree":
-        return MedianKDTreePartitioner(config.height, split_engine=config.split_engine)
-    if config.method == "fair_kdtree":
-        return FairKDTreePartitioner(
-            config.height, objective=config.objective, split_engine=config.split_engine
-        )
-    if config.method == "iterative_fair_kdtree":
-        return IterativeFairKDTreePartitioner(
-            config.height, objective=config.objective, split_engine=config.split_engine
-        )
-    if config.method == "multi_objective_fair_kdtree":
-        return MultiObjectiveFairKDTreePartitioner(
-            config.height,
-            alphas=config.alpha,
+    warnings.warn(
+        "build_partitioner_from_config is deprecated; use "
+        "repro.api.make_partitioner(PartitionSpec(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    entry = PARTITIONERS.resolve(config.method)
+    return make_partitioner(
+        PartitionSpec(
+            method=entry.name,
+            height=config.height,
             objective=config.objective,
+            alphas=tuple(config.alpha) if entry.flag("accepts_alphas") else None,
             split_engine=config.split_engine,
         )
-    if config.method == "grid_reweighting":
-        return GridReweightingPartitioner(config.height)
-    raise ExperimentError(
-        f"method {config.method!r} has no partitioner class "
-        "(zipcode partitions come from repro.datasets.zipcodes)"
     )
 
 
@@ -128,7 +137,8 @@ class ExperimentContext:
     model_kinds:
         Classifier families to train.
     methods:
-        Partitioning methods to compare.
+        Partitioning methods to compare (defaults to the registry's
+        Figures 7/8 roster).
     heights:
         Tree heights to sweep.
     grid_rows, grid_cols:
@@ -143,7 +153,7 @@ class ExperimentContext:
 
     cities: Tuple[str, ...] = PAPER_CITIES
     model_kinds: Tuple[str, ...] = ("logistic_regression",)
-    methods: Tuple[str, ...] = PAPER_METHODS
+    methods: Tuple[str, ...] = field(default_factory=PARTITIONERS.paper_methods)
     heights: Tuple[int, ...] = (4, 6, 8, 10)
     grid_rows: int = 32
     grid_cols: int = 32
@@ -164,7 +174,13 @@ class ExperimentContext:
 
     def model_factory(self, kind: str) -> ModelFactory:
         """Classifier factory for the model family ``kind``."""
-        return factory_for(ModelConfig(kind=kind))
+        return model_factory_for(kind)
+
+    def partitioner(self, method: str, height: int) -> SpatialPartitioner:
+        """A partitioner wired to this context's split engine."""
+        return make_partitioner(
+            PartitionSpec(method=method, height=height, split_engine=self.split_engine)
+        )
 
     def pipeline(self, kind: str) -> RedistrictingPipeline:
         """A redistricting pipeline wired to this context's controls."""

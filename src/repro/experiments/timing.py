@@ -13,9 +13,12 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..api.facade import make_partitioner
+from ..api.specs import PartitionSpec
 from ..datasets.labels import LabelTask, act_task
+from ..registry import PARTITIONERS
 from .reporting import format_table
-from .runner import ExperimentContext, build_partitioner, default_context
+from .runner import ExperimentContext, default_context
 
 
 @dataclass(frozen=True)
@@ -56,14 +59,18 @@ def run_timing_experiment(
     city: str = "los_angeles",
     height: int = 10,
     model_kind: str = "logistic_regression",
-    methods: tuple = ("fair_kdtree", "iterative_fair_kdtree", "median_kdtree"),
+    methods: Optional[tuple] = None,
     split_engine: Optional[str] = None,
 ) -> TimingResult:
     """Measure partition build time for each method at ``height``.
 
-    ``split_engine`` overrides the context's engine when given.
+    ``methods`` defaults to the registry's tree-based paper roster (the
+    fair, iterative-fair and median KD-trees — Section 5.3.1 compares the
+    first two; the median baseline anchors the scale).  ``split_engine``
+    overrides the context's engine when given.
     """
     context = context or default_context()
+    methods = methods if methods is not None else PARTITIONERS.paper_methods(tree_based=True)
     split_engine = split_engine or context.split_engine
     task = task or act_task()
     dataset = context.dataset(city)
@@ -73,7 +80,9 @@ def run_timing_experiment(
     seconds: Dict[str, float] = {}
     trainings: Dict[str, int] = {}
     for method in methods:
-        partitioner = build_partitioner(method, height, split_engine=split_engine)
+        partitioner = make_partitioner(
+            PartitionSpec(method=method, height=height, split_engine=split_engine)
+        )
         start = time.perf_counter()
         output = partitioner.build(dataset, labels, factory)
         seconds[method] = time.perf_counter() - start

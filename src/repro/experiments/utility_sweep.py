@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.results import MethodComparison
 from ..datasets.labels import LabelTask, act_task
 from .reporting import format_series
-from .runner import ExperimentContext, build_partitioner, default_context
+from .runner import ExperimentContext, default_context
 
 #: The three panels of Figure 8 (per city).
 UTILITY_INDICATORS: Tuple[str, ...] = ("accuracy", "train_miscalibration", "test_miscalibration")
@@ -77,9 +77,7 @@ def run_utility_sweep(
         pipeline = context.pipeline(model_kind)
         for height in context.heights:
             for method in context.methods:
-                partitioner = build_partitioner(
-                    method, height, split_engine=context.split_engine
-                )
+                partitioner = context.partitioner(method, height)
                 run = pipeline.run(dataset, task, partitioner)
                 comparisons.append(
                     MethodComparison(

@@ -76,6 +76,18 @@ class PartitionArtifact:
     def n_regions(self) -> int:
         return len(self.partition)
 
+    @property
+    def spec_dict(self) -> Dict[str, Any] | None:
+        """The embedded run spec as a plain dict, if the bundle has one.
+
+        Bundles written through :func:`repro.api.build_partition` carry the
+        originating :class:`~repro.api.specs.RunSpec` under the ``"spec"``
+        provenance key; older bundles return ``None``.  The artifact layer
+        never interprets it — validation belongs to ``repro.api``.
+        """
+        spec = self.provenance.get("spec")
+        return dict(spec) if isinstance(spec, dict) else None
+
 
 def _region_extents(partition: Partition) -> np.ndarray:
     """``n_regions x 4`` table of (row_start, row_stop, col_start, col_stop)."""
@@ -92,15 +104,26 @@ def save_partition_artifact(
     partition: Partition,
     path: str | Path,
     provenance: Mapping[str, Any] | None = None,
+    spec: Any = None,
 ) -> Path:
     """Write ``partition`` as an artifact bundle at directory ``path``.
 
     The directory is created (parents included) and its ``manifest.json``
     and ``arrays.npz`` members are overwritten if present.  Returns the
     bundle directory path.
+
+    ``spec`` optionally embeds the originating run description under the
+    ``"spec"`` provenance key: anything with a ``to_dict()`` method (a
+    :class:`~repro.api.specs.RunSpec`) or a plain mapping.  Serving layers
+    re-validate it on load; this module stays agnostic of its schema.
     """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
+    provenance = dict(provenance or {})
+    if spec is not None:
+        provenance.setdefault(
+            "spec", spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        )
     grid = partition.grid
     bounds = grid.bounds
     manifest = {
@@ -112,7 +135,7 @@ def save_partition_artifact(
         },
         "n_regions": len(partition),
         "is_complete": partition.is_complete,
-        "provenance": dict(provenance or {}),
+        "provenance": provenance,
     }
     (path / MANIFEST_NAME).write_text(
         json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"

@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from ..exceptions import TrainingError
+from ..registry import register_model
 from ..rng import SeedLike, as_generator
 from .base import Classifier
 
@@ -21,6 +22,19 @@ def _sigmoid(z: np.ndarray) -> np.ndarray:
     return out
 
 
+@register_model(
+    "logistic_regression",
+    aliases=("logistic", "logreg"),
+    summary="L2-regularised logistic regression (full-batch gradient descent)",
+    paper_ref="Section 5.3.1",
+    paper_order=0,
+    config_fields={
+        "learning_rate": "learning_rate",
+        "max_iter": "max_iter",
+        "regularization": "regularization",
+        "seed": "seed",
+    },
+)
 class LogisticRegressionClassifier(Classifier):
     """Binary logistic regression.
 

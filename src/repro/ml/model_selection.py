@@ -13,34 +13,34 @@ from typing import Callable, Iterator, List, Tuple
 import numpy as np
 
 from ..config import ModelConfig
-from ..exceptions import ConfigurationError, EvaluationError
+from ..exceptions import EvaluationError
+from ..registry import MODELS
 from ..rng import SeedLike, as_generator
 from .base import Classifier
-from .logistic import LogisticRegressionClassifier
+from .logistic import LogisticRegressionClassifier  # noqa: F401 - triggers registration
 from .metrics import accuracy_score
-from .naive_bayes import GaussianNaiveBayesClassifier
-from .tree import DecisionTreeClassifier
+from .naive_bayes import GaussianNaiveBayesClassifier  # noqa: F401 - triggers registration
+from .tree import DecisionTreeClassifier  # noqa: F401 - triggers registration
 
 ModelFactory = Callable[[], Classifier]
 
 
 def make_classifier(config: ModelConfig) -> Classifier:
-    """Instantiate the classifier described by ``config``."""
-    if config.kind == "logistic_regression":
-        return LogisticRegressionClassifier(
-            learning_rate=config.learning_rate,
-            max_iter=config.max_iter,
-            regularization=config.regularization,
-            seed=config.seed,
-        )
-    if config.kind == "decision_tree":
-        return DecisionTreeClassifier(
-            max_depth=config.max_depth,
-            min_samples_leaf=config.min_samples_leaf,
-        )
-    if config.kind == "naive_bayes":
-        return GaussianNaiveBayesClassifier(var_smoothing=config.var_smoothing)
-    raise ConfigurationError(f"unknown model kind {config.kind!r}")
+    """Instantiate the classifier described by ``config``.
+
+    The family is resolved through :data:`repro.registry.MODELS`; each
+    registered classifier declares a ``config_fields`` mapping from
+    constructor keyword to :class:`~repro.config.ModelConfig` attribute,
+    so new families need no edits here.
+    """
+    entry = MODELS.resolve(config.kind)
+    # A family registered without config_fields takes no hyper-parameters
+    # from ModelConfig and is constructed with its own defaults.
+    kwargs = {
+        keyword: getattr(config, attribute)
+        for keyword, attribute in entry.metadata.get("config_fields", {}).items()
+    }
+    return entry.obj(**kwargs)
 
 
 def factory_for(config: ModelConfig) -> ModelFactory:

@@ -7,9 +7,18 @@ from typing import Optional
 import numpy as np
 
 from ..exceptions import TrainingError
+from ..registry import register_model
 from .base import Classifier
 
 
+@register_model(
+    "naive_bayes",
+    aliases=("nb", "gaussian_naive_bayes"),
+    summary="Gaussian naive Bayes with smoothed class-conditional variances",
+    paper_ref="Section 5.3.1",
+    paper_order=2,
+    config_fields={"var_smoothing": "var_smoothing"},
+)
 class GaussianNaiveBayesClassifier(Classifier):
     """Gaussian naive Bayes for binary classification.
 

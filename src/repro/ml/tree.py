@@ -8,6 +8,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..exceptions import TrainingError
+from ..registry import register_model
 from .base import Classifier
 
 
@@ -36,6 +37,17 @@ def _weighted_gini(positive_weight: float, total_weight: float) -> float:
     return 2.0 * p * (1.0 - p)
 
 
+@register_model(
+    "decision_tree",
+    aliases=("tree",),
+    summary="CART decision tree with weighted Gini splits",
+    paper_ref="Section 5.3.1",
+    paper_order=1,
+    config_fields={
+        "max_depth": "max_depth",
+        "min_samples_leaf": "min_samples_leaf",
+    },
+)
 class DecisionTreeClassifier(Classifier):
     """CART decision tree with weighted Gini splits.
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from ..config import ServingConfig
 from .server import PartitionServer
@@ -27,10 +27,21 @@ class ArtifactCache:
         ``config.cache_entries`` bounds the resident server count and the
         config is handed to every server the cache constructs (so its
         ``strict`` default applies uniformly).
+    spec_validator:
+        Forwarded to :meth:`PartitionServer.from_artifact` on every cache
+        miss, so bundles loaded through the cache get the same embedded-spec
+        re-validation as ones opened directly (pass
+        :meth:`repro.api.specs.RunSpec.from_dict`, or build the cache with
+        :func:`repro.api.open_cache` which does).
     """
 
-    def __init__(self, config: ServingConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ServingConfig | None = None,
+        spec_validator: Optional[Callable[[Mapping[str, Any]], Any]] = None,
+    ) -> None:
         self._config = config or ServingConfig()
+        self._spec_validator = spec_validator
         self._servers: "OrderedDict[str, PartitionServer]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -52,7 +63,9 @@ class ArtifactCache:
             self._servers.move_to_end(key)
             return server
         self._misses += 1
-        server = PartitionServer.from_artifact(path, config=self._config)
+        server = PartitionServer.from_artifact(
+            path, config=self._config, spec_validator=self._spec_validator
+        )
         self._servers[key] = server
         while len(self._servers) > self._config.cache_entries:
             self._servers.popitem(last=False)

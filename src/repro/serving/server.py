@@ -22,7 +22,7 @@ them.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -58,14 +58,30 @@ class PartitionServer:
         self._labels = partition.label_grid
         self._provenance = dict(provenance or {})
         self._config = config or ServingConfig()
+        self._spec: Any = None
 
     @classmethod
     def from_artifact(
-        cls, path: str | Path, config: ServingConfig | None = None
+        cls,
+        path: str | Path,
+        config: ServingConfig | None = None,
+        spec_validator: Optional[Callable[[Mapping[str, Any]], Any]] = None,
     ) -> "PartitionServer":
-        """Restore a server from an artifact bundle written by the build side."""
+        """Restore a server from an artifact bundle written by the build side.
+
+        ``spec_validator`` re-validates the run spec embedded in the
+        bundle's provenance (pass :meth:`repro.api.specs.RunSpec.from_dict`,
+        or use :func:`repro.api.open_server` which does).  A bundle whose
+        spec no longer validates — unknown method, impossible parameters —
+        fails here instead of silently serving unidentifiable regions;
+        bundles without an embedded spec load unchanged.
+        """
         artifact = load_partition_artifact(path)
-        return cls(artifact.partition, provenance=artifact.provenance, config=config)
+        server = cls(artifact.partition, provenance=artifact.provenance, config=config)
+        spec_dict = artifact.spec_dict
+        if spec_validator is not None and spec_dict is not None:
+            server._spec = spec_validator(spec_dict)
+        return server
 
     # -- introspection -------------------------------------------------------
 
@@ -76,6 +92,15 @@ class PartitionServer:
     @property
     def provenance(self) -> Dict[str, Any]:
         return dict(self._provenance)
+
+    @property
+    def spec(self) -> Any:
+        """The validated run spec this server serves, when one was loaded.
+
+        ``None`` unless :meth:`from_artifact` was given a ``spec_validator``
+        and the bundle embedded a spec.
+        """
+        return self._spec
 
     @property
     def n_regions(self) -> int:

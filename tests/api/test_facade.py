@@ -1,0 +1,170 @@
+"""Tests for the repro.api facade: spec -> partitioner/pipeline/server."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.api import (
+    BuildResult,
+    PartitionSpec,
+    RunSpec,
+    build_partition,
+    make_partitioner,
+    model_factory_for,
+    open_server,
+    run_pipeline,
+    task_for,
+)
+from repro.core.fair_kdtree import FairKDTreePartitioner
+from repro.core.fair_quadtree import FairQuadTreePartitioner
+from repro.core.grid_reweighting import GridReweightingPartitioner
+from repro.core.iterative import IterativeFairKDTreePartitioner
+from repro.core.median_kdtree import MedianKDTreePartitioner
+from repro.core.multi_objective import MultiObjectiveFairKDTreePartitioner
+from repro.exceptions import ConfigurationError, ExperimentError, ReproError
+from repro.ml.naive_bayes import GaussianNaiveBayesClassifier
+
+
+def small_run(**overrides) -> RunSpec:
+    """A fast-to-build run spec (tiny grid, shallow tree, few records)."""
+    params = dict(
+        partition=PartitionSpec(method="fair_kdtree", height=2),
+        city="los_angeles",
+        grid_rows=8,
+        grid_cols=8,
+        n_records=150,
+    )
+    params.update(overrides)
+    return RunSpec(**params)
+
+
+class TestMakePartitioner:
+    def test_every_registered_class_constructs(self):
+        expected = {
+            "median_kdtree": MedianKDTreePartitioner,
+            "fair_kdtree": FairKDTreePartitioner,
+            "iterative_fair_kdtree": IterativeFairKDTreePartitioner,
+            "grid_reweighting": GridReweightingPartitioner,
+            "multi_objective_fair_kdtree": MultiObjectiveFairKDTreePartitioner,
+            "fair_quadtree": FairQuadTreePartitioner,
+        }
+        for method, cls in expected.items():
+            assert isinstance(make_partitioner(PartitionSpec(method=method, height=4)), cls)
+
+    def test_accepts_bare_method_name_and_dict(self):
+        assert isinstance(make_partitioner("median"), MedianKDTreePartitioner)
+        built = make_partitioner({"method": "fair_kdtree", "height": 3})
+        assert built.height == 3
+
+    def test_split_engine_threaded(self):
+        for method in ("median_kdtree", "fair_kdtree", "iterative_fair_kdtree"):
+            spec = PartitionSpec(method=method, height=4, split_engine="record_scan")
+            assert make_partitioner(spec).split_engine == "record_scan"
+
+    def test_quadtree_height_halved_to_depth(self):
+        assert make_partitioner(PartitionSpec(method="fair_quadtree", height=6)).depth == 3
+        assert make_partitioner(PartitionSpec(method="fair_quadtree", height=7)).depth == 4
+
+    def test_alphas_forwarded_to_multi_objective(self):
+        spec = PartitionSpec(method="multi_objective", alphas=(0.3, 0.7))
+        assert make_partitioner(spec).alphas == (0.3, 0.7)
+
+    def test_objective_forwarded(self):
+        spec = PartitionSpec(method="fair_kdtree", height=3, objective="total")
+        assert make_partitioner(spec)._scorer.name == "total"
+
+    def test_zipcode_has_no_class(self):
+        with pytest.raises(ExperimentError, match="no partitioner class"):
+            make_partitioner("zipcode")
+
+
+class TestHelpers:
+    def test_model_factory_for_alias(self):
+        factory = model_factory_for("nb")
+        assert isinstance(factory(), GaussianNaiveBayesClassifier)
+        assert factory() is not factory()
+
+    def test_task_for(self):
+        assert task_for("act").name == "ACT"
+        task = task_for("Employment")
+        assert task_for(task) is task
+
+
+class TestBuildAndServe:
+    def test_build_partition_executes_spec(self):
+        result = build_partition(small_run())
+        assert isinstance(result, BuildResult)
+        assert result.n_neighborhoods >= 1
+        assert result.spec.partition.method == "fair_kdtree"
+        assert result.partition.is_complete
+
+    def test_build_accepts_supplied_dataset(self, la_dataset):
+        spec = small_run(grid_rows=16, grid_cols=16)
+        result = build_partition(spec, dataset=la_dataset)
+        assert result.dataset is la_dataset
+
+    def test_artifact_embeds_spec_and_server_revalidates(self, tmp_path):
+        spec = small_run()
+        result = build_partition(spec)
+        path = result.save(tmp_path / "bundle")
+
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert RunSpec.from_dict(manifest["provenance"]["spec"]) == spec
+
+        server = open_server(path)
+        assert server.spec == spec
+        assert server.n_regions == result.n_neighborhoods
+        located = server.locate_points(np.array([0.5]), np.array([0.5]))
+        assert located[0] >= 0
+
+    def test_open_server_rejects_tampered_spec(self, tmp_path):
+        path = build_partition(small_run()).save(tmp_path / "bundle")
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["provenance"]["spec"]["model"] = "svm"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ReproError):
+            open_server(path)
+
+    def test_open_server_rejects_unknown_spec_field(self, tmp_path):
+        path = build_partition(small_run()).save(tmp_path / "bundle")
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["provenance"]["spec"]["gpu"] = True
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigurationError):
+            open_server(path)
+
+    def test_open_server_tolerates_specless_bundle(self, tmp_path):
+        """Bundles written before specs existed must keep loading."""
+        path = build_partition(small_run()).save(tmp_path / "bundle")
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["provenance"]["spec"]
+        manifest_path.write_text(json.dumps(manifest))
+        server = open_server(path)
+        assert server.spec is None
+
+    def test_open_cache_revalidates_specs(self, tmp_path):
+        good = build_partition(small_run()).save(tmp_path / "good")
+        bad = build_partition(small_run()).save(tmp_path / "bad")
+        manifest_path = bad / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["provenance"]["spec"]["partition"]["method"] = "rtree"
+        manifest_path.write_text(json.dumps(manifest))
+
+        cache = api.open_cache()
+        assert cache.get(good).spec is not None
+        with pytest.raises(ReproError):
+            cache.get(bad)
+
+    def test_run_pipeline_end_to_end(self):
+        result = run_pipeline(small_run())
+        assert 0.0 <= result.test_metrics.accuracy <= 1.0
+        assert result.test_metrics.ence >= 0.0
+
+    def test_public_all_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name

@@ -1,0 +1,63 @@
+"""The legacy string-dispatch surface must keep working — but warn."""
+
+import warnings
+
+import pytest
+
+from repro.config import PartitionerConfig
+from repro.core.fair_kdtree import FairKDTreePartitioner
+from repro.exceptions import ExperimentError
+from repro.registry import PARTITIONERS
+
+
+class TestBuildPartitionerShim:
+    def test_emits_deprecation_warning(self):
+        from repro.experiments.runner import build_partitioner
+
+        with pytest.warns(DeprecationWarning, match="make_partitioner"):
+            partitioner = build_partitioner("fair_kdtree", 3)
+        assert isinstance(partitioner, FairKDTreePartitioner)
+        assert partitioner.height == 3
+
+    def test_unknown_method_lists_names_and_suggests(self):
+        from repro.experiments.runner import build_partitioner
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ExperimentError, match="available:.*did you mean"):
+                build_partitioner("fair_kdtee", 3)
+
+    def test_from_config_emits_deprecation_warning(self):
+        from repro.experiments.runner import build_partitioner_from_config
+
+        with pytest.warns(DeprecationWarning):
+            partitioner = build_partitioner_from_config(
+                PartitionerConfig(method="fair_kdtree", height=4)
+            )
+        assert partitioner.height == 4
+
+
+class TestPaperMethodsShim:
+    def test_module_attribute_warns_and_matches_registry(self):
+        from repro.experiments import runner
+
+        with pytest.warns(DeprecationWarning, match="paper_methods"):
+            legacy = runner.PAPER_METHODS
+        assert legacy == PARTITIONERS.paper_methods()
+
+    def test_package_reexport_still_available(self):
+        import repro.experiments
+
+        with pytest.warns(DeprecationWarning):
+            legacy = repro.experiments.PAPER_METHODS
+        assert legacy == PARTITIONERS.paper_methods()
+
+    def test_unknown_attribute_still_raises(self):
+        from repro.experiments import runner
+
+        with pytest.raises(AttributeError):
+            runner.NO_SUCH_THING
+        with pytest.raises(AttributeError):
+            import repro.experiments
+
+            repro.experiments.NO_SUCH_THING

@@ -1,10 +1,21 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.cli import EXPERIMENTS, SERVING_COMMANDS, build_parser, run
+from repro.api import RunSpec
+from repro.cli import (
+    BUILD_METHODS,
+    EXPERIMENTS,
+    MODEL_CHOICES,
+    SERVING_COMMANDS,
+    build_parser,
+    run,
+)
 from repro.io.points import write_points_csv
+from repro.registry import MODELS, PARTITIONERS
 
 
 class TestParser:
@@ -29,6 +40,27 @@ class TestParser:
         assert set(EXPERIMENTS) == {
             "disparity", "ence", "utility", "features", "multi-objective", "timing", "compare"
         }
+
+    def test_choices_derived_from_registries(self):
+        assert BUILD_METHODS == PARTITIONERS.names(servable=True)
+        assert MODEL_CHOICES == MODELS.names()
+
+    def test_unservable_method_rejected_by_parser(self):
+        # multi_objective_fair_kdtree is registered but not servable, so the
+        # registry-derived choices must exclude it.
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["build", "--artifact", "x", "--method", "multi_objective_fair_kdtree"]
+            )
+
+    def test_list_includes_registry_catalogue(self, capsys):
+        assert run(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in PARTITIONERS.names():
+            assert name in output
+        for name in MODELS.names():
+            assert name in output
 
     def test_serving_verbs_registered(self):
         assert SERVING_COMMANDS == ("build", "query")
@@ -113,6 +145,38 @@ class TestRun:
         labels = {int(line.rsplit(",", 1)[1]) for line in lines[1:]}
         assert -1 in labels  # the generated batch includes off-map points
         assert any(label >= 0 for label in labels)
+
+    def test_built_artifact_embeds_validatable_run_spec(self, tmp_path, capsys):
+        artifact = tmp_path / "la.artifact"
+        code = run([
+            "build", "--cities", "los_angeles", "--heights", "4",
+            "--grid", "16", "--method", "median_kdtree",
+            "--artifact", str(artifact),
+        ])
+        assert code == 0
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        spec = RunSpec.from_dict(manifest["provenance"]["spec"])
+        assert spec.partition.method == "median_kdtree"
+        assert spec.partition.height == 4
+        assert spec.city == "los_angeles"
+        assert spec.grid_rows == 16
+
+    def test_query_rejects_artifact_with_invalid_spec(self, capsys, tmp_path):
+        artifact = tmp_path / "la.artifact"
+        run([
+            "build", "--cities", "los_angeles", "--heights", "3",
+            "--grid", "16", "--artifact", str(artifact),
+        ])
+        capsys.readouterr()
+        manifest_path = artifact / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["provenance"]["spec"]["partition"]["method"] = "rtree"
+        manifest_path.write_text(json.dumps(manifest))
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.5]), np.array([0.5]))
+        code = run(["query", "--artifact", str(artifact), "--points", str(points)])
+        assert code == 1
+        assert "rtree" in capsys.readouterr().err
 
     def test_query_missing_artifact_fails_cleanly(self, capsys, tmp_path):
         points = tmp_path / "points.csv"
