@@ -1,0 +1,136 @@
+"""Benchmark — serving-engine routing overhead and sharded throughput.
+
+The engine fronts deployments by *name*; the redesign's contract is that
+this indirection is operationally free.  Two measurements on the same
+production-shaped partition as the serving benchmark (Fair KD-tree h=8,
+100k-record Los Angeles, 64x64 grid):
+
+* **Dispatch overhead** — ``ServingEngine.locate_points(name, ...)`` vs a
+  direct ``PartitionServer.locate_points`` call on the identical 10^6-point
+  batch (10^5 and, with ``REPRO_BENCH_FULL=1``, 10^7 are also reported).
+  Asserted: <= 10% overhead at 10^6 points — the engine adds one dict
+  lookup and three counters to a multi-millisecond batch.
+* **Sharded vs monolithic** — the same batches through 2x2 and 4x4
+  :class:`~repro.serving.sharding.ShardedDeployment` tilings.  Reported,
+  not asserted: bucketing costs a bounded constant factor, and the results
+  are checked bit-equal to the monolithic server's.
+
+Timings are best of ``REPEATS`` to damp scheduler noise.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_utils import record_output
+
+from repro.config import DatasetConfig, GridConfig
+from repro.core.fair_kdtree import FairKDTreePartitioner
+from repro.datasets.edgap import load_edgap_city
+from repro.experiments.reporting import format_table
+from repro.serving import PartitionServer, ServingEngine, ShardedDeployment
+
+#: Batch sizes swept by default; REPRO_BENCH_FULL adds the 10^7 tier.
+SIZES = (100_000, 1_000_000)
+FULL_SIZES = (100_000, 1_000_000, 10_000_000)
+
+#: Best-of repetitions per timing (damps scheduler noise).
+REPEATS = 5
+
+#: Maximum tolerated engine overhead at the 10^6-point tier.
+MAX_OVERHEAD = 0.10
+
+#: Shard tilings compared against the monolithic server.
+SHARD_TILINGS = ((2, 2), (4, 4))
+
+
+def _build_partition():
+    dataset = load_edgap_city(
+        DatasetConfig(
+            city="los_angeles", n_records=100_000, grid=GridConfig(64, 64), seed=7
+        )
+    )
+    rng = np.random.default_rng(dataset.n_records)
+    residuals = np.round(rng.normal(scale=0.35, size=dataset.n_records) * 1024.0) / 1024.0
+    return FairKDTreePartitioner(8).build_from_residuals(dataset, residuals)
+
+
+def _best_of(callable_, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.mark.benchmark(group="serving")
+def test_routing_dispatch_overhead(benchmark, output_dir):
+    """Engine name-routing must cost <= 10% over a direct server call."""
+    from bench_utils import bench_full
+
+    partition = _build_partition()
+    server = PartitionServer(partition)
+    engine = ServingEngine()
+    engine.deploy("la", server)
+    sharded = {
+        tiling: ShardedDeployment(partition, *tiling) for tiling in SHARD_TILINGS
+    }
+    bounds = partition.grid.bounds
+    rng = np.random.default_rng(23)
+
+    sizes = FULL_SIZES if bench_full() else SIZES
+    rows = []
+    overheads = {}
+
+    def run() -> None:
+        for size in sizes:
+            xs = rng.uniform(bounds.min_x, bounds.max_x, size)
+            ys = rng.uniform(bounds.min_y, bounds.max_y, size)
+
+            direct_best, direct = _best_of(lambda: server.locate_points(xs, ys))
+            engine_best, routed = _best_of(
+                lambda: engine.locate_points("la", xs, ys)
+            )
+            assert np.array_equal(direct, routed), (
+                f"engine routing changed assignments at size {size}"
+            )
+            overhead = engine_best / direct_best - 1.0
+            overheads[size] = overhead
+            row = {
+                "points": size,
+                "direct_ms": direct_best * 1000.0,
+                "engine_ms": engine_best * 1000.0,
+                "overhead_pct": overhead * 100.0,
+            }
+            for tiling, deployment in sharded.items():
+                shard_best, shard_result = _best_of(
+                    lambda: deployment.locate_points(xs, ys)
+                )
+                assert np.array_equal(direct, shard_result), (
+                    f"{tiling} sharding changed assignments at size {size}"
+                )
+                label = f"sharded_{tiling[0]}x{tiling[1]}"
+                row[f"{label}_ms"] = shard_best * 1000.0
+                row[f"{label}_mlookups_s"] = size / shard_best / 1e6
+            row["monolithic_mlookups_s"] = size / direct_best / 1e6
+            rows.append(row)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_table(
+        rows,
+        title="Serving-engine routing — named dispatch vs direct server, and "
+        "sharded tilings vs monolithic (Fair KD-tree h=8, Los Angeles, "
+        f"64x64 grid, best of {REPEATS})",
+    )
+    record_output(output_dir, "routing_dispatch", table)
+
+    million = overheads[1_000_000]
+    assert million <= MAX_OVERHEAD, (
+        f"engine dispatch costs {million * 100:.1f}% over a direct "
+        f"PartitionServer.locate_points at 10^6 points "
+        f"(budget {MAX_OVERHEAD * 100:.0f}%)"
+    )

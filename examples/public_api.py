@@ -26,7 +26,7 @@ from repro.api import (
     PartitionSpec,
     RunSpec,
     build_partition,
-    open_server,
+    open_engine,
     run_pipeline,
 )
 
@@ -62,11 +62,12 @@ def main() -> None:
     # -- persist + serve: the artifact carries the spec that built it -------
     with tempfile.TemporaryDirectory() as scratch:
         bundle = result.save(Path(scratch) / "la.artifact")
-        server = open_server(bundle)                       # re-validates spec
-        assert server.spec == spec
-        print(f"served from {bundle.name}: "
+        engine = open_engine()
+        engine.deploy("la", bundle)                        # re-validates spec
+        assert engine.server_for("la").spec == spec
+        print(f"served deployment 'la' v1 from {bundle.name}: "
               f"point (0.45, 0.62) -> neighborhood "
-              f"{int(server.locate_points([0.45], [0.62])[0])}")
+              f"{int(engine.locate_points('la', [0.45], [0.62])[0])}")
 
 
 if __name__ == "__main__":

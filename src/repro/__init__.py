@@ -13,7 +13,7 @@ as:
 * :mod:`repro.experiments` — one module per figure of the paper's evaluation;
 * :mod:`repro.api` — the public surface: component registries, declarative
   run specs, and the facade (``build_partition`` / ``run_pipeline`` /
-  ``open_server``) that resolves them.
+  ``open_engine``) that resolves them.
 
 Quickstart
 ----------
@@ -55,12 +55,21 @@ from .datasets import act_task, employment_task, load_edgap_city
 from .datasets.edgap import city_model
 from .exceptions import ReproError
 from .io import load_partition_artifact, save_partition_artifact
-from .serving import ArtifactCache, PartitionServer
+from .serving import (
+    ArtifactCache,
+    LocateRequest,
+    PartitionServer,
+    QueryResult,
+    RangeRequest,
+    ServingEngine,
+    ShardedDeployment,
+)
 from .fairness import expected_neighborhood_calibration_error
 from .ml import make_classifier
 from .ml.model_selection import factory_for
 from . import api
 from .api import (
+    BACKENDS,
     MODELS,
     PARTITIONERS,
     TASKS,
@@ -68,10 +77,16 @@ from .api import (
     RunSpec,
     build_partition,
     make_partitioner,
+    open_engine,
     open_server,
     run_pipeline,
 )
-from .registry import register_model, register_partitioner, register_task
+from .registry import (
+    register_backend,
+    register_model,
+    register_partitioner,
+    register_task,
+)
 
 __version__ = "1.0.0"
 
@@ -107,22 +122,30 @@ __all__ = [
     "expected_neighborhood_calibration_error",
     "save_partition_artifact",
     "load_partition_artifact",
+    "ServingEngine",
     "PartitionServer",
+    "ShardedDeployment",
     "ArtifactCache",
+    "LocateRequest",
+    "RangeRequest",
+    "QueryResult",
     "quick_fair_partition",
     "api",
     "PARTITIONERS",
     "MODELS",
     "TASKS",
+    "BACKENDS",
     "PartitionSpec",
     "RunSpec",
     "make_partitioner",
     "build_partition",
     "run_pipeline",
+    "open_engine",
     "open_server",
     "register_partitioner",
     "register_model",
     "register_task",
+    "register_backend",
 ]
 
 

@@ -9,12 +9,15 @@
 * the **specs** (:class:`PartitionSpec`, :class:`RunSpec`) — frozen,
   validated, JSON-round-trippable descriptions of a run; and
 * the **facade** (:func:`make_partitioner`, :func:`build_partition`,
-  :func:`run_pipeline`, :func:`open_server`) — the only dispatch from
-  names to implementations.
+  :func:`run_pipeline`, :func:`open_engine`) — the only dispatch from
+  names to implementations; and
+* the **serving protocol** (:class:`LocateRequest` / :class:`RangeRequest`
+  / :class:`QueryResult`) — the typed query vocabulary any transport can
+  front the engine with.
 
 Quickstart — build, persist and serve a partition in ~10 lines::
 
-    from repro.api import PartitionSpec, RunSpec, build_partition, open_server
+    from repro.api import PartitionSpec, RunSpec, build_partition, open_engine
 
     spec = RunSpec(
         partition=PartitionSpec(method="fair_kdtree", height=6),
@@ -24,25 +27,38 @@ Quickstart — build, persist and serve a partition in ~10 lines::
     result = build_partition(spec)
     result.save("la.artifact")            # bundle embeds the spec
 
-    server = open_server("la.artifact")   # re-validates the embedded spec
-    print(server.locate_points([0.5], [0.5]))
+    engine = open_engine()
+    engine.deploy("la", "la.artifact")    # re-validates the embedded spec
+    print(engine.locate_points("la", [0.5], [0.5]))
 
 Registering a new partitioner (``@register_partitioner`` on the class) is
 all it takes for the method to show up in the CLI's ``--method`` choices,
-the experiment sweeps, artifact provenance and the serving layer.
+the experiment sweeps, artifact provenance and the serving layer; a new
+locator backend (``@register_backend``) likewise shows up in
+``ServingConfig.backend`` and the CLI's ``--backend`` choices.
 """
 
 from __future__ import annotations
 
 from ..registry import (
+    BACKENDS,
     MODELS,
     PARTITIONERS,
     TASKS,
     Registry,
     RegistryEntry,
+    register_backend,
     register_model,
     register_partitioner,
     register_task,
+)
+from ..serving import (
+    LATEST,
+    LocateRequest,
+    QueryResult,
+    RangeRequest,
+    ServingEngine,
+    ShardedDeployment,
 )
 from .facade import (
     BuildResult,
@@ -53,6 +69,7 @@ from .facade import (
     make_partitioner,
     model_factory_for,
     open_cache,
+    open_engine,
     open_server,
     run_pipeline,
     task_for,
@@ -65,9 +82,11 @@ __all__ = [
     "PARTITIONERS",
     "MODELS",
     "TASKS",
+    "BACKENDS",
     "register_partitioner",
     "register_model",
     "register_task",
+    "register_backend",
     "PartitionSpec",
     "RunSpec",
     "as_partition_spec",
@@ -79,6 +98,13 @@ __all__ = [
     "build_partition",
     "BuildResult",
     "run_pipeline",
+    "ServingEngine",
+    "ShardedDeployment",
+    "LocateRequest",
+    "RangeRequest",
+    "QueryResult",
+    "LATEST",
+    "open_engine",
     "open_server",
     "open_cache",
 ]

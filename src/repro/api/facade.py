@@ -11,8 +11,12 @@ figure sweeps — now builds a spec and calls one of:
   embedded as provenance);
 * :func:`run_pipeline` — :class:`~repro.api.specs.RunSpec` -> full
   train / partition / re-district / retrain / evaluate loop;
-* :func:`open_server` — artifact path -> ready
-  :class:`~repro.serving.PartitionServer`, re-validating the embedded spec.
+* :func:`open_engine` — a ready :class:`~repro.serving.ServingEngine`
+  whose deploys re-validate every bundle's embedded spec; the serve-side
+  entry point (``engine.deploy(name, path)``, then query by name).
+
+:func:`open_server` and :func:`open_cache` — the old path-addressed serve
+entry points — survive as thin deprecation shims over the engine.
 
 Construction is metadata-driven: each registry entry declares which spec
 fields its constructor understands (``accepts_split_engine``,
@@ -23,6 +27,7 @@ benchmarkable, servable and persistable with zero facade edits.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
@@ -36,7 +41,7 @@ from ..exceptions import ExperimentError
 from ..io.artifacts import save_partition_artifact
 from ..ml.model_selection import ModelFactory, factory_for
 from ..registry import MODELS, PARTITIONERS, TASKS
-from ..serving import ArtifactCache, PartitionServer
+from ..serving import ArtifactCache, PartitionServer, ServingEngine
 from ..spatial.partition import Partition
 from .specs import PartitionSpec, RunSpec
 
@@ -47,6 +52,7 @@ __all__ = [
     "make_partitioner",
     "model_factory_for",
     "open_cache",
+    "open_engine",
     "open_server",
     "run_pipeline",
     "task_for",
@@ -221,26 +227,51 @@ def run_pipeline(
     return pipeline.run(dataset, task_for(run.task), make_partitioner(run.partition))
 
 
+def open_engine(config: Optional[ServingConfig] = None) -> ServingEngine:
+    """A serving engine whose deploys re-validate embedded specs.
+
+    This is the serve-side entry point: ``engine.deploy(name, path)`` loads
+    a bundle through the engine's cache, re-validates the
+    :class:`~repro.api.specs.RunSpec` embedded at build time (an artifact
+    naming a method or model this installation does not know fails loudly
+    instead of serving unidentifiable neighborhoods), and makes it the
+    named deployment's active version; queries then route by name.
+    """
+    return ServingEngine(config=config, spec_validator=RunSpec.from_dict)
+
+
 def open_server(
     path: Union[str, Path], config: Optional[ServingConfig] = None
 ) -> PartitionServer:
-    """Open a stored partition artifact as a ready-to-query server.
+    """Deprecated: open one artifact by path as a ready-to-query server.
 
-    The embedded :class:`~repro.api.specs.RunSpec` (when present — bundles
-    written before specs existed lack one) is re-validated on load, so an
-    artifact naming a method or model this installation does not know fails
-    loudly instead of serving unidentifiable neighborhoods.
+    Thin shim over the engine — deploys the bundle into a throwaway
+    :class:`~repro.serving.ServingEngine` (same cache-backed loading and
+    embedded-spec re-validation) and returns the underlying server.  New
+    code should keep the engine and query deployments by name.
     """
-    return PartitionServer.from_artifact(
-        path, config=config, spec_validator=RunSpec.from_dict
+    warnings.warn(
+        "open_server is deprecated; use open_engine().deploy(name, path) "
+        "and query the engine by deployment name",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    engine = open_engine(config)
+    engine.deploy("default", path)
+    return engine.server_for("default")
 
 
 def open_cache(config: Optional[ServingConfig] = None) -> ArtifactCache:
-    """An artifact cache whose loads re-validate embedded specs.
+    """Deprecated: a path-addressed artifact cache with spec re-validation.
 
-    Same invariant as :func:`open_server`, applied on every cache miss:
-    bundles served through the cache fail loudly when their embedded
-    :class:`~repro.api.specs.RunSpec` no longer validates.
+    Thin shim kept for code that addressed partitions by bundle path; the
+    engine owns such a cache already (``open_engine().cache``), with the
+    same embedded-spec re-validation on every miss.
     """
+    warnings.warn(
+        "open_cache is deprecated; use open_engine() — the engine's cache "
+        "(engine.cache) performs the same spec re-validation",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return ArtifactCache(config=config, spec_validator=RunSpec.from_dict)

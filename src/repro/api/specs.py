@@ -30,17 +30,9 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from ..config import DEFAULT_SPLIT_ENGINE, validate_split_engine
 from ..exceptions import ConfigurationError
 from ..registry import MODELS, PARTITIONERS, TASKS
+from ..validation import check_keys
 
 __all__ = ["PartitionSpec", "RunSpec"]
-
-
-def _check_keys(kind: str, data: Mapping[str, Any], allowed: Tuple[str, ...]) -> None:
-    unknown = sorted(set(data) - set(allowed))
-    if unknown:
-        raise ConfigurationError(
-            f"unknown {kind} field(s) {', '.join(map(repr, unknown))}; "
-            f"expected a subset of {allowed}"
-        )
 
 
 @dataclass(frozen=True)
@@ -88,7 +80,7 @@ class PartitionSpec:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PartitionSpec":
         """Validated spec from a dict; unknown keys raise immediately."""
-        _check_keys("PartitionSpec", data, tuple(f.name for f in fields(cls)))
+        check_keys("PartitionSpec", data, tuple(f.name for f in fields(cls)))
         kwargs = dict(data)
         if kwargs.get("alphas") is not None:
             kwargs["alphas"] = tuple(kwargs["alphas"])
@@ -108,7 +100,8 @@ class RunSpec:
 
     The dataclass is the one value shared by every entry point: the CLI
     serialises it into artifact provenance, :func:`repro.api.build_partition`
-    executes it, and :func:`repro.api.open_server` re-validates it on load.
+    executes it, and the serving engine
+    (:meth:`repro.serving.ServingEngine.deploy`) re-validates it on load.
     ``model`` and ``task`` accept registry aliases and are canonicalised.
     ``n_records = None`` means "the city model's default population".
     """
@@ -164,11 +157,7 @@ class RunSpec:
         so do unknown method/model/task names — this is the re-validation
         hook the serving layer runs against stored artifact provenance.
         """
-        if not isinstance(data, Mapping):
-            raise ConfigurationError(
-                f"RunSpec.from_dict expects a mapping, got {type(data).__name__}"
-            )
-        _check_keys("RunSpec", data, tuple(f.name for f in fields(cls)))
+        check_keys("RunSpec", data, tuple(f.name for f in fields(cls)))
         kwargs = dict(data)
         if "partition" in kwargs and not isinstance(kwargs["partition"], PartitionSpec):
             partition = kwargs["partition"]

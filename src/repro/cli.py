@@ -11,11 +11,14 @@ Usage (after ``pip install -e .`` or from the repository root)::
     python -m repro timing                     # Section 5.3.1 timing
     python -m repro ence --cities houston --heights 4 6 --output results.csv
 
-Serving verbs persist a built partition and query it later without
-retraining::
+Serving verbs persist built partitions, deploy them under names, and batch
+query them without retraining::
 
     python -m repro build --cities los_angeles --heights 6 --artifact la.artifact
-    python -m repro query --artifact la.artifact --points points.csv --output out.csv
+    python -m repro deploy --artifact la.artifact --name la --manifest deployments.json
+    python -m repro deployments --manifest deployments.json
+    python -m repro query --name la --manifest deployments.json --points points.csv
+    python -m repro query --artifact la.artifact --points points.csv  # one-shot
 
 Every command prints the regenerated table to stdout; ``--output`` also writes
 the underlying rows to CSV.
@@ -25,11 +28,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .api import PartitionSpec, RunSpec, build_partition, open_server
+from .api import PartitionSpec, RunSpec, build_partition
 from .core.base import train_scores_on_dataset
 from .core.results import comparisons_to_rows
 from .core.split_engine import DEFAULT_SPLIT_ENGINE, SPLIT_ENGINES
@@ -48,15 +52,17 @@ from .fairness.report import compare_partitions, improvement_summary
 from .io.export import save_rows_csv
 from .io.points import read_points_csv
 from .logging_utils import configure_logging
-from .registry import MODELS, PARTITIONERS
+from .registry import BACKENDS, MODELS, PARTITIONERS
+from .serving import ServingEngine
 from .viz import render_partition_ascii
 
 EXPERIMENTS = (
     "disparity", "ence", "utility", "features", "multi-objective", "timing", "compare",
 )
 
-#: Serving verbs: persist a partition artifact / batch-query a stored one.
-SERVING_COMMANDS = ("build", "query")
+#: Serving verbs: persist a partition artifact, deploy bundles under names,
+#: list deployments, batch-query by name or path.
+SERVING_COMMANDS = ("build", "deploy", "deployments", "query")
 
 #: Methods the ``build`` verb can persist (everything flagged ``servable``:
 #: the single-task partitioners).  Import-time snapshot for reference and
@@ -67,6 +73,23 @@ BUILD_METHODS = PARTITIONERS.names(servable=True)
 #: Registered classifier families (import-time snapshot; the parser
 #: re-derives them per call, like :data:`BUILD_METHODS`).
 MODEL_CHOICES = MODELS.names()
+
+
+def _parse_shards(text: str) -> Tuple[int, int]:
+    """Parse ``--shards``: 'RxC' (e.g. '2x4') or a single count N -> NxN."""
+    try:
+        if "x" in text:
+            rows_text, cols_text = text.split("x", 1)
+            shards = (int(rows_text), int(cols_text))
+        else:
+            shards = (int(text), int(text))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'RxC' or a single count, got {text!r}"
+        ) from None
+    if shards[0] < 1 or shards[1] < 1:
+        raise argparse.ArgumentTypeError(f"shard counts must be positive, got {text!r}")
+    return shards
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,7 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=11, help="evaluation seed")
     parser.add_argument("--output", default=None, help="optional CSV output path")
     parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
-    serving = parser.add_argument_group("serving (build / query verbs)")
+    serving = parser.add_argument_group("serving (build / deploy / deployments / query verbs)")
     serving.add_argument(
         "--method",
         default="fair_kdtree",
@@ -114,7 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument(
         "--artifact",
         default=None,
-        help="partition artifact bundle directory ('build' writes it, 'query' reads it)",
+        help="partition artifact bundle directory ('build' writes it, "
+        "'deploy' registers it, 'query' serves it one-shot)",
     )
     serving.add_argument(
         "--points",
@@ -125,6 +149,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="make 'query' fail on off-map points instead of reporting -1",
+    )
+    serving.add_argument(
+        "--no-strict",
+        action="store_true",
+        help="map off-map points to -1 even when the manifest was saved "
+        "with strict serving (per-invocation override of the stored default)",
+    )
+    serving.add_argument(
+        "--name",
+        default=None,
+        help="deployment name: 'deploy' deploys the artifact under it, "
+        "'query' routes to it (requires --manifest)",
+    )
+    serving.add_argument(
+        "--manifest",
+        default=None,
+        help="deployment manifest JSON shared by 'deploy', 'deployments' and "
+        "'query --name' — the serving engine's persisted deployment table",
+    )
+    serving.add_argument(
+        "--backend",
+        default=None,
+        choices=BACKENDS.names(),
+        help="point-location backend servers are built with (dense: label-grid "
+        "fancy indexing, the default; sparse: memory-lean row-band interval "
+        "index); when omitted, manifest-backed verbs keep the backend the "
+        "manifest was saved with",
+    )
+    serving.add_argument(
+        "--shards",
+        type=_parse_shards,
+        default=None,
+        help="serve the deployed artifact as an RxC shard tiling, e.g. "
+        "'--shards 2x2' (or '--shards 3' for 3x3); 'deploy' only",
     )
     return parser
 
@@ -157,7 +215,9 @@ def _experiment_catalogue() -> str:
     lines.append("Serving verbs:")
     serving_descriptions = {
         "build": "Build a partition once and persist it as an artifact bundle",
-        "query": "Batch point-location against a stored artifact (--points CSV)",
+        "deploy": "Deploy an artifact under a name (--manifest records versions)",
+        "deployments": "List the manifest's deployments and active versions",
+        "query": "Batch point-location by deployment name or artifact path",
     }
     for name in SERVING_COMMANDS:
         lines.append(f"  {name:16s} {serving_descriptions[name]}")
@@ -168,6 +228,9 @@ def _experiment_catalogue() -> str:
     lines.append("  (* = persistable by the 'build' verb)")
     lines.append("Classifier families (--model):")
     for name, summary in MODELS.summaries().items():
+        lines.append(f"   {name:28s} {summary}")
+    lines.append("Locator backends (--backend; from the registry):")
+    for name, summary in BACKENDS.summaries().items():
         lines.append(f"   {name:28s} {summary}")
     return "\n".join(lines)
 
@@ -258,30 +321,156 @@ def _run_build(context, args: argparse.Namespace) -> List[dict]:
     ]
 
 
-def _run_query(args: argparse.Namespace) -> List[dict]:
-    """Batch point-location against a stored partition artifact.
+def _serving_config(args: argparse.Namespace) -> ServingConfig:
+    return ServingConfig(strict=args.strict, backend=args.backend or "dense")
 
-    ``open_server`` re-validates the run spec embedded in the bundle, so a
-    stale artifact naming a method this installation no longer knows fails
-    here with a clean error instead of serving unidentifiable regions.
+
+def _engine_for(
+    args: argparse.Namespace,
+    require_manifest: bool = False,
+    allow_overrides: bool = True,
+) -> ServingEngine:
+    """The serving engine a verb operates on: manifest-backed when given.
+
+    ``deploy`` bootstraps a fresh engine when the manifest does not exist
+    yet; verbs that *read* deployments pass ``require_manifest`` so a
+    missing manifest is a clean error instead of an empty engine.  A
+    manifest-backed engine keeps the serving config the manifest was saved
+    with (notably the locator backend); for read-only verbs, ``--backend``
+    / ``--strict`` override their own field for this invocation only.
+    ``deploy`` passes ``allow_overrides=False`` — it re-saves the manifest,
+    and a per-invocation flag must not rewrite the persisted config every
+    other deployment serves under; :func:`run` rejects such flags up front
+    (the manifest's config is fixed when the manifest is first created).
     """
-    server = open_server(args.artifact, config=ServingConfig(strict=args.strict))
+    from .api import open_engine
+
+    if args.manifest and (require_manifest or Path(args.manifest).is_file()):
+        overrides = {}
+        if allow_overrides:
+            if args.backend:
+                overrides["backend"] = args.backend
+            if args.strict:
+                overrides["strict"] = True
+            elif args.no_strict:
+                overrides["strict"] = False
+        return ServingEngine.from_manifest(
+            args.manifest,
+            spec_validator=RunSpec.from_dict,
+            config_overrides=overrides or None,
+        )
+    return open_engine(_serving_config(args))
+
+
+def _cli_row(info: dict) -> dict:
+    """One engine deployment summary as a printable/exportable table row."""
+    return {
+        "name": info["name"],
+        "version": info["version"],
+        "n_regions": info["n_regions"] if info.get("error") is None else "-",
+        "backend": info["backend"] or "-",
+        "shards": "x".join(map(str, info["shards"])) if info["shards"] else "-",
+        "status": f"error: {info['error']}" if info.get("error") else "ok",
+        "source": info["source"],
+    }
+
+
+def _deployment_rows(engine: ServingEngine) -> List[dict]:
+    return [_cli_row(info) for info in engine.deployments()]
+
+
+def _print_serving_stats(engine: ServingEngine) -> None:
+    """The ``--verbose`` tail of the serving verbs: engine + cache counters."""
+    stats = engine.stats
+    cache = stats["cache"]
+    print(
+        "cache: "
+        + " ".join(f"{key}={cache[key]}" for key in ("hits", "misses", "evictions", "reloads", "resident"))
+        + f" hit_ratio={cache['hit_ratio']:.2f}"
+    )
+    for name, counters in stats["deployments"].items():
+        print(
+            f"deployment {name}: "
+            + " ".join(f"{key}={value}" for key, value in counters.items())
+        )
+
+
+def _run_deploy(args: argparse.Namespace) -> List[dict]:
+    """Deploy an artifact bundle under a name and persist the manifest.
+
+    The engine loads and re-validates the bundle (embedded run spec
+    included) before the deployment's active pointer moves, so a broken
+    artifact cannot displace a serving version.
+    """
+    engine = _engine_for(args, allow_overrides=False)
+    info = engine.deploy(args.name, args.artifact, shards=args.shards)
+    engine.save_manifest(args.manifest)
+    print(
+        f"deployed {args.artifact} as {info['name']} v{info['version']} "
+        f"({info['n_regions']} neighborhoods, {info['backend']} backend"
+        + (f", {info['shards'][0]}x{info['shards'][1]} shards" if info["shards"] else "")
+        + ")"
+    )
+    print(f"manifest written to {args.manifest}")
+    if args.verbose:
+        _print_serving_stats(engine)
+    # Only the just-deployed row: that is what this invocation changed,
+    # and the full table (with liveness stats of every bundle) is the
+    # 'deployments' verb's job.
+    return [_cli_row(info)]
+
+
+def _run_deployments(args: argparse.Namespace) -> List[dict]:
+    """List the manifest's deployments (active version each)."""
+    engine = _engine_for(args, require_manifest=True)
+    rows = _deployment_rows(engine)
+    print(format_table(rows, title=f"Deployments — {args.manifest}"))
+    if args.verbose:
+        _print_serving_stats(engine)
+    return rows
+
+
+def _run_query(args: argparse.Namespace) -> List[dict]:
+    """Batch point-location, routed through the serving engine.
+
+    ``--name``/``--manifest`` route to a named deployment; a bare
+    ``--artifact`` is deployed one-shot under an ad-hoc name first — both
+    paths re-validate the run spec embedded in each bundle, so a stale
+    artifact naming a method this installation no longer knows fails here
+    with a clean error instead of serving unidentifiable regions.
+    """
+    if args.name:
+        engine = _engine_for(args, require_manifest=True)
+        name = args.name
+    else:
+        # One-shot path queries stand alone: run() rejected --manifest
+        # without --name, so this builds a fresh engine and a broken
+        # deployment elsewhere cannot fail an unrelated artifact.
+        engine = _engine_for(args)
+        name = "adhoc"
+        engine.deploy(name, args.artifact)
     xs, ys = read_points_csv(args.points)
-    assignment = server.locate_points(xs, ys)
+    assignment = engine.locate_points(name, xs, ys)
     located = int(np.count_nonzero(assignment >= 0))
-    provenance = server.provenance
+    info = engine.describe(name)
+    provenance = info["server"].get("provenance", {})
     source = ", ".join(
         f"{key}={provenance[key]}"
         for key in ("city", "method", "height", "split_engine")
         if key in provenance
     )
-    print(f"artifact {args.artifact}: {server.n_regions} neighborhoods" +
-          (f" ({source})" if source else ""))
+    print(
+        f"deployment {name} v{info['version']} "
+        f"({info['backend']} backend): {info['n_regions']} neighborhoods"
+        + (f" ({source})" if source else "")
+    )
     print(
         f"located {located}/{len(assignment)} points in "
         f"{len(np.unique(assignment[assignment >= 0]))} distinct neighborhoods"
         + (f"; {len(assignment) - located} off-map -> -1" if located < len(assignment) else "")
     )
+    if args.verbose:
+        _print_serving_stats(engine)
     if not args.output:
         return []
     return [
@@ -301,10 +490,38 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         print(_experiment_catalogue())
         return 0
 
-    if args.experiment in SERVING_COMMANDS and not args.artifact:
+    if args.experiment in ("build", "deploy") and not args.artifact:
         parser.error(f"'{args.experiment}' requires --artifact")
-    if args.experiment == "query" and not args.points:
-        parser.error("'query' requires --points")
+    if args.shards is not None and args.experiment != "deploy":
+        parser.error("--shards applies to the 'deploy' verb only")
+    if args.strict and args.no_strict:
+        parser.error("--strict and --no-strict are mutually exclusive")
+    if args.experiment == "deploy" and not (args.name and args.manifest):
+        parser.error("'deploy' requires --name and --manifest")
+    if args.experiment == "deploy" \
+            and (args.backend or args.strict or args.no_strict) \
+            and args.manifest and Path(args.manifest).is_file():
+        # Ignoring the flag would silently lose intent; rewriting the
+        # persisted config would silently change every other deployment.
+        parser.error(
+            "--backend/--strict configure a manifest only when it is first "
+            "created; the existing manifest keeps the config it was saved with"
+        )
+    if args.experiment == "deployments" and not args.manifest:
+        parser.error("'deployments' requires --manifest")
+    if args.experiment == "query":
+        if not args.points:
+            parser.error("'query' requires --points")
+        if args.name and args.artifact:
+            parser.error("'query' takes --name or --artifact, not both")
+        if args.name and not args.manifest:
+            parser.error("'query --name' requires --manifest")
+        if args.manifest and not args.name:
+            # One-shot path queries never read the manifest; accepting the
+            # flag would silently drop the intent to use its stored config.
+            parser.error("'query' takes --manifest only together with --name")
+        if not args.name and not args.artifact:
+            parser.error("'query' requires --name (with --manifest) or --artifact")
 
     context = _context(args)
     rows: List[dict] = []
@@ -352,11 +569,20 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
     elif args.experiment == "compare":
         rows = _run_compare(context, args)
     elif args.experiment in SERVING_COMMANDS:
-        # Serving failures (missing/corrupt artifact, off-map points under
-        # --strict, malformed points file) are expected user errors, not bugs:
-        # report them cleanly instead of dumping a traceback.
+        # Serving failures (missing/corrupt artifact or manifest, unknown
+        # deployment names, off-map points under --strict, malformed points
+        # files) are expected user errors, not bugs: report them cleanly
+        # instead of dumping a traceback.
+        serving_verbs = {
+            "deploy": lambda: _run_deploy(args),
+            "deployments": lambda: _run_deployments(args),
+            "query": lambda: _run_query(args),
+        }
         try:
-            rows = _run_build(context, args) if args.experiment == "build" else _run_query(args)
+            if args.experiment == "build":
+                rows = _run_build(context, args)
+            else:
+                rows = serving_verbs[args.experiment]()
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1

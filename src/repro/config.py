@@ -12,7 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence, Tuple
 
 from .exceptions import ConfigurationError
-from .registry import MODELS, PARTITIONERS
+from .registry import BACKENDS, MODELS, PARTITIONERS
 
 #: Tree heights swept in the paper's Figures 7 and 8.
 PAPER_HEIGHTS: Tuple[int, ...] = (4, 5, 6, 7, 8, 9, 10)
@@ -166,16 +166,23 @@ class ServingConfig:
     used beyond that are evicted).  ``strict`` selects how the server treats
     query points outside the map: ``False`` (default) maps them to ``-1``,
     ``True`` raises — the same switch as ``Partition.assign``.
+    ``backend`` names the point-location index every server built under
+    this config uses; known backends live in the locator-backend registry
+    (:data:`repro.registry.BACKENDS`, populated by the ``@register_backend``
+    decorators in :mod:`repro.serving.backends`) and aliases are accepted.
     """
 
     cache_entries: int = 8
     strict: bool = False
+    backend: str = "dense"
 
     def __post_init__(self) -> None:
         if self.cache_entries < 1:
             raise ConfigurationError(
                 f"cache_entries must be >= 1, got {self.cache_entries}"
             )
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(BACKENDS.unknown_message(self.backend))
 
 
 @dataclass(frozen=True)

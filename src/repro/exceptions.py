@@ -50,3 +50,7 @@ class EvaluationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured or executed incorrectly."""
+
+
+class ServingError(ReproError):
+    """A serving-engine operation addressed an unknown or invalid deployment."""

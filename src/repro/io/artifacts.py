@@ -149,6 +149,29 @@ def save_partition_artifact(
     return path
 
 
+def bundle_fingerprint(path: str | Path) -> Tuple[int, int, int, int]:
+    """Cheap change-detection stamp of a bundle's two member files.
+
+    Returns ``(manifest mtime_ns, manifest size, arrays mtime_ns, arrays
+    size)`` — enough to notice a rebuilt artifact at the same path without
+    re-reading either file.  The serving cache compares this stamp on every
+    hit so a stale in-memory server is reloaded instead of silently served.
+    Raises :class:`~repro.exceptions.PartitionError` when the bundle's
+    members are missing (the same condition :func:`load_partition_artifact`
+    reports).
+    """
+    path = Path(path)
+    try:
+        manifest = (path / MANIFEST_NAME).stat()
+        arrays = (path / ARRAYS_NAME).stat()
+    except OSError as exc:
+        raise PartitionError(
+            f"{path} is not a partition artifact bundle "
+            f"(expected {MANIFEST_NAME} and {ARRAYS_NAME})"
+        ) from exc
+    return (manifest.st_mtime_ns, manifest.st_size, arrays.st_mtime_ns, arrays.st_size)
+
+
 def load_partition_artifact(path: str | Path) -> PartitionArtifact:
     """Load the artifact bundle at ``path`` back into a :class:`PartitionArtifact`.
 

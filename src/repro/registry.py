@@ -8,11 +8,13 @@ module replaces all of them with one mechanism:
 
 * :class:`Registry` — an ordered name -> :class:`RegistryEntry` table with
   alias resolution, metadata flags, and did-you-mean error messages;
-* :data:`PARTITIONERS` / :data:`MODELS` / :data:`TASKS` — the three
-  registries the package actually uses;
-* :func:`register_partitioner` / :func:`register_model` — class decorators
-  applied to the implementations in :mod:`repro.core` and :mod:`repro.ml`;
-  :func:`register_task` — the function-valued equivalent for label tasks.
+* :data:`PARTITIONERS` / :data:`MODELS` / :data:`TASKS` /
+  :data:`BACKENDS` — the four registries the package actually uses;
+* :func:`register_partitioner` / :func:`register_model` /
+  :func:`register_backend` — class decorators applied to the
+  implementations in :mod:`repro.core`, :mod:`repro.ml` and
+  :mod:`repro.serving.backends`; :func:`register_task` — the
+  function-valued equivalent for label tasks.
 
 Registration happens where the implementation lives, so adding a method is
 one decorator: the CLI ``choices``, the experiment sweeps, artifact
@@ -27,17 +29,17 @@ registrations (canonical names or aliases) raise
 :class:`~repro.exceptions.ConfigurationError` immediately.
 
 This module sits in the base-utility layer: it imports nothing from the
-package except :mod:`repro.exceptions`.
+package except :mod:`repro.exceptions` and :mod:`repro.validation`.
 """
 
 from __future__ import annotations
 
-import difflib
 import importlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
 
 from .exceptions import ConfigurationError, ExperimentError
+from .validation import did_you_mean
 
 __all__ = [
     "Registry",
@@ -47,9 +49,11 @@ __all__ = [
     "PARTITIONERS",
     "MODELS",
     "TASKS",
+    "BACKENDS",
     "register_partitioner",
     "register_model",
     "register_task",
+    "register_backend",
 ]
 
 
@@ -219,10 +223,7 @@ class Registry:
         message = (
             f"unknown {self._kind} {name!r}; available: {', '.join(self.names())}"
         )
-        close = difflib.get_close_matches(name, list(self._aliases), n=1, cutoff=0.6)
-        if close:
-            message += f" — did you mean {self._aliases[close[0]]!r}?"
-        return message
+        return message + did_you_mean(name, self._aliases, canonical=self._aliases)
 
     # -- introspection ----------------------------------------------------------
 
@@ -307,6 +308,10 @@ MODELS = ModelRegistry("model kind", populate_from="repro.ml")
 #: Label tasks (populated by importing :mod:`repro.datasets.labels`).
 TASKS = Registry("label task", populate_from="repro.datasets.labels")
 
+#: Point-location backends for the serving layer (populated by importing
+#: :mod:`repro.serving.backends`).
+BACKENDS = Registry("locator backend", populate_from="repro.serving.backends")
+
 
 def register_partitioner(
     name: str,
@@ -353,6 +358,29 @@ def register_model(
     registered family generically.
     """
     return MODELS.decorator(
+        name, aliases=aliases, summary=summary, paper_ref=paper_ref, **metadata
+    )
+
+
+def register_backend(
+    name: str,
+    *,
+    aliases: Tuple[str, ...] = (),
+    summary: str = "",
+    paper_ref: str = "",
+    **metadata: Any,
+) -> Callable[[Any], Any]:
+    """Class decorator registering a locator backend in :data:`BACKENDS`.
+
+    A backend is a class whose constructor takes one
+    :class:`~repro.spatial.partition.Partition` and whose instances answer
+    vectorised ``locate_cells(rows, cols)`` queries for in-grid cell
+    coordinates (``-1`` for uncovered cells of incomplete partitions); see
+    :class:`repro.serving.backends.LocatorBackend`.  Registered names are
+    the values :class:`~repro.config.ServingConfig.backend` and the CLI's
+    ``--backend`` flag accept.
+    """
+    return BACKENDS.decorator(
         name, aliases=aliases, summary=summary, paper_ref=paper_ref, **metadata
     )
 

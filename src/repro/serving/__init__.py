@@ -1,20 +1,49 @@
-"""Partition serving: batched queries against stored partitions.
+"""Partition serving: the read path behind the build side.
 
 The packages below this one build partitions; this package serves them.
-Its unit of work is "answer queries against a stored partition", not
+Its unit of work is "answer queries against stored partitions", not
 "build one":
 
+* :class:`~repro.serving.engine.ServingEngine` — the front door: named
+  deployments with version history, atomic hot-swap and rollback, a
+  ``latest`` alias, per-deployment stats, and a persistable manifest.
+* :mod:`~repro.serving.protocol` — the typed query vocabulary
+  (:class:`LocateRequest` / :class:`RangeRequest` / :class:`QueryResult`),
+  JSON-round-trippable so any transport can front the engine.
 * :class:`~repro.serving.server.PartitionServer` — fully vectorised batch
-  point-location and range queries straight off a partition's dense label
-  grid (``-1`` for off-map points in the default non-strict mode).
-* :class:`~repro.serving.cache.ArtifactCache` — an LRU cache that keeps hot
-  artifact bundles resident as ready-to-query servers.
+  point-location and range queries over one partition (``-1`` for off-map
+  points in the default non-strict mode).
+* :mod:`~repro.serving.backends` — pluggable point-location indexes
+  behind the server (dense label grid, sparse band index), registered in
+  :data:`repro.registry.BACKENDS`.
+* :class:`~repro.serving.sharding.ShardedDeployment` — one partition
+  served as a tile grid of independent shard indexes, batch queries
+  scatter/gathered across them.
+* :class:`~repro.serving.cache.ArtifactCache` — an LRU cache that keeps
+  hot artifact bundles resident as ready-to-query servers and reloads
+  bundles that changed on disk.
 
 Pair with :mod:`repro.io.artifacts` (the on-disk bundle format) and the
-``build`` / ``query`` CLI verbs.
+``build`` / ``deploy`` / ``deployments`` / ``query`` CLI verbs.
 """
 
+from .backends import DenseGridLocator, LocatorBackend, SparseBandLocator
 from .cache import ArtifactCache
+from .engine import ServingEngine
+from .protocol import LATEST, LocateRequest, QueryResult, RangeRequest
 from .server import PartitionServer
+from .sharding import ShardedDeployment
 
-__all__ = ["PartitionServer", "ArtifactCache"]
+__all__ = [
+    "ServingEngine",
+    "PartitionServer",
+    "ShardedDeployment",
+    "ArtifactCache",
+    "LocateRequest",
+    "RangeRequest",
+    "QueryResult",
+    "LATEST",
+    "LocatorBackend",
+    "DenseGridLocator",
+    "SparseBandLocator",
+]

@@ -1,0 +1,163 @@
+"""Pluggable point-location backends for the serving layer.
+
+A backend turns a built :class:`~repro.spatial.partition.Partition` into an
+index structure answering one question, fully vectorised: *which region
+covers each of these grid cells?*  Two implementations are registered in
+:data:`repro.registry.BACKENDS` (the set :class:`~repro.config.ServingConfig`
+and the CLI ``--backend`` flag choose from):
+
+* :class:`DenseGridLocator` (``dense``, the default) — reads the
+  partition's dense cell->region ``label_grid`` with one fancy-indexing
+  pass.  Fastest, but its index is O(rows x cols) integers regardless of
+  how few regions there are.
+* :class:`SparseBandLocator` (``sparse``) — walks the partition's
+  structure instead of materialising it per cell: the grid's rows are cut
+  into *bands* at every region boundary, each band keeps its regions'
+  column segments sorted, and a lookup is two ``searchsorted`` probes.
+  Index size is O(segments) — proportional to the region count and band
+  structure, independent of grid resolution — which is what a
+  1e5 x 1e5-cell map needs.
+
+Both backends return identical region assignments for every cell —
+``-1`` for uncovered cells of incomplete partitions — a guarantee
+enforced bit-exactly by ``tests/serving/test_backends.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..registry import register_backend
+from ..spatial.partition import Partition
+
+__all__ = ["LocatorBackend", "DenseGridLocator", "SparseBandLocator"]
+
+
+class LocatorBackend:
+    """Interface every registered locator backend implements.
+
+    Construction takes the partition to index; :meth:`locate_cells` takes
+    integer cell-coordinate arrays that are already inside the grid (the
+    server masks off-map queries first) and returns the covering region
+    index per cell, ``-1`` where no region covers the cell.
+    """
+
+    #: Canonical registry name, set by each concrete class.
+    name: str = ""
+
+    def __init__(self, partition: Partition) -> None:
+        self._partition = partition
+
+    @property
+    def partition(self) -> Partition:
+        return self._partition
+
+    def locate_cells(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        """Size of the backend's own index structure (not the partition)."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        return {"backend": self.name, "index_bytes": self.memory_bytes()}
+
+
+@register_backend(
+    "dense",
+    aliases=("label_grid", "grid"),
+    summary="dense cell->region label grid; one fancy-indexing pass per batch",
+)
+class DenseGridLocator(LocatorBackend):
+    """Lookups straight off the partition's dense label grid.
+
+    The index *is* ``partition.label_grid`` (shared, not copied), so this
+    backend adds no memory of its own but inherits the grid's O(rows x cols)
+    footprint.
+    """
+
+    name = "dense"
+
+    def __init__(self, partition: Partition) -> None:
+        super().__init__(partition)
+        self._labels = partition.label_grid
+
+    def locate_cells(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self._labels[rows, cols]
+
+    def memory_bytes(self) -> int:
+        return int(self._labels.nbytes)
+
+
+@register_backend(
+    "sparse",
+    aliases=("band_index", "tree_walk"),
+    summary="row-band interval index over region extents; O(regions) memory, "
+    "two searchsorted probes per batch",
+)
+class SparseBandLocator(LocatorBackend):
+    """Memory-lean lookups from a sorted row-band / column-segment index.
+
+    Regions are axis-aligned cell rectangles, so every horizontal region
+    boundary cuts the grid's rows into *bands* inside which the column
+    structure is constant.  The index stores, per band, each covering
+    region's column segment ``[col_start, col_stop)`` encoded as flattened
+    keys ``band * cols + col``:
+
+    * ``_starts`` — segment start keys, globally sorted (bands are sorted
+      and segments within a band are disjoint and sorted);
+    * ``_stops`` / ``_labels`` — the matching segment end keys and region
+      indices.
+
+    A batch lookup is then branch-free: ``searchsorted`` the query rows
+    into the band table, encode ``band * cols + col``, ``searchsorted``
+    into ``_starts``, and keep the hit only where the query key is still
+    below the segment's end key — which simultaneously rejects cells in
+    coverage gaps and keys that landed on a previous band's last segment.
+    """
+
+    name = "sparse"
+
+    def __init__(self, partition: Partition) -> None:
+        super().__init__(partition)
+        grid = partition.grid
+        self._cols = grid.cols
+        boundaries = {0, grid.rows}
+        for region in partition.regions:
+            boundaries.add(region.row_start)
+            boundaries.add(region.row_stop)
+        self._row_bounds = np.array(sorted(boundaries), dtype=np.int64)
+
+        segments: List[Tuple[int, int, int]] = []
+        band_of_row = {int(row): band for band, row in enumerate(self._row_bounds[:-1])}
+        for index, region in enumerate(partition.regions):
+            first = band_of_row[region.row_start]
+            band = first
+            while self._row_bounds[band] < region.row_stop:
+                start = band * self._cols + region.col_start
+                segments.append((start, band * self._cols + region.col_stop, index))
+                band += 1
+        segments.sort()
+        self._starts = np.array([s[0] for s in segments], dtype=np.int64)
+        self._stops = np.array([s[1] for s in segments], dtype=np.int64)
+        self._labels = np.array([s[2] for s in segments], dtype=np.int64)
+
+    def locate_cells(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        bands = np.searchsorted(self._row_bounds, rows, side="right") - 1
+        keys = bands * self._cols + cols
+        hits = np.searchsorted(self._starts, keys, side="right") - 1
+        clamped = np.maximum(hits, 0)
+        covered = (hits >= 0) & (keys < self._stops[clamped])
+        return np.where(covered, self._labels[clamped], -1)
+
+    def memory_bytes(self) -> int:
+        return int(
+            self._row_bounds.nbytes
+            + self._starts.nbytes
+            + self._stops.nbytes
+            + self._labels.nbytes
+        )

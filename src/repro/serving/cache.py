@@ -6,15 +6,23 @@ keeps the most recently used ones resident as ready-to-query
 :class:`~repro.serving.server.PartitionServer` instances and reloads
 evicted ones on demand, so callers address partitions by bundle path and
 never think about load lifecycles.
+
+Every entry remembers the bundle's on-disk fingerprint (member mtimes and
+sizes) from load time; a hit whose fingerprint no longer matches — the
+artifact was rebuilt at the same path — is reloaded transparently instead
+of serving stale regions, no manual :meth:`~ArtifactCache.invalidate`
+required.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from ..config import ServingConfig
+from ..exceptions import PartitionError
+from ..io.artifacts import bundle_fingerprint
 from .server import PartitionServer
 
 
@@ -26,13 +34,13 @@ class ArtifactCache:
     config:
         ``config.cache_entries`` bounds the resident server count and the
         config is handed to every server the cache constructs (so its
-        ``strict`` default applies uniformly).
+        ``strict`` and ``backend`` defaults apply uniformly).
     spec_validator:
         Forwarded to :meth:`PartitionServer.from_artifact` on every cache
         miss, so bundles loaded through the cache get the same embedded-spec
         re-validation as ones opened directly (pass
-        :meth:`repro.api.specs.RunSpec.from_dict`, or build the cache with
-        :func:`repro.api.open_cache` which does).
+        :meth:`repro.api.specs.RunSpec.from_dict`; the engine built by
+        :func:`repro.api.open_engine` does).
     """
 
     def __init__(
@@ -42,10 +50,13 @@ class ArtifactCache:
     ) -> None:
         self._config = config or ServingConfig()
         self._spec_validator = spec_validator
-        self._servers: "OrderedDict[str, PartitionServer]" = OrderedDict()
+        self._servers: "OrderedDict[str, Tuple[PartitionServer, Tuple[int, ...]]]" = (
+            OrderedDict()
+        )
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._reloads = 0
 
     @property
     def max_entries(self) -> int:
@@ -55,18 +66,40 @@ class ArtifactCache:
         return str(Path(path).resolve())
 
     def get(self, path: str | Path) -> PartitionServer:
-        """The server for the bundle at ``path``, loading it on first use."""
+        """The server for the bundle at ``path``, loading it on first use.
+
+        A resident server whose bundle changed on disk since it was loaded
+        (different member mtimes/sizes) counts as a miss and is reloaded,
+        so rebuilding an artifact at the same path takes effect on the next
+        ``get`` instead of after a manual :meth:`invalidate`.  A bundle
+        that was *deleted* keeps serving from the resident server — the
+        loaded data is still valid and availability beats failing; the
+        load error surfaces only once the entry is evicted or invalidated.
+        """
         key = self._key(path)
-        server = self._servers.get(key)
-        if server is not None:
-            self._hits += 1
-            self._servers.move_to_end(key)
-            return server
+        entry = self._servers.get(key)
+        current = None
+        if entry is not None:
+            server, fingerprint = entry
+            try:
+                current = bundle_fingerprint(key)
+            except PartitionError:
+                current = fingerprint  # bundle gone; resident copy still serves
+            if fingerprint == current:
+                self._hits += 1
+                self._servers.move_to_end(key)
+                return server
+            self._reloads += 1
+            del self._servers[key]
         self._misses += 1
+        # On a reload, reuse the stamp taken above (stat'ing again could
+        # pair a newer stamp with the content about to be loaded); the
+        # pre-load stamp keeps the conservative direction either way.
+        fingerprint = current if current is not None else bundle_fingerprint(key)
         server = PartitionServer.from_artifact(
-            path, config=self._config, spec_validator=self._spec_validator
+            key, config=self._config, spec_validator=self._spec_validator
         )
-        self._servers[key] = server
+        self._servers[key] = (server, fingerprint)
         while len(self._servers) > self._config.cache_entries:
             self._servers.popitem(last=False)
             self._evictions += 1
@@ -80,13 +113,21 @@ class ArtifactCache:
         self._servers.clear()
 
     @property
-    def stats(self) -> Dict[str, int]:
-        """Cache effectiveness counters (monotonic until :meth:`clear`)."""
+    def stats(self) -> Dict[str, float]:
+        """Cache effectiveness counters (monotonic until :meth:`clear`).
+
+        ``hit_ratio`` is hits over total lookups (0.0 before the first
+        lookup); ``reloads`` counts hits turned into misses by an on-disk
+        bundle change.
+        """
+        lookups = self._hits + self._misses
         return {
             "hits": self._hits,
             "misses": self._misses,
             "evictions": self._evictions,
+            "reloads": self._reloads,
             "resident": len(self._servers),
+            "hit_ratio": self._hits / lookups if lookups else 0.0,
         }
 
     def __len__(self) -> int:

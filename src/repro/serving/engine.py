@@ -1,0 +1,641 @@
+"""The serving engine: many named, versioned deployments behind one front.
+
+:class:`~repro.serving.server.PartitionServer` serves *one* partition
+addressed by artifact *path*.  A real read path fronts many partitions at
+once — one per city, per tree height, per rollout stage — and needs the
+operational verbs that come with that: deploy a new version without
+dropping queries, roll back a bad one, route a query by *name*, and report
+what is serving.  :class:`ServingEngine` is that front:
+
+* :meth:`deploy` — load an artifact (through the engine's
+  :class:`~repro.serving.cache.ArtifactCache`), validate it fully, then
+  make it the deployment's active version with one atomic pointer swap.
+  Every deploy appends to the deployment's version history; nothing is
+  overwritten.
+* :meth:`rollback` — repoint the active version at an older one (the
+  previous by default); the history stays addressable, so rolling forward
+  again is another :meth:`rollback` with an explicit version.
+* ``version=None`` routes to the *active* version, ``"latest"``
+  (:data:`~repro.serving.protocol.LATEST`) to the newest deployed one —
+  the two differ exactly when a rollback is in effect.
+* :meth:`locate_points` — the array-native hot path (a name lookup, a
+  dict read and stats bookkeeping on top of the server call);
+  :meth:`locate` / :meth:`range_query` — the same queries spoken through
+  the typed protocol (:mod:`repro.serving.protocol`), for transports.
+* :meth:`deploy` with ``shards=(r, c)`` serves the artifact as a
+  :class:`~repro.serving.sharding.ShardedDeployment` instead of one
+  monolithic server.
+* :meth:`save_manifest` / :meth:`from_manifest` — persist and restore the
+  deployment table (names, version paths, active pointers) as JSON, which
+  is how the CLI's ``deploy`` / ``deployments`` / ``query`` verbs share an
+  engine across processes.
+
+Swaps and rollbacks are single-reference assignments, so readers in other
+threads always observe either the old or the new version, never a mix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..config import ServingConfig
+from ..exceptions import ConfigurationError, ReproError, ServingError
+from ..spatial.partition import Partition
+from ..io.artifacts import bundle_fingerprint
+from ..validation import check_version, did_you_mean
+from .cache import ArtifactCache
+from .protocol import LATEST, LocateRequest, QueryResult, RangeRequest
+from .server import PartitionServer
+from .sharding import ShardedDeployment
+
+__all__ = ["ServingEngine", "MANIFEST_FORMAT_VERSION"]
+
+#: Format version of the deployment-manifest JSON written by
+#: :meth:`ServingEngine.save_manifest` (same bump policy as artifact bundles).
+MANIFEST_FORMAT_VERSION = 1
+
+#: Deployment names the engine refuses, to keep the version-alias grammar
+#: unambiguous.
+_RESERVED_NAMES = (LATEST,)
+
+
+class _Version:
+    """One deployment version: its source plus the (possibly lazy) server.
+
+    ``server`` is ``None`` for versions restored from a manifest that have
+    not been queried yet — the engine materialises them on first access,
+    so a deleted *superseded* bundle only fails if something actually
+    addresses that version.  ``fingerprint`` records the bundle's on-disk
+    stamp at deploy time; lazy materialisation re-checks it, so a version
+    number can never silently start serving rebuilt content.
+    """
+
+    __slots__ = ("version", "source", "server", "shards", "fingerprint", "n_regions")
+
+    def __init__(
+        self,
+        version: int,
+        source: Optional[str],
+        server: Any,
+        shards: Optional[Tuple[int, int]],
+        fingerprint: Optional[Tuple[int, ...]] = None,
+        n_regions: Optional[int] = None,
+    ) -> None:
+        self.version = version
+        self.source = source
+        self.server = server
+        self.shards = shards
+        self.fingerprint = fingerprint
+        self.n_regions = n_regions
+
+
+class _Deployment:
+    """A named deployment: version history, active pointer, counters."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.versions: "OrderedDict[int, _Version]" = OrderedDict()
+        self.active = 0
+        self.queries = 0
+        self.points = 0
+        self.located = 0
+        self.swaps = 0
+        self.rollbacks = 0
+
+    @property
+    def latest(self) -> int:
+        return next(reversed(self.versions))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "queries": self.queries,
+            "points": self.points,
+            "located": self.located,
+            "swaps": self.swaps,
+            "rollbacks": self.rollbacks,
+        }
+
+
+class ServingEngine:
+    """Route queries to named, versioned partition deployments.
+
+    Parameters
+    ----------
+    config:
+        Serving knobs shared by every server the engine loads (strictness
+        default, locator backend, cache residency bound).
+    spec_validator:
+        Forwarded to the artifact cache so every bundle deployed by path
+        gets embedded-spec re-validation (pass
+        :meth:`repro.api.specs.RunSpec.from_dict`, or build the engine with
+        :func:`repro.api.open_engine` which does).
+    cache:
+        An existing :class:`ArtifactCache` to share; the engine builds its
+        own when omitted.  A shared cache keeps its own ``spec_validator``,
+        so passing both is rejected — a validator the engine could not
+        actually apply must not look like it is in force.
+    """
+
+    def __init__(
+        self,
+        config: ServingConfig | None = None,
+        spec_validator: Optional[Callable[[Mapping[str, Any]], Any]] = None,
+        cache: Optional[ArtifactCache] = None,
+    ) -> None:
+        self._config = config or ServingConfig()
+        if cache is not None and spec_validator is not None:
+            raise ServingError(
+                "pass spec_validator to the shared ArtifactCache, not the "
+                "engine: loads go through the cache, so a validator given "
+                "here would silently not run"
+            )
+        # `is not None`, not truthiness: an empty cache is falsy (len 0)
+        # but still the object the caller asked to share.
+        self._cache = cache if cache is not None else ArtifactCache(
+            self._config, spec_validator
+        )
+        self._deployments: Dict[str, _Deployment] = {}
+
+    # -- deployment lifecycle -------------------------------------------------
+
+    @property
+    def cache(self) -> ArtifactCache:
+        return self._cache
+
+    def deploy(
+        self,
+        name: str,
+        artifact: Union[str, Path, PartitionServer, Partition],
+        shards: Optional[Tuple[int, int]] = None,
+    ) -> Dict[str, Any]:
+        """Deploy ``artifact`` as the next version of deployment ``name``.
+
+        ``artifact`` may be a bundle path (loaded through the engine's
+        cache, embedded spec re-validated), an already-constructed
+        :class:`PartitionServer`, or a bare
+        :class:`~repro.spatial.partition.Partition`.  With ``shards`` the
+        version serves as a :class:`ShardedDeployment` tiled that way.
+
+        The new version is fully loaded and validated *before* the
+        deployment's active pointer moves, and the move itself is a single
+        assignment — a failing deploy leaves the previous version serving
+        untouched (atomic hot-swap).  A deployed version is an immutable
+        snapshot: rebuilding the bundle on disk does not change what an
+        already-deployed version serves — deploy again to pick it up (the
+        cache's mtime fingerprint guarantees the redeploy sees the rebuilt
+        bundle, not a stale cached server).  Returns the new version's
+        summary (also the row format of :meth:`deployments`).
+        """
+        if not name or not isinstance(name, str):
+            raise ServingError("deployment name must be a non-empty string")
+        if name in _RESERVED_NAMES or "@" in name:
+            raise ServingError(
+                f"deployment name {name!r} is reserved (no {_RESERVED_NAMES} "
+                "and no '@')"
+            )
+        server, source, fingerprint = self._load(artifact)
+        if shards is not None:
+            shards = (int(shards[0]), int(shards[1]))
+            server = self._shard(server, shards)
+
+        deployment = self._deployments.setdefault(name, _Deployment(name))
+        version = deployment.latest + 1 if deployment.versions else 1
+        deployment.versions[version] = _Version(
+            version, source, server, shards, fingerprint, server.n_regions
+        )
+        if deployment.active:
+            deployment.swaps += 1
+        deployment.active = version  # the atomic hot-swap
+        return self._describe_version(deployment, version)
+
+    def rollback(self, name: str, version: Optional[int] = None) -> Dict[str, Any]:
+        """Repoint ``name``'s active version at an older one.
+
+        Without ``version``, reverts to the highest version below the
+        active one; with it (an integer or the ``"latest"`` alias), to
+        exactly that version — which may also be a *newer* one, rolling
+        forward after a rollback.  History is never deleted.  Returns the
+        now-active version's summary.
+        """
+        deployment = self._resolve_deployment(name)
+        if version is None:
+            older = [v for v in deployment.versions if v < deployment.active]
+            if not older:
+                raise ServingError(
+                    f"deployment {name!r} has no version below the active "
+                    f"v{deployment.active} to roll back to"
+                )
+            version = max(older)
+        else:
+            version = self._resolve_version(deployment, version).version
+            if version == deployment.active:
+                raise ServingError(
+                    f"deployment {name!r} is already serving v{version}"
+                )
+        # Materialise the target *before* the swap: a rollback target whose
+        # bundle is gone or rebuilt must fail without displacing the
+        # version that is currently serving — same contract as deploy.
+        self._materialise(deployment.versions[version])
+        deployment.active = int(version)  # atomic, like deploy
+        deployment.rollbacks += 1
+        return self._describe_version(deployment, deployment.active)
+
+    def undeploy(self, name: str) -> bool:
+        """Remove deployment ``name`` and its whole version history."""
+        return self._deployments.pop(name, None) is not None
+
+    # -- resolution -----------------------------------------------------------
+
+    def _load(
+        self, artifact: Union[str, Path, PartitionServer, Partition]
+    ) -> Tuple[Any, Optional[str], Optional[Tuple[int, ...]]]:
+        if isinstance(artifact, (str, Path)):
+            path = str(Path(artifact).resolve())
+            # Fingerprint before loading: if the bundle is rebuilt mid-load,
+            # the stale stamp makes a later lazy materialisation fail loudly
+            # instead of silently serving mixed content.
+            fingerprint = bundle_fingerprint(path)
+            return self._cache.get(path), path, fingerprint
+        if isinstance(artifact, PartitionServer):
+            return artifact, None, None
+        if isinstance(artifact, Partition):
+            return PartitionServer(artifact, config=self._config), None, None
+        raise ServingError(
+            "deploy expects an artifact path, a PartitionServer or a "
+            f"Partition, got {type(artifact).__name__}"
+        )
+
+    def _shard(self, server: PartitionServer, shards: Tuple[int, int]) -> ShardedDeployment:
+        return ShardedDeployment(
+            server.partition,
+            shards[0],
+            shards[1],
+            provenance=server.provenance,
+            config=self._config,
+        )
+
+    def _materialise(self, resolved: _Version) -> Any:
+        """The version's server, loading it on first access.
+
+        Versions restored from a manifest start unloaded; only the ones a
+        query (or :meth:`describe`) actually addresses hit the cache, so a
+        superseded bundle deleted from disk cannot poison the deployments
+        that never route to it.  The bundle's current fingerprint must
+        still match the one recorded at deploy time — a version number is
+        an immutable snapshot, and serving rebuilt content under an old
+        number would make pinned queries lie.
+        """
+        if resolved.server is None:
+            if resolved.fingerprint is not None and \
+                    bundle_fingerprint(resolved.source) != resolved.fingerprint:
+                raise ServingError(
+                    f"bundle {resolved.source} changed on disk since "
+                    f"v{resolved.version} was deployed; deploy it again to "
+                    "serve the new content under a new version"
+                )
+            server = self._cache.get(resolved.source)
+            if resolved.shards is not None:
+                server = self._shard(server, resolved.shards)
+            resolved.server = server
+        return resolved.server
+
+    def _resolve_deployment(self, name: str) -> _Deployment:
+        deployment = self._deployments.get(name)
+        if deployment is None:
+            known = sorted(self._deployments)
+            message = (
+                f"unknown deployment {name!r}; "
+                + (f"deployed: {', '.join(known)}" if known else "nothing is deployed")
+            )
+            raise ServingError(message + did_you_mean(name, known))
+        return deployment
+
+    def _resolve_version(
+        self, deployment: _Deployment, version: Optional[Union[int, str]]
+    ) -> _Version:
+        if version is None:
+            return deployment.versions[deployment.active]
+        if version == LATEST:
+            return deployment.versions[deployment.latest]
+        check_version(version, error=ServingError)
+        resolved = deployment.versions.get(version)
+        if resolved is None:
+            raise ServingError(
+                f"deployment {deployment.name!r} has no version {version}; "
+                f"history: {sorted(deployment.versions)}"
+            )
+        return resolved
+
+    def server_for(
+        self, name: str, version: Optional[Union[int, str]] = None
+    ) -> Any:
+        """The server object answering for ``name`` (active version by
+        default, ``"latest"`` or an integer to pin)."""
+        return self._materialise(
+            self._resolve_version(self._resolve_deployment(name), version)
+        )
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._deployments
+
+    def __len__(self) -> int:
+        return len(self._deployments)
+
+    # -- queries --------------------------------------------------------------
+
+    def locate_points(
+        self,
+        name: str,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        strict: Optional[bool] = None,
+        version: Optional[Union[int, str]] = None,
+    ) -> np.ndarray:
+        """Array-native batch point location against deployment ``name``.
+
+        This is the hot path the routing benchmark holds to <= 10%
+        overhead over a direct :meth:`PartitionServer.locate_points` call:
+        one dict lookup, the server call, and the stats bookkeeping —
+        whose ``located`` counter costs one vectorised scan of the
+        assignment, the dominant share of the measured ~3% overhead.
+        """
+        deployment = self._resolve_deployment(name)
+        resolved = self._resolve_version(deployment, version)
+        assignment = self._materialise(resolved).locate_points(xs, ys, strict=strict)
+        self._record_locate(deployment, assignment)
+        return assignment
+
+    @staticmethod
+    def _record_locate(deployment: _Deployment, assignment: np.ndarray) -> None:
+        deployment.queries += 1
+        deployment.points += int(assignment.size)
+        deployment.located += int(np.count_nonzero(assignment >= 0))
+
+    def locate(self, request: LocateRequest) -> QueryResult:
+        """Answer a typed :class:`LocateRequest` with a :class:`QueryResult`."""
+        deployment = self._resolve_deployment(request.deployment)
+        resolved = self._resolve_version(deployment, request.version)
+        assignment = self._materialise(resolved).locate_points(
+            np.asarray(request.xs, dtype=float),
+            np.asarray(request.ys, dtype=float),
+            strict=request.strict,
+        )
+        self._record_locate(deployment, assignment)
+        return QueryResult(
+            deployment=deployment.name,
+            version=resolved.version,
+            kind="locate",
+            regions=tuple(int(index) for index in assignment),
+        )
+
+    def range_query(self, request: RangeRequest) -> QueryResult:
+        """Answer a typed :class:`RangeRequest` with a :class:`QueryResult`."""
+        deployment = self._resolve_deployment(request.deployment)
+        resolved = self._resolve_version(deployment, request.version)
+        regions = self._materialise(resolved).range_query(request.bounds)
+        # Only `queries` moves: `points`/`located` count point lookups, and
+        # folding region matches into them would let located exceed points.
+        deployment.queries += 1
+        return QueryResult(
+            deployment=deployment.name,
+            version=resolved.version,
+            kind="range",
+            regions=tuple(int(index) for index in regions),
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    def _describe_version(
+        self,
+        deployment: _Deployment,
+        version: int,
+        info: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        resolved = deployment.versions[version]
+        if info is None:
+            info = self._materialise(resolved).describe()
+        return {
+            "name": deployment.name,
+            "version": version,
+            "active": version == deployment.active,
+            "latest": version == deployment.latest,
+            "source": resolved.source,
+            "shards": list(resolved.shards) if resolved.shards else None,
+            "n_regions": info["n_regions"],
+            "backend": info["backend"],
+        }
+
+    def describe(self, name: str, version: Optional[Union[int, str]] = None) -> Dict[str, Any]:
+        """Full description of one deployment version (active by default)."""
+        deployment = self._resolve_deployment(name)
+        resolved = self._resolve_version(deployment, version)
+        info = self._materialise(resolved).describe()
+        summary = self._describe_version(deployment, resolved.version, info=info)
+        summary["versions"] = sorted(deployment.versions)
+        summary["stats"] = deployment.stats()
+        summary["server"] = info
+        return summary
+
+    def deployments(self) -> List[Dict[str, Any]]:
+        """One summary row per deployment (its active version), deploy order.
+
+        The listing is the observability surface, so it must be cheap and
+        must degrade instead of failing: versions restored from a manifest
+        but never queried are described from their recorded metadata plus
+        one ``stat`` of the bundle (no array load — listing a 50-bundle
+        manifest reads no arrays), and a bundle that is missing or changed
+        on disk gets its failure under an ``"error"`` key while every
+        other row reports normally.
+        """
+        rows = []
+        for deployment in self._deployments.values():
+            resolved = deployment.versions[deployment.active]
+            if resolved.server is not None or resolved.n_regions is None:
+                try:
+                    rows.append(self._describe_version(deployment, deployment.active))
+                    continue
+                except ReproError as exc:
+                    error: Optional[str] = str(exc)
+            else:
+                error = None
+                try:
+                    if resolved.fingerprint is not None and \
+                            bundle_fingerprint(resolved.source) != resolved.fingerprint:
+                        error = (
+                            f"bundle {resolved.source} changed on disk since "
+                            f"v{resolved.version} was deployed"
+                        )
+                except ReproError as exc:
+                    error = str(exc)
+            row = {
+                "name": deployment.name,
+                "version": deployment.active,
+                "active": True,
+                "latest": deployment.active == deployment.latest,
+                "source": resolved.source,
+                "shards": list(resolved.shards) if resolved.shards else None,
+                "n_regions": resolved.n_regions if error is None else None,
+                "backend": None if error is not None else (
+                    "sharded" if resolved.shards else self._backend_name()
+                ),
+            }
+            if error is not None:
+                row["error"] = error
+            rows.append(row)
+        return rows
+
+    def _backend_name(self) -> str:
+        """Canonical name of the configured locator backend."""
+        from ..registry import BACKENDS
+
+        return BACKENDS.resolve(self._config.backend).name
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        """Engine-wide counters: per-deployment stats plus the cache's."""
+        per_deployment = {
+            name: deployment.stats() for name, deployment in self._deployments.items()
+        }
+        return {
+            "deployments": per_deployment,
+            "queries": sum(stats["queries"] for stats in per_deployment.values()),
+            "points": sum(stats["points"] for stats in per_deployment.values()),
+            "cache": self._cache.stats,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServingEngine({sorted(self._deployments)!r})"
+
+    # -- persistence ----------------------------------------------------------
+
+    def save_manifest(self, path: Union[str, Path]) -> Path:
+        """Write the deployment table as JSON (paths, versions, active pointers).
+
+        Only path-backed versions can be persisted; deployments of
+        in-memory servers or partitions raise :class:`ServingError`.
+        Restore with :meth:`from_manifest`.  The file is written to a
+        temporary sibling and atomically renamed into place, so a crash
+        mid-write never leaves a truncated manifest; concurrent writers
+        are last-writer-wins (the manifest is a snapshot of *this*
+        engine's table, not a merge target).
+        """
+        deployments: Dict[str, Any] = {}
+        for name, deployment in self._deployments.items():
+            versions = []
+            for resolved in deployment.versions.values():
+                if resolved.source is None:
+                    raise ServingError(
+                        f"deployment {name!r} v{resolved.version} was deployed "
+                        "from memory, not a bundle path; it cannot be persisted"
+                    )
+                versions.append(
+                    {
+                        "version": resolved.version,
+                        "path": resolved.source,
+                        "shards": list(resolved.shards) if resolved.shards else None,
+                        "fingerprint": list(resolved.fingerprint)
+                        if resolved.fingerprint else None,
+                        "n_regions": resolved.n_regions,
+                    }
+                )
+            deployments[name] = {"active": deployment.active, "versions": versions}
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format_version": MANIFEST_FORMAT_VERSION,
+            "config": {
+                "cache_entries": self._config.cache_entries,
+                "strict": self._config.strict,
+                "backend": self._config.backend,
+            },
+            "deployments": deployments,
+        }
+        scratch = path.with_name(path.name + ".tmp")
+        scratch.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(scratch, path)
+        return path
+
+    @classmethod
+    def from_manifest(
+        cls,
+        path: Union[str, Path],
+        config: ServingConfig | None = None,
+        spec_validator: Optional[Callable[[Mapping[str, Any]], Any]] = None,
+        cache: Optional[ArtifactCache] = None,
+        config_overrides: Optional[Mapping[str, Any]] = None,
+    ) -> "ServingEngine":
+        """Rebuild an engine from a :meth:`save_manifest` file.
+
+        The version table and active pointers are restored — including
+        rollbacks in effect at save time — entirely *lazily*: no bundle is
+        loaded until a query, :meth:`describe` or :meth:`deployments` row
+        actually addresses its version.  A bundle deleted from disk
+        therefore only fails the operations that route to it; every other
+        deployment keeps serving.  The engine's serving config (backend,
+        strictness, cache bound) is restored from the manifest; an explicit
+        ``config`` replaces it wholesale, while ``config_overrides`` (a
+        field->value mapping) changes *only* the named fields and keeps the
+        manifest's values for the rest — what a CLI flag should do.
+        """
+        path = Path(path)
+        if not path.is_file():
+            raise ServingError(f"deployment manifest {path} does not exist")
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ServingError(f"malformed deployment manifest {path}: {exc}") from exc
+        version = payload.get("format_version")
+        if version != MANIFEST_FORMAT_VERSION:
+            raise ServingError(
+                f"deployment manifest {path} has format version {version!r}; "
+                f"this reader supports ({MANIFEST_FORMAT_VERSION},)"
+            )
+        try:
+            if config is None:
+                stored = payload.get("config")
+                config = ServingConfig(**stored) if isinstance(stored, dict) \
+                    else ServingConfig()
+            if config_overrides:
+                config = replace(config, **dict(config_overrides))
+        except (ConfigurationError, TypeError) as exc:
+            raise ServingError(
+                f"malformed deployment manifest {path}: bad config ({exc})"
+            ) from exc
+        engine = cls(config=config, spec_validator=spec_validator, cache=cache)
+        try:
+            deployments = dict(payload["deployments"])
+            for name, info in deployments.items():
+                restored = _Deployment(name)
+                for vinfo in sorted(info["versions"], key=lambda v: int(v["version"])):
+                    number = int(vinfo["version"])
+                    shards = vinfo.get("shards")
+                    fingerprint = vinfo.get("fingerprint")
+                    n_regions = vinfo.get("n_regions")
+                    restored.versions[number] = _Version(
+                        number,
+                        str(vinfo["path"]),
+                        None,
+                        tuple(int(s) for s in shards) if shards else None,
+                        tuple(int(f) for f in fingerprint) if fingerprint else None,
+                        int(n_regions) if n_regions is not None else None,
+                    )
+                active = int(info["active"])
+                if active not in restored.versions:
+                    raise ServingError(
+                        f"deployment manifest {path}: {name!r} activates missing "
+                        f"version {active}"
+                    )
+                restored.active = active
+                engine._deployments[name] = restored
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServingError(f"malformed deployment manifest {path}: {exc}") from exc
+        return engine

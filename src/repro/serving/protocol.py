@@ -1,0 +1,271 @@
+"""Typed query protocol: the wire format any transport fronts the engine with.
+
+The :class:`~repro.serving.engine.ServingEngine` answers queries addressed
+to *named deployments*.  These three frozen dataclasses are the engine's
+request/response vocabulary, mirroring :mod:`repro.api.specs`: validated
+eagerly on construction, canonical ``to_dict``/``from_dict`` with
+unknown-key rejection, and lossless JSON round-tripping::
+
+    LocateRequest.from_json(request.to_json()) == request
+
+so an HTTP handler, a message queue consumer, or a test harness can all
+speak to the engine with the same value objects.
+
+* :class:`LocateRequest` — batch point location against a deployment
+  (optionally a pinned ``version`` or the ``"latest"`` alias, optionally
+  overriding the strictness default);
+* :class:`RangeRequest` — regions intersecting a bounding box;
+* :class:`QueryResult` — the uniform response: which deployment/version
+  answered, the request ``kind``, and the region indices.
+
+The protocol is for transports and provenance, not the hot loop: a
+million-point batch should use the engine's array-native
+:meth:`~repro.serving.engine.ServingEngine.locate_points` directly and
+skip the tuple conversion these value objects perform.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from ..spatial.geometry import BoundingBox
+from ..validation import check_keys, check_version
+
+__all__ = ["LocateRequest", "RangeRequest", "QueryResult", "LATEST"]
+
+#: Version alias resolving to a deployment's newest version (which can
+#: differ from its *active* version after a rollback).
+LATEST = "latest"
+
+#: The request/result kinds the protocol knows.
+QUERY_KINDS: Tuple[str, ...] = ("locate", "range")
+
+
+def _check_deployment(kind: str, deployment: Any) -> None:
+    if not isinstance(deployment, str) or not deployment:
+        raise ConfigurationError(f"{kind}.deployment must be a non-empty string")
+
+
+def _check_version(kind: str, version: Any) -> None:
+    check_version(version, owner=f"{kind}.version")
+
+
+def _check_kind_field(kind: str, data: Mapping[str, Any], expected: str) -> None:
+    declared = data.get("kind", expected)
+    if declared != expected:
+        raise ConfigurationError(
+            f"{kind}.from_dict got kind {declared!r}, expected {expected!r}"
+        )
+
+
+class _JsonValue:
+    """JSON round-trip plumbing shared by every protocol value.
+
+    Subclasses implement ``to_dict``/``from_dict``; the JSON pair and the
+    missing-required-field wrapping are identical across messages, so a
+    new message added for a future transport inherits them instead of
+    copying the boilerplate a fourth time.
+    """
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str):
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def _construct(cls, kwargs: Dict[str, Any]):
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:  # a required field is missing
+            raise ConfigurationError(f"{cls.__name__}.from_dict: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class LocateRequest(_JsonValue):
+    """Batch point location against a named deployment.
+
+    ``xs``/``ys`` are paired coordinates (canonicalised to float tuples);
+    ``strict = None`` defers to the engine's
+    :attr:`~repro.config.ServingConfig.strict` default; ``version = None``
+    queries the deployment's *active* version, an integer pins one, and
+    ``"latest"`` aliases the newest deployed version.
+    """
+
+    deployment: str
+    xs: Tuple[float, ...]
+    ys: Tuple[float, ...]
+    strict: Optional[bool] = None
+    version: Optional[Union[int, str]] = None
+
+    def __post_init__(self) -> None:
+        _check_deployment("LocateRequest", self.deployment)
+        if isinstance(self.xs, str) or isinstance(self.ys, str):
+            # A bare string would silently iterate per character.
+            raise ConfigurationError(
+                "LocateRequest coordinates must be numeric sequences, not strings"
+            )
+        try:
+            xs = tuple(float(x) for x in self.xs)
+            ys = tuple(float(y) for y in self.ys)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"LocateRequest coordinates must be numeric: {exc}"
+            ) from exc
+        if len(xs) != len(ys):
+            raise ConfigurationError(
+                f"LocateRequest needs paired coordinates, got {len(xs)} xs "
+                f"and {len(ys)} ys"
+            )
+        if any(not math.isfinite(v) for v in xs + ys):
+            raise ConfigurationError("LocateRequest coordinates must be finite")
+        object.__setattr__(self, "xs", xs)
+        object.__setattr__(self, "ys", ys)
+        if self.strict is not None and not isinstance(self.strict, bool):
+            raise ConfigurationError("LocateRequest.strict must be a bool or None")
+        _check_version("LocateRequest", self.version)
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; ``None`` fields are omitted for compactness."""
+        data: Dict[str, Any] = {
+            "kind": "locate",
+            "deployment": self.deployment,
+            "xs": list(self.xs),
+            "ys": list(self.ys),
+        }
+        if self.strict is not None:
+            data["strict"] = self.strict
+        if self.version is not None:
+            data["version"] = self.version
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LocateRequest":
+        """Validated request from a dict; unknown keys raise immediately."""
+        allowed = ("kind",) + tuple(f.name for f in fields(cls))
+        check_keys("LocateRequest", data, allowed)
+        _check_kind_field("LocateRequest", data, "locate")
+        return cls._construct({k: v for k, v in data.items() if k != "kind"})
+
+
+@dataclass(frozen=True)
+class RangeRequest(_JsonValue):
+    """Regions of a named deployment intersecting a closed bounding box."""
+
+    deployment: str
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+    version: Optional[Union[int, str]] = None
+
+    def __post_init__(self) -> None:
+        _check_deployment("RangeRequest", self.deployment)
+        for name in ("min_x", "min_y", "max_x", "max_y"):
+            try:
+                value = float(getattr(self, name))
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"RangeRequest.{name} must be numeric: {exc}"
+                ) from exc
+            if not math.isfinite(value):
+                raise ConfigurationError(f"RangeRequest.{name} must be finite")
+            object.__setattr__(self, name, value)
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ConfigurationError(
+                "RangeRequest box is inverted: "
+                f"[{self.min_x}, {self.max_x}] x [{self.min_y}, {self.max_y}]"
+            )
+        _check_version("RangeRequest", self.version)
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """The request box as the spatial layer's :class:`BoundingBox`."""
+        return BoundingBox(self.min_x, self.min_y, self.max_x, self.max_y)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "kind": "range",
+            "deployment": self.deployment,
+            "min_x": self.min_x,
+            "min_y": self.min_y,
+            "max_x": self.max_x,
+            "max_y": self.max_y,
+        }
+        if self.version is not None:
+            data["version"] = self.version
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RangeRequest":
+        allowed = ("kind",) + tuple(f.name for f in fields(cls))
+        check_keys("RangeRequest", data, allowed)
+        _check_kind_field("RangeRequest", data, "range")
+        return cls._construct({k: v for k, v in data.items() if k != "kind"})
+
+
+@dataclass(frozen=True)
+class QueryResult(_JsonValue):
+    """The engine's uniform response to either request kind.
+
+    ``regions`` is per-point assignments (``-1`` = off-map) for
+    ``kind == "locate"`` and the matching region indices for
+    ``kind == "range"``.  ``version`` records which deployment version
+    actually answered — the number a pinned request can replay against.
+    """
+
+    deployment: str
+    version: int
+    kind: str
+    regions: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        _check_deployment("QueryResult", self.deployment)
+        if isinstance(self.version, bool) or not isinstance(self.version, int) \
+                or self.version < 1:
+            raise ConfigurationError(
+                f"QueryResult.version must be a positive integer, got {self.version!r}"
+            )
+        if self.kind not in QUERY_KINDS:
+            raise ConfigurationError(
+                f"QueryResult.kind must be one of {QUERY_KINDS}, got {self.kind!r}"
+            )
+        try:
+            regions = tuple(int(r) for r in self.regions)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"QueryResult.regions must be integers: {exc}"
+            ) from exc
+        object.__setattr__(self, "regions", regions)
+
+    @property
+    def n_located(self) -> int:
+        """How many entries name a real region (``>= 0``)."""
+        return sum(1 for region in self.regions if region >= 0)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "deployment": self.deployment,
+            "version": self.version,
+            "kind": self.kind,
+            "regions": list(self.regions),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QueryResult":
+        check_keys("QueryResult", data, tuple(f.name for f in fields(cls)))
+        kwargs = dict(data)
+        if "regions" in kwargs:
+            kwargs["regions"] = tuple(kwargs["regions"])
+        return cls._construct(kwargs)

@@ -6,17 +6,21 @@ in?" questions against it.  :class:`PartitionServer` is that serve side: it
 holds the partition's dense cell->region label grid and answers fully
 vectorised batch queries from it —
 
-* :meth:`locate_points` — continuous coordinates -> region indices, one
-  fancy-indexing pass over the label grid, ``-1`` for off-map points in the
-  default non-strict mode;
+* :meth:`locate_points` — continuous coordinates -> region indices in one
+  vectorised pass through the configured locator backend, ``-1`` for
+  off-map points in the default non-strict mode;
 * :meth:`locate_cells` — the same for pre-discretised cell coordinates;
 * :meth:`range_query` — regions intersecting a box, found by slicing the
   label grid down to the box's cell window instead of scanning every region.
 
-Servers are cheap to construct from an in-memory partition and cheap to
-restore from an artifact bundle (:meth:`from_artifact`), which is how the
-``query`` CLI verb and the :class:`~repro.serving.cache.ArtifactCache` use
-them.
+Point location is answered by a pluggable backend
+(:mod:`repro.serving.backends`, selected by
+:attr:`~repro.config.ServingConfig.backend`): the default dense label-grid
+index, or the memory-lean sparse band index.  Servers are cheap to
+construct from an in-memory partition and cheap to restore from an
+artifact bundle (:meth:`from_artifact`), which is how the
+:class:`~repro.serving.engine.ServingEngine` and the
+:class:`~repro.serving.cache.ArtifactCache` use them.
 """
 
 from __future__ import annotations
@@ -28,8 +32,23 @@ import numpy as np
 
 from ..config import ServingConfig
 from ..io.artifacts import load_partition_artifact
+from ..registry import BACKENDS
 from ..spatial.geometry import BoundingBox
-from ..spatial.partition import Partition
+from ..spatial.partition import Partition, masked_cell_lookup
+
+
+def region_counts_from_assignment(assignment: np.ndarray, n_regions: int) -> np.ndarray:
+    """Points per region for a locate-style assignment (off-map ``-1`` dropped).
+
+    Shared by every front-end exposing ``region_counts`` —
+    :class:`PartitionServer` and
+    :class:`~repro.serving.sharding.ShardedDeployment` — so the aggregation
+    semantics cannot drift between them.
+    """
+    counts = np.zeros(n_regions, dtype=int)
+    located = assignment >= 0
+    np.add.at(counts, assignment[located], 1)
+    return counts
 
 
 class PartitionServer:
@@ -44,7 +63,8 @@ class PartitionServer:
         automatically when the server is restored from an artifact).
     config:
         Serving knobs; ``config.strict`` sets the default out-of-map
-        behaviour of the locate methods.
+        behaviour of the locate methods and ``config.backend`` selects the
+        point-location index from the locator-backend registry.
     """
 
     def __init__(
@@ -58,7 +78,19 @@ class PartitionServer:
         self._labels = partition.label_grid
         self._provenance = dict(provenance or {})
         self._config = config or ServingConfig()
+        # Resolve the backend eagerly (unknown names fail at construction)
+        # but build its index lazily: servers opened only for their
+        # partition/provenance — sharding, range-only use — never pay for
+        # an index they do not query.
+        self._backend_entry = BACKENDS.resolve(self._config.backend)
+        self._index: Any = None
         self._spec: Any = None
+
+    @property
+    def _backend(self) -> Any:
+        if self._index is None:
+            self._index = self._backend_entry.obj(self._partition)
+        return self._index
 
     @classmethod
     def from_artifact(
@@ -71,7 +103,7 @@ class PartitionServer:
 
         ``spec_validator`` re-validates the run spec embedded in the
         bundle's provenance (pass :meth:`repro.api.specs.RunSpec.from_dict`,
-        or use :func:`repro.api.open_server` which does).  A bundle whose
+        or deploy through :func:`repro.api.open_engine` which does).  A bundle whose
         spec no longer validates — unknown method, impossible parameters —
         fails here instead of silently serving unidentifiable regions;
         bundles without an embedded spec load unchanged.
@@ -106,6 +138,11 @@ class PartitionServer:
     def n_regions(self) -> int:
         return len(self._partition)
 
+    @property
+    def backend(self) -> str:
+        """Canonical name of the locator backend answering point queries."""
+        return self._backend_entry.name
+
     def describe(self) -> Dict[str, Any]:
         """One-line-able summary of what this server is serving."""
         grid = self._grid
@@ -116,13 +153,20 @@ class PartitionServer:
             "bounds": [
                 grid.bounds.min_x, grid.bounds.min_y, grid.bounds.max_x, grid.bounds.max_y,
             ],
+            "backend": self._backend_entry.name,
+            # None until a locate query builds the index — describing a
+            # server must stay cheap and must not defeat the lazy build.
+            "index_bytes": (
+                self._index.memory_bytes() if self._index is not None else None
+            ),
             "provenance": dict(self._provenance),
         }
 
     def __repr__(self) -> str:
         return (
             f"PartitionServer({len(self._partition)} regions over "
-            f"{self._grid.rows}x{self._grid.cols} grid)"
+            f"{self._grid.rows}x{self._grid.cols} grid, "
+            f"{self._backend_entry.name} backend)"
         )
 
     # -- batched point location ------------------------------------------------
@@ -144,13 +188,13 @@ class PartitionServer:
         ys = np.asarray(ys, dtype=float)
         if self._resolve_strict(strict):
             rows, cols = self._grid.locate_many(xs, ys)
-            return self._labels[rows, cols]
+            return self._backend.locate_cells(rows, cols)
         rows, cols = self._grid.locate_many(xs, ys, strict=False)
         inside = rows >= 0
         if bool(np.all(inside)):
-            return self._labels[rows, cols]
+            return self._backend.locate_cells(rows, cols)
         result = np.full(xs.shape, -1, dtype=int)
-        result[inside] = self._labels[rows[inside], cols[inside]]
+        result[inside] = self._backend.locate_cells(rows[inside], cols[inside])
         return result
 
     def locate_cells(
@@ -159,9 +203,19 @@ class PartitionServer:
         """Region index for every grid-cell coordinate pair.
 
         Non-strict mode maps out-of-grid cells to ``-1``; strict mode raises
-        (see :meth:`~repro.spatial.partition.Partition.assign`).
+        — the same contract as
+        :meth:`~repro.spatial.partition.Partition.assign` (both route
+        through :func:`~repro.spatial.partition.masked_cell_lookup`),
+        answered by the configured backend instead of the dense label grid.
         """
-        return self._partition.assign(rows, cols, strict=self._resolve_strict(strict))
+        return masked_cell_lookup(
+            rows,
+            cols,
+            self._grid.rows,
+            self._grid.cols,
+            self._resolve_strict(strict),
+            self._backend.locate_cells,
+        )
 
     # -- range queries ----------------------------------------------------------
 
@@ -205,8 +259,6 @@ class PartitionServer:
         self, xs: np.ndarray, ys: np.ndarray, strict: bool | None = None
     ) -> np.ndarray:
         """Points per region for a coordinate batch (off-map points dropped)."""
-        assignment = self.locate_points(xs, ys, strict=strict)
-        counts = np.zeros(len(self._partition), dtype=int)
-        located = assignment >= 0
-        np.add.at(counts, assignment[located], 1)
-        return counts
+        return region_counts_from_assignment(
+            self.locate_points(xs, ys, strict=strict), len(self._partition)
+        )

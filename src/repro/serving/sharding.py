@@ -1,0 +1,236 @@
+"""Spatial sharding: one partition served as a tile grid of shard indexes.
+
+A dense label grid over a continent-scale map does not fit one node.
+:class:`ShardedDeployment` models the standard answer: tile the map into a
+``shard_rows x shard_cols`` grid of independent cell blocks, give every
+shard its own contiguous slice of the label grid, and answer a batch query
+by *bucketing* — vectorised arithmetic assigns each query point to its
+shard, each touched shard answers its bucket with one fancy-indexing pass
+over its local slice, and the buckets merge back into one result array in
+the original query order.
+
+Region indices are global, so the merged answers are bit-identical to a
+monolithic :class:`~repro.serving.server.PartitionServer` over the same
+partition (``tests/serving/test_sharding.py`` enforces this;
+``benchmarks/test_bench_routing.py`` tracks the bucketing overhead).  Each
+shard's index is self-contained — in a distributed deployment every block
+would live on its own node and the bucketing step becomes the scatter
+phase of a scatter/gather query.
+
+Scope note: shards are always *dense* label slices, copied out of the
+source partition's label grid at construction — the
+:attr:`~repro.config.ServingConfig.backend` knob selects the index of
+monolithic servers and does not reach inside shard tiles.  In this
+in-process model the source partition (and its dense grid) is resident
+anyway; the class demonstrates the routing/merge mechanics, while the
+per-node memory win only materialises when tiles live on separate nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ServingConfig
+from ..exceptions import GridError, ServingError
+from ..spatial.geometry import BoundingBox
+from ..spatial.partition import Partition
+from .server import PartitionServer, region_counts_from_assignment
+
+
+class _Shard:
+    """One tile: a contiguous block of grid cells plus its label slice."""
+
+    __slots__ = ("row_start", "col_start", "labels", "points_served")
+
+    def __init__(self, row_start: int, col_start: int, labels: np.ndarray) -> None:
+        self.row_start = row_start
+        self.col_start = col_start
+        self.labels = labels
+        self.points_served = 0
+
+
+class ShardedDeployment:
+    """A partition served as ``shard_rows x shard_cols`` independent tiles.
+
+    Parameters
+    ----------
+    partition:
+        The partition to shard.  Region indices stay global, so results
+        are interchangeable with a monolithic server's.
+    shard_rows, shard_cols:
+        The shard tiling.  Must not exceed the grid's cell resolution
+        (every shard needs at least one cell row/column).
+    provenance:
+        Build metadata surfaced by :meth:`describe`, like the server's.
+    config:
+        ``config.strict`` sets the default off-map behaviour, exactly as
+        on :class:`~repro.serving.server.PartitionServer`.
+    """
+
+    def __init__(
+        self,
+        partition: Partition,
+        shard_rows: int = 2,
+        shard_cols: int = 2,
+        provenance: Dict[str, Any] | None = None,
+        config: ServingConfig | None = None,
+    ) -> None:
+        grid = partition.grid
+        if shard_rows < 1 or shard_cols < 1:
+            raise ServingError(
+                f"shard counts must be positive, got {shard_rows}x{shard_cols}"
+            )
+        if shard_rows > grid.rows or shard_cols > grid.cols:
+            raise ServingError(
+                f"cannot shard a {grid.rows}x{grid.cols} grid into "
+                f"{shard_rows}x{shard_cols} tiles"
+            )
+        self._partition = partition
+        self._grid = grid
+        self._provenance = dict(provenance or {})
+        self._config = config or ServingConfig()
+        self._shard_rows = shard_rows
+        self._shard_cols = shard_cols
+        # Cell-row/column edges of the shard tiling; searchsorted against
+        # these buckets query cells into shards.
+        self._row_edges = np.linspace(0, grid.rows, shard_rows + 1).astype(np.int64)
+        self._col_edges = np.linspace(0, grid.cols, shard_cols + 1).astype(np.int64)
+        self._range_server: Optional[PartitionServer] = None
+        self._shards: List[_Shard] = []
+        labels = partition.label_grid
+        for i in range(shard_rows):
+            for j in range(shard_cols):
+                r0, r1 = int(self._row_edges[i]), int(self._row_edges[i + 1])
+                c0, c1 = int(self._col_edges[j]), int(self._col_edges[j + 1])
+                self._shards.append(
+                    _Shard(r0, c0, np.ascontiguousarray(labels[r0:r1, c0:c1]))
+                )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def partition(self) -> Partition:
+        return self._partition
+
+    @property
+    def provenance(self) -> Dict[str, Any]:
+        return dict(self._provenance)
+
+    @property
+    def n_regions(self) -> int:
+        return len(self._partition)
+
+    @property
+    def shards(self) -> Tuple[int, int]:
+        return (self._shard_rows, self._shard_cols)
+
+    @property
+    def backend(self) -> str:
+        return "sharded"
+
+    def describe(self) -> Dict[str, Any]:
+        grid = self._grid
+        return {
+            "n_regions": len(self._partition),
+            "grid_rows": grid.rows,
+            "grid_cols": grid.cols,
+            "bounds": [
+                grid.bounds.min_x, grid.bounds.min_y, grid.bounds.max_x, grid.bounds.max_y,
+            ],
+            "backend": "sharded",
+            "shards": [self._shard_rows, self._shard_cols],
+            "index_bytes": int(sum(shard.labels.nbytes for shard in self._shards)),
+            "provenance": dict(self._provenance),
+        }
+
+    def shard_loads(self) -> np.ndarray:
+        """Points served per shard so far (row-major shard order)."""
+        return np.array([shard.points_served for shard in self._shards], dtype=int)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDeployment({len(self._partition)} regions over "
+            f"{self._grid.rows}x{self._grid.cols} grid, "
+            f"{self._shard_rows}x{self._shard_cols} shards)"
+        )
+
+    # -- batched point location ----------------------------------------------
+
+    def _resolve_strict(self, strict: Optional[bool]) -> bool:
+        return self._config.strict if strict is None else strict
+
+    def locate_points(
+        self, xs: np.ndarray, ys: np.ndarray, strict: Optional[bool] = None
+    ) -> np.ndarray:
+        """Region index per coordinate pair, scatter/gathered over shards.
+
+        Same contract as :meth:`PartitionServer.locate_points`: ``-1`` for
+        off-map points in non-strict mode, :class:`~repro.exceptions.GridError`
+        in strict mode.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.shape != ys.shape:
+            raise GridError("xs and ys must have the same shape")
+        # Bucketing sorts a flat batch; remember the input shape so scalars
+        # (0-d) and multi-dimensional batches round-trip like the server's.
+        shape = xs.shape
+        xs, ys = xs.reshape(-1), ys.reshape(-1)
+        if self._resolve_strict(strict):
+            rows, cols = self._grid.locate_many(xs, ys)
+            inside = None
+        else:
+            rows, cols = self._grid.locate_many(xs, ys, strict=False)
+            inside = rows >= 0
+            if bool(np.all(inside)):
+                inside = None
+            else:
+                rows, cols = rows[inside], cols[inside]
+
+        # Scatter: assign each in-map cell to its shard in one vectorised
+        # pass, group the batch into per-shard buckets with one stable sort
+        # (O(n log n) regardless of shard count — per-shard boolean masks
+        # would re-scan the whole batch once per shard), and let every
+        # touched shard answer its bucket locally.
+        shard_r = np.searchsorted(self._row_edges, rows, side="right") - 1
+        shard_c = np.searchsorted(self._col_edges, cols, side="right") - 1
+        shard_ids = shard_r * self._shard_cols + shard_c
+        located = np.empty(rows.shape, dtype=int)
+        if rows.size:
+            order = np.argsort(shard_ids, kind="stable")
+            edges = np.flatnonzero(np.diff(shard_ids[order])) + 1
+            for bucket in np.split(order, edges):
+                shard = self._shards[int(shard_ids[bucket[0]])]
+                located[bucket] = shard.labels[
+                    rows[bucket] - shard.row_start, cols[bucket] - shard.col_start
+                ]
+                shard.points_served += int(bucket.size)
+
+        # Gather: merge buckets back into the original query order.
+        if inside is None:
+            return located.reshape(shape)
+        result = np.full(xs.shape, -1, dtype=int)
+        result[inside] = located
+        return result.reshape(shape)
+
+    def region_counts(
+        self, xs: np.ndarray, ys: np.ndarray, strict: Optional[bool] = None
+    ) -> np.ndarray:
+        """Points per region for a coordinate batch (off-map points dropped)."""
+        return region_counts_from_assignment(
+            self.locate_points(xs, ys, strict=strict), len(self._partition)
+        )
+
+    def range_query(self, query: BoundingBox) -> List[int]:
+        """Regions intersecting ``query`` (delegates to the source partition).
+
+        Range queries read region extents, not the sharded cell index, so
+        they are answered exactly like the monolithic server's.
+        """
+        if self._range_server is None:
+            self._range_server = PartitionServer(
+                self._partition, provenance=self._provenance, config=self._config
+            )
+        return self._range_server.range_query(query)

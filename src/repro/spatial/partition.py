@@ -8,13 +8,46 @@ Theorems 1 and 2 are stated.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import PartitionError
 from .grid import Grid
 from .region import GridRegion
+
+
+def masked_cell_lookup(
+    rows: Sequence[int],
+    cols: Sequence[int],
+    n_rows: int,
+    n_cols: int,
+    strict: bool,
+    lookup: Callable[[np.ndarray, np.ndarray], np.ndarray],
+) -> np.ndarray:
+    """Bounds-handled cell lookup shared by every cell->region reader.
+
+    Validates shapes, then applies ``lookup`` (an in-grid vectorised
+    cell->label function) to the coordinates: all-inside batches in one
+    pass, otherwise out-of-grid cells either raise (``strict``) or come
+    back as ``-1``.  :meth:`Partition.assign` and the serving layer's
+    backend-routed ``locate_cells`` are the same contract over different
+    lookups — this helper is that contract, written once.
+    """
+    rows = np.asarray(rows, dtype=int)
+    cols = np.asarray(cols, dtype=int)
+    if rows.shape != cols.shape:
+        raise PartitionError("rows and cols must have the same shape")
+    if rows.size == 0:
+        return np.empty(0, dtype=int)
+    inside = (rows >= 0) & (rows < n_rows) & (cols >= 0) & (cols < n_cols)
+    if bool(np.all(inside)):
+        return lookup(rows, cols)
+    if strict:
+        raise PartitionError("cell coordinates outside the grid")
+    result = np.full(rows.shape, -1, dtype=int)
+    result[inside] = lookup(rows[inside], cols[inside])
+    return result
 
 
 class Partition:
@@ -133,23 +166,14 @@ class Partition:
             the serving path can answer "not on this map" without an
             exception round-trip per stray point.
         """
-        rows = np.asarray(rows, dtype=int)
-        cols = np.asarray(cols, dtype=int)
-        if rows.shape != cols.shape:
-            raise PartitionError("rows and cols must have the same shape")
-        if rows.size == 0:
-            return np.empty(0, dtype=int)
-        inside = (
-            (rows >= 0) & (rows < self._grid.rows)
-            & (cols >= 0) & (cols < self._grid.cols)
+        return masked_cell_lookup(
+            rows,
+            cols,
+            self._grid.rows,
+            self._grid.cols,
+            strict,
+            lambda r, c: self._label_grid[r, c],
         )
-        if bool(np.all(inside)):
-            return self._label_grid[rows, cols]
-        if strict:
-            raise PartitionError("cell coordinates outside the grid")
-        result = np.full(rows.shape, -1, dtype=int)
-        result[inside] = self._label_grid[rows[inside], cols[inside]]
-        return result
 
     def region_sizes(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
         """Number of records per neighborhood, ordered like :attr:`regions`."""

@@ -1,0 +1,81 @@
+"""Small shared validators and error-message builders.
+
+Both serializable-value layers — the run specs (:mod:`repro.api.specs`)
+and the serving protocol (:mod:`repro.serving.protocol`) — enforce the
+same ``from_dict`` contract: unknown keys fail immediately with a message
+naming the allowed set.  Likewise, every "unknown name" error in the
+package (registry lookups, serving-engine deployment resolution) carries
+the same nearest-match suggestion.  Both pieces live here, in the
+base-utility layer, so the layers that need them never import each other
+and the wording/matching behaviour cannot drift between call sites.
+
+This module imports nothing from the package except :mod:`repro.exceptions`.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Any, Iterable, Mapping, Optional, Tuple
+
+from .exceptions import ConfigurationError
+
+__all__ = ["check_keys", "check_version", "did_you_mean"]
+
+
+def check_keys(kind: str, data: Mapping[str, Any], allowed: Tuple[str, ...]) -> None:
+    """Raise :class:`ConfigurationError` for any key of ``data`` not in ``allowed``.
+
+    ``kind`` names the value being parsed (``"RunSpec"``,
+    ``"LocateRequest"``) for the error message.  Non-mapping payloads fail
+    with the same exception type, so ``from_dict`` callers catch one class.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"{kind}.from_dict expects a mapping, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {kind} field(s) {', '.join(map(repr, unknown))}; "
+            f"expected a subset of {allowed}"
+        )
+
+
+def check_version(
+    version: Any,
+    owner: str = "version",
+    error: type = ConfigurationError,
+) -> None:
+    """Enforce the deployment-version grammar: int >= 1, ``"latest"`` or None.
+
+    The grammar is shared by the typed protocol (request fields) and the
+    serving engine (query parameters); both validate through this one
+    helper — with their own exception class via ``error`` — so the rule
+    and its wording cannot drift between entry points.
+    """
+    if version is None or version == "latest":
+        return
+    if isinstance(version, bool) or not isinstance(version, int) or version < 1:
+        raise error(
+            f"{owner} must be a positive integer, 'latest' or None, "
+            f"got {version!r}"
+        )
+
+
+def did_you_mean(
+    name: str,
+    candidates: Iterable[str],
+    canonical: Optional[Mapping[str, str]] = None,
+) -> str:
+    """``" — did you mean 'x'?"`` suffix for an unknown-name error, or ``""``.
+
+    ``candidates`` are the accepted spellings to match against;
+    ``canonical`` optionally maps a matched spelling (e.g. an alias) to
+    the name worth suggesting.  Every unknown-name message in the package
+    uses this one matcher, so the suggestion behaviour cannot drift.
+    """
+    close = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.6)
+    if not close:
+        return ""
+    suggestion = canonical[close[0]] if canonical is not None else close[0]
+    return f" — did you mean {suggestion!r}?"

@@ -13,7 +13,7 @@ from repro.api import (
     build_partition,
     make_partitioner,
     model_factory_for,
-    open_server,
+    open_engine,
     run_pipeline,
     task_for,
 )
@@ -105,7 +105,7 @@ class TestBuildAndServe:
         result = build_partition(spec, dataset=la_dataset)
         assert result.dataset is la_dataset
 
-    def test_artifact_embeds_spec_and_server_revalidates(self, tmp_path):
+    def test_artifact_embeds_spec_and_engine_revalidates(self, tmp_path):
         spec = small_run()
         result = build_partition(spec)
         path = result.save(tmp_path / "bundle")
@@ -113,41 +113,44 @@ class TestBuildAndServe:
         manifest = json.loads((path / "manifest.json").read_text())
         assert RunSpec.from_dict(manifest["provenance"]["spec"]) == spec
 
-        server = open_server(path)
+        engine = open_engine()
+        engine.deploy("la", path)
+        server = engine.server_for("la")
         assert server.spec == spec
         assert server.n_regions == result.n_neighborhoods
-        located = server.locate_points(np.array([0.5]), np.array([0.5]))
+        located = engine.locate_points("la", np.array([0.5]), np.array([0.5]))
         assert located[0] >= 0
 
-    def test_open_server_rejects_tampered_spec(self, tmp_path):
+    def test_deploy_rejects_tampered_spec(self, tmp_path):
         path = build_partition(small_run()).save(tmp_path / "bundle")
         manifest_path = path / "manifest.json"
         manifest = json.loads(manifest_path.read_text())
         manifest["provenance"]["spec"]["model"] = "svm"
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(ReproError):
-            open_server(path)
+            open_engine().deploy("la", path)
 
-    def test_open_server_rejects_unknown_spec_field(self, tmp_path):
+    def test_deploy_rejects_unknown_spec_field(self, tmp_path):
         path = build_partition(small_run()).save(tmp_path / "bundle")
         manifest_path = path / "manifest.json"
         manifest = json.loads(manifest_path.read_text())
         manifest["provenance"]["spec"]["gpu"] = True
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(ConfigurationError):
-            open_server(path)
+            open_engine().deploy("la", path)
 
-    def test_open_server_tolerates_specless_bundle(self, tmp_path):
+    def test_deploy_tolerates_specless_bundle(self, tmp_path):
         """Bundles written before specs existed must keep loading."""
         path = build_partition(small_run()).save(tmp_path / "bundle")
         manifest_path = path / "manifest.json"
         manifest = json.loads(manifest_path.read_text())
         del manifest["provenance"]["spec"]
         manifest_path.write_text(json.dumps(manifest))
-        server = open_server(path)
-        assert server.spec is None
+        engine = open_engine()
+        engine.deploy("la", path)
+        assert engine.server_for("la").spec is None
 
-    def test_open_cache_revalidates_specs(self, tmp_path):
+    def test_engine_cache_revalidates_specs(self, tmp_path):
         good = build_partition(small_run()).save(tmp_path / "good")
         bad = build_partition(small_run()).save(tmp_path / "bad")
         manifest_path = bad / "manifest.json"
@@ -155,10 +158,12 @@ class TestBuildAndServe:
         manifest["provenance"]["spec"]["partition"]["method"] = "rtree"
         manifest_path.write_text(json.dumps(manifest))
 
-        cache = api.open_cache()
-        assert cache.get(good).spec is not None
+        engine = open_engine()
+        engine.deploy("good", good)
+        assert engine.server_for("good").spec is not None
         with pytest.raises(ReproError):
-            cache.get(bad)
+            engine.deploy("bad", bad)
+        assert "bad" not in engine
 
     def test_run_pipeline_end_to_end(self):
         result = run_pipeline(small_run())

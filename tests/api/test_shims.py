@@ -37,6 +37,46 @@ class TestBuildPartitionerShim:
         assert partitioner.height == 4
 
 
+class TestPathServingShims:
+    """open_server / open_cache survive as deprecation shims over the engine."""
+
+    @pytest.fixture()
+    def bundle(self, tmp_path):
+        from repro.io.artifacts import save_partition_artifact
+        from repro.spatial.grid import Grid
+        from repro.spatial.partition import uniform_partition
+
+        partition = uniform_partition(Grid(8, 8), 2, 2)
+        return save_partition_artifact(partition, tmp_path / "bundle", {"m": "uniform"})
+
+    def test_open_server_warns_and_matches_engine(self, bundle):
+        import numpy as np
+
+        from repro.api import open_engine, open_server
+
+        with pytest.warns(DeprecationWarning, match="open_engine"):
+            server = open_server(bundle)
+        engine = open_engine()
+        engine.deploy("la", bundle)
+        xs = np.array([0.1, 0.9, 5.0])
+        ys = np.array([0.1, 0.9, 0.5])
+        assert server.locate_points(xs, ys).tolist() == \
+            engine.locate_points("la", xs, ys).tolist()
+
+    def test_open_cache_warns_and_still_validates(self, bundle):
+        from repro.api import open_cache
+
+        with pytest.warns(DeprecationWarning, match="open_engine"):
+            cache = open_cache()
+        assert cache.get(bundle).n_regions == 4
+
+    def test_package_root_reexports_both_shims(self):
+        import repro
+
+        assert repro.open_server is repro.api.open_server
+        assert repro.open_engine is repro.api.open_engine
+
+
 class TestPaperMethodsShim:
     def test_module_attribute_warns_and_matches_registry(self):
         from repro.experiments import runner

@@ -1,0 +1,145 @@
+"""Tests for the typed serving protocol (requests/results + JSON round-trips)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serving import LATEST, LocateRequest, QueryResult, RangeRequest
+from repro.spatial.geometry import BoundingBox
+
+
+class TestLocateRequest:
+    def test_coordinates_canonicalised_to_float_tuples(self):
+        request = LocateRequest(deployment="la", xs=[1, 2], ys=(3, 4.5))
+        assert request.xs == (1.0, 2.0)
+        assert request.ys == (3.0, 4.5)
+        assert len(request) == 2
+
+    def test_json_round_trip(self):
+        request = LocateRequest(
+            deployment="la", xs=(0.25, 0.5), ys=(0.75, 1.0), strict=True, version=3
+        )
+        assert LocateRequest.from_json(request.to_json()) == request
+
+    def test_none_fields_omitted_from_dict(self):
+        data = LocateRequest(deployment="la", xs=(0.0,), ys=(0.0,)).to_dict()
+        assert "strict" not in data
+        assert "version" not in data
+        assert data["kind"] == "locate"
+
+    def test_latest_version_alias_accepted(self):
+        request = LocateRequest(deployment="la", xs=(0.0,), ys=(0.0,), version=LATEST)
+        assert LocateRequest.from_json(request.to_json()).version == LATEST
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError, match="paired"):
+            LocateRequest(deployment="la", xs=(0.0, 1.0), ys=(0.0,))
+
+    def test_non_finite_coordinates_rejected(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            LocateRequest(deployment="la", xs=(float("nan"),), ys=(0.0,))
+
+    def test_non_numeric_coordinates_rejected(self):
+        with pytest.raises(ConfigurationError, match="numeric"):
+            LocateRequest(deployment="la", xs=("abc",), ys=(0.0,))
+        with pytest.raises(ConfigurationError, match="numeric"):
+            LocateRequest.from_json(
+                '{"kind": "locate", "deployment": "la", "xs": ["abc"], "ys": [0.5]}'
+            )
+
+    def test_string_coordinates_rejected_not_iterated(self):
+        with pytest.raises(ConfigurationError, match="not strings"):
+            LocateRequest(deployment="la", xs="123", ys=(1.0, 2.0, 3.0))
+
+    def test_empty_deployment_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            LocateRequest(deployment="", xs=(0.0,), ys=(0.0,))
+
+    def test_bad_version_rejected(self):
+        for version in (0, -2, "newest", True):
+            with pytest.raises(ConfigurationError, match="version"):
+                LocateRequest(deployment="la", xs=(0.0,), ys=(0.0,), version=version)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            LocateRequest.from_dict(
+                {"deployment": "la", "xs": [0.0], "ys": [0.0], "timeout": 5}
+            )
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            LocateRequest.from_dict(
+                {"kind": "range", "deployment": "la", "xs": [0.0], "ys": [0.0]}
+            )
+
+    def test_missing_required_field_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            LocateRequest.from_dict({"deployment": "la"})
+
+
+class TestRangeRequest:
+    def test_json_round_trip(self):
+        request = RangeRequest(
+            deployment="la", min_x=0.0, min_y=0.1, max_x=0.5, max_y=0.6, version=2
+        )
+        assert RangeRequest.from_json(request.to_json()) == request
+
+    def test_bounds_property(self):
+        request = RangeRequest(deployment="la", min_x=0.0, min_y=0.1, max_x=0.5, max_y=0.6)
+        assert request.bounds == BoundingBox(0.0, 0.1, 0.5, 0.6)
+
+    def test_inverted_box_rejected(self):
+        with pytest.raises(ConfigurationError, match="inverted"):
+            RangeRequest(deployment="la", min_x=1.0, min_y=0.0, max_x=0.0, max_y=1.0)
+
+    def test_degenerate_box_allowed(self):
+        request = RangeRequest(deployment="la", min_x=0.5, min_y=0.5, max_x=0.5, max_y=0.5)
+        assert request.bounds.width == 0.0
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            RangeRequest(
+                deployment="la", min_x=0.0, min_y=0.0, max_x=float("inf"), max_y=1.0
+            )
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ConfigurationError, match="numeric"):
+            RangeRequest(deployment="la", min_x="a", min_y=0.0, max_x=1.0, max_y=1.0)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            RangeRequest.from_dict({"deployment": "la", "box": [0, 0, 1, 1]})
+
+
+class TestQueryResult:
+    def test_json_round_trip(self):
+        result = QueryResult(deployment="la", version=2, kind="locate", regions=(3, -1, 0))
+        assert QueryResult.from_json(result.to_json()) == result
+
+    def test_regions_canonicalised_to_int_tuple(self):
+        import numpy as np
+
+        result = QueryResult(
+            deployment="la", version=1, kind="range", regions=np.array([1, 2])
+        )
+        assert result.regions == (1, 2)
+        assert all(isinstance(region, int) for region in result.regions)
+
+    def test_n_located_counts_real_regions(self):
+        result = QueryResult(deployment="la", version=1, kind="locate", regions=(3, -1, 0))
+        assert result.n_located == 2
+        assert len(result) == 3
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            QueryResult(deployment="la", version=1, kind="knn", regions=())
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ConfigurationError, match="version"):
+            QueryResult(deployment="la", version=0, kind="locate", regions=())
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            QueryResult.from_dict(
+                {"deployment": "la", "version": 1, "kind": "locate",
+                 "regions": [], "elapsed": 0.1}
+            )

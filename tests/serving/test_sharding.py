@@ -1,0 +1,162 @@
+"""Tests for spatially sharded deployments: bucketing must be invisible."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ServingConfig
+from repro.exceptions import GridError, ServingError
+from repro.serving import PartitionServer, ShardedDeployment
+from repro.spatial.geometry import BoundingBox
+from repro.spatial.grid import Grid
+from repro.spatial.partition import uniform_partition
+
+
+@pytest.fixture()
+def partition():
+    return uniform_partition(Grid(16, 16, BoundingBox(-2.0, 1.0, 6.0, 5.0)), 4, 4)
+
+
+class TestShardedLocate:
+    def test_matches_monolithic_server(self, partition):
+        server = PartitionServer(partition)
+        sharded = ShardedDeployment(partition, 2, 2)
+        rng = np.random.default_rng(0)
+        bounds = partition.grid.bounds
+        xs = rng.uniform(bounds.min_x - 1.0, bounds.max_x + 1.0, 2000)
+        ys = rng.uniform(bounds.min_y - 1.0, bounds.max_y + 1.0, 2000)
+        np.testing.assert_array_equal(
+            sharded.locate_points(xs, ys), server.locate_points(xs, ys)
+        )
+
+    def test_uneven_tiling(self, partition):
+        # 3 does not divide 16; edge shards get the remainder cells.
+        server = PartitionServer(partition)
+        sharded = ShardedDeployment(partition, 3, 5)
+        rng = np.random.default_rng(1)
+        bounds = partition.grid.bounds
+        xs = rng.uniform(bounds.min_x, bounds.max_x, 1000)
+        ys = rng.uniform(bounds.min_y, bounds.max_y, 1000)
+        np.testing.assert_array_equal(
+            sharded.locate_points(xs, ys), server.locate_points(xs, ys)
+        )
+
+    def test_map_max_corner_lands_in_last_shard(self, partition):
+        bounds = partition.grid.bounds
+        sharded = ShardedDeployment(partition, 2, 2)
+        result = sharded.locate_points(
+            np.array([bounds.max_x]), np.array([bounds.max_y])
+        )
+        assert int(result[0]) == sharded.n_regions - 1
+        assert sharded.shard_loads().tolist() == [0, 0, 0, 1]
+
+    def test_scalar_and_2d_inputs_match_monolithic(self, partition):
+        """Shape parity with PartitionServer: scalars and N-d batches."""
+        server = PartitionServer(partition)
+        sharded = ShardedDeployment(partition, 2, 2)
+        assert int(sharded.locate_points(0.5, 2.0)) == int(server.locate_points(0.5, 2.0))
+        off = partition.grid.bounds.max_x + 1.0
+        assert int(sharded.locate_points(off, 2.0)) == -1
+        rng = np.random.default_rng(7)
+        xs = rng.uniform(-3.0, 7.0, (4, 5))
+        ys = rng.uniform(0.0, 6.0, (4, 5))
+        batch = sharded.locate_points(xs, ys)
+        assert batch.shape == (4, 5)
+        np.testing.assert_array_equal(batch, server.locate_points(xs, ys))
+
+    def test_shape_mismatch_raises(self, partition):
+        from repro.exceptions import GridError
+
+        sharded = ShardedDeployment(partition, 2, 2)
+        with pytest.raises(GridError):
+            sharded.locate_points(np.zeros(2), np.zeros(3))
+
+    def test_all_off_map_batch(self, partition):
+        sharded = ShardedDeployment(partition, 2, 2)
+        bounds = partition.grid.bounds
+        xs = np.full(4, bounds.max_x + 5.0)
+        assert sharded.locate_points(xs, xs).tolist() == [-1] * 4
+
+    def test_strict_mode_raises(self, partition):
+        sharded = ShardedDeployment(
+            partition, 2, 2, config=ServingConfig(strict=True)
+        )
+        bounds = partition.grid.bounds
+        with pytest.raises(GridError):
+            sharded.locate_points(
+                np.array([bounds.max_x + 1.0]), np.array([bounds.min_y])
+            )
+
+    def test_region_counts_match_monolithic(self, partition):
+        server = PartitionServer(partition)
+        sharded = ShardedDeployment(partition, 4, 2)
+        rng = np.random.default_rng(2)
+        bounds = partition.grid.bounds
+        xs = rng.uniform(bounds.min_x - 1.0, bounds.max_x + 1.0, 500)
+        ys = rng.uniform(bounds.min_y - 1.0, bounds.max_y + 1.0, 500)
+        np.testing.assert_array_equal(
+            sharded.region_counts(xs, ys), server.region_counts(xs, ys)
+        )
+
+    def test_range_query_matches_monolithic(self, partition):
+        server = PartitionServer(partition)
+        sharded = ShardedDeployment(partition, 2, 2)
+        query = BoundingBox(-1.0, 1.5, 0.0, 3.0)
+        assert sharded.range_query(query) == server.range_query(query)
+
+    def test_shard_loads_accumulate(self, partition):
+        sharded = ShardedDeployment(partition, 2, 2)
+        rng = np.random.default_rng(3)
+        bounds = partition.grid.bounds
+        xs = rng.uniform(bounds.min_x, bounds.max_x, 100)
+        ys = rng.uniform(bounds.min_y, bounds.max_y, 100)
+        sharded.locate_points(xs, ys)
+        assert int(sharded.shard_loads().sum()) == 100
+
+    def test_describe_reports_tiling(self, partition):
+        info = ShardedDeployment(partition, 2, 3, provenance={"city": "la"}).describe()
+        assert info["backend"] == "sharded"
+        assert info["shards"] == [2, 3]
+        assert info["provenance"] == {"city": "la"}
+
+
+class TestShardValidation:
+    def test_invalid_shard_counts(self, partition):
+        with pytest.raises(ServingError, match="positive"):
+            ShardedDeployment(partition, 0, 2)
+        with pytest.raises(ServingError, match="cannot shard"):
+            ShardedDeployment(partition, 17, 2)
+
+    def test_one_shard_per_cell_allowed(self):
+        partition = uniform_partition(Grid(4, 4), 2, 2)
+        sharded = ShardedDeployment(partition, 4, 4)
+        server = PartitionServer(partition)
+        rng = np.random.default_rng(4)
+        xs, ys = rng.uniform(0, 1, 200), rng.uniform(0, 1, 200)
+        np.testing.assert_array_equal(
+            sharded.locate_points(xs, ys), server.locate_points(xs, ys)
+        )
+
+
+class TestShardedProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        shard_rows=st.integers(1, 6),
+        shard_cols=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_tiling_matches_monolithic(self, seed, shard_rows, shard_cols):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(shard_rows, 20))
+        cols = int(rng.integers(shard_cols, 20))
+        blocks_r = int(rng.integers(1, rows + 1))
+        blocks_c = int(rng.integers(1, cols + 1))
+        partition = uniform_partition(Grid(rows, cols), blocks_r, blocks_c)
+        server = PartitionServer(partition)
+        sharded = ShardedDeployment(partition, shard_rows, shard_cols)
+        xs = rng.uniform(-0.5, 1.5, 300)
+        ys = rng.uniform(-0.5, 1.5, 300)
+        np.testing.assert_array_equal(
+            sharded.locate_points(xs, ys), server.locate_points(xs, ys)
+        )

@@ -15,7 +15,7 @@ from repro.cli import (
     run,
 )
 from repro.io.points import write_points_csv
-from repro.registry import MODELS, PARTITIONERS
+from repro.registry import BACKENDS, MODELS, PARTITIONERS
 
 
 class TestParser:
@@ -61,13 +61,35 @@ class TestParser:
             assert name in output
         for name in MODELS.names():
             assert name in output
+        for name in BACKENDS.names():
+            assert name in output
 
     def test_serving_verbs_registered(self):
-        assert SERVING_COMMANDS == ("build", "query")
+        assert SERVING_COMMANDS == ("build", "deploy", "deployments", "query")
         args = build_parser().parse_args(
             ["build", "--artifact", "x.artifact", "--method", "median_kdtree"]
         )
         assert args.method == "median_kdtree"
+
+    def test_backend_choices_derived_from_registry(self):
+        args = build_parser().parse_args(["query", "--backend", "sparse"])
+        assert args.backend == "sparse"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--backend", "rtree"])
+
+    def test_shards_argument_parsing(self):
+        assert build_parser().parse_args(["deploy", "--shards", "2x4"]).shards == (2, 4)
+        assert build_parser().parse_args(["deploy", "--shards", "3"]).shards == (3, 3)
+        for bad in ("0x2", "ax2", "-1"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["deploy", "--shards", bad])
+
+    def test_shards_rejected_outside_deploy(self, tmp_path):
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.5]), np.array([0.5]))
+        with pytest.raises(SystemExit):
+            run(["query", "--artifact", "x.artifact", "--points", str(points),
+                 "--shards", "2x2"])
 
     def test_build_requires_artifact(self, capsys):
         with pytest.raises(SystemExit):
@@ -76,6 +98,42 @@ class TestParser:
     def test_query_requires_points(self, capsys):
         with pytest.raises(SystemExit):
             run(["query", "--artifact", "x.artifact"])
+
+    def test_query_requires_name_or_artifact(self, capsys, tmp_path):
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.5]), np.array([0.5]))
+        with pytest.raises(SystemExit):
+            run(["query", "--points", str(points)])
+        with pytest.raises(SystemExit):
+            run(["query", "--points", str(points), "--name", "la"])  # no manifest
+        with pytest.raises(SystemExit):  # ambiguous routing target
+            run(["query", "--points", str(points), "--name", "la",
+                 "--manifest", "m.json", "--artifact", "x.artifact"])
+
+    def test_strict_flags_mutually_exclusive(self, capsys, tmp_path):
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.5]), np.array([0.5]))
+        with pytest.raises(SystemExit):
+            run(["query", "--artifact", "x.artifact", "--points", str(points),
+                 "--strict", "--no-strict"])
+
+    def test_deploy_requires_name_and_manifest(self, capsys):
+        with pytest.raises(SystemExit):
+            run(["deploy", "--artifact", "x.artifact"])
+        with pytest.raises(SystemExit):
+            run(["deploy", "--artifact", "x.artifact", "--name", "la"])
+
+    def test_deploy_config_flags_rejected_against_existing_manifest(self, capsys, tmp_path):
+        manifest = tmp_path / "deployments.json"
+        manifest.write_text("{}")  # existence is what triggers the guard
+        for flag in (["--backend", "sparse"], ["--strict"]):
+            with pytest.raises(SystemExit):
+                run(["deploy", "--artifact", "x.artifact", "--name", "la",
+                     "--manifest", str(manifest), *flag])
+
+    def test_deployments_requires_manifest(self, capsys):
+        with pytest.raises(SystemExit):
+            run(["deployments"])
 
 
 class TestRun:
@@ -211,6 +269,183 @@ class TestRun:
         write_points_csv(points, np.array([0.5]), np.array([0.5]))
         assert run(["query", "--artifact", str(artifact), "--points", str(points)]) == 0
         assert "located 1/1" in capsys.readouterr().out
+
+    def _build(self, tmp_path, name: str, height: str = "3", method: str = "fair_kdtree"):
+        artifact = tmp_path / f"{name}.artifact"
+        assert run([
+            "build", "--cities", "los_angeles", "--heights", height,
+            "--grid", "16", "--method", method, "--artifact", str(artifact),
+        ]) == 0
+        return artifact
+
+    def test_deploy_then_query_by_name(self, capsys, tmp_path):
+        artifact = self._build(tmp_path, "la")
+        manifest = tmp_path / "deployments.json"
+        assert run([
+            "deploy", "--artifact", str(artifact), "--name", "la",
+            "--manifest", str(manifest),
+        ]) == 0
+        assert manifest.exists()
+        assert "deployed" in capsys.readouterr().out
+
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.5, 5.0]), np.array([0.5, 0.5]))
+        assert run([
+            "query", "--name", "la", "--manifest", str(manifest),
+            "--points", str(points),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "deployment la v1" in output
+        assert "located 1/2" in output
+
+    def test_deploy_hot_swap_bumps_version(self, capsys, tmp_path):
+        manifest = tmp_path / "deployments.json"
+        first = self._build(tmp_path, "h3")
+        second = self._build(tmp_path, "h4", height="4", method="median_kdtree")
+        run(["deploy", "--artifact", str(first), "--name", "la",
+             "--manifest", str(manifest)])
+        assert run([
+            "deploy", "--artifact", str(second), "--name", "la",
+            "--manifest", str(manifest),
+        ]) == 0
+        assert "la v2" in capsys.readouterr().out
+
+        assert run(["deployments", "--manifest", str(manifest)]) == 0
+        output = capsys.readouterr().out
+        assert "la" in output and "median_kdtree" not in output  # table, not provenance
+
+    def test_deploy_sharded_and_query(self, capsys, tmp_path):
+        artifact = self._build(tmp_path, "la")
+        manifest = tmp_path / "deployments.json"
+        assert run([
+            "deploy", "--artifact", str(artifact), "--name", "la",
+            "--manifest", str(manifest), "--shards", "2x2",
+        ]) == 0
+        assert "2x2 shards" in capsys.readouterr().out
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.25, 0.75]), np.array([0.25, 0.75]))
+        assert run([
+            "query", "--name", "la", "--manifest", str(manifest),
+            "--points", str(points),
+        ]) == 0
+        assert "sharded backend" in capsys.readouterr().out
+
+    def test_query_verbose_surfaces_cache_and_engine_stats(self, capsys, tmp_path):
+        artifact = self._build(tmp_path, "la")
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.5]), np.array([0.5]))
+        assert run([
+            "query", "--artifact", str(artifact), "--points", str(points),
+            "--verbose",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "hit_ratio=" in output
+        assert "deployment adhoc:" in output
+        assert "queries=1" in output
+
+    def test_deploy_backend_choice_sticks_in_manifest(self, capsys, tmp_path):
+        artifact = self._build(tmp_path, "la")
+        manifest = tmp_path / "deployments.json"
+        assert run([
+            "deploy", "--artifact", str(artifact), "--name", "la",
+            "--manifest", str(manifest), "--backend", "sparse",
+        ]) == 0
+        capsys.readouterr()
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.5]), np.array([0.5]))
+        # No --backend on the query: the manifest's choice must hold.
+        assert run([
+            "query", "--name", "la", "--manifest", str(manifest),
+            "--points", str(points),
+        ]) == 0
+        assert "sparse backend" in capsys.readouterr().out
+        # An unrelated flag (--strict) must not clobber the stored backend.
+        assert run([
+            "query", "--name", "la", "--manifest", str(manifest),
+            "--points", str(points), "--strict",
+        ]) == 0
+        assert "sparse backend" in capsys.readouterr().out
+
+    def test_no_strict_overrides_strict_manifest(self, capsys, tmp_path):
+        artifact = self._build(tmp_path, "la")
+        manifest = tmp_path / "deployments.json"
+        # Manifest created strict (allowed: the manifest does not exist yet).
+        assert run([
+            "deploy", "--artifact", str(artifact), "--name", "la",
+            "--manifest", str(manifest), "--strict",
+        ]) == 0
+        capsys.readouterr()
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([5.0]), np.array([0.5]))  # off-map
+        assert run([
+            "query", "--name", "la", "--manifest", str(manifest),
+            "--points", str(points),
+        ]) == 1  # stored strict default applies
+        capsys.readouterr()
+        assert run([
+            "query", "--name", "la", "--manifest", str(manifest),
+            "--points", str(points), "--no-strict",
+        ]) == 0  # per-invocation opt-out
+        assert "off-map -> -1" in capsys.readouterr().out
+
+    def test_one_shot_query_rejects_stray_manifest(self, capsys, tmp_path):
+        """--manifest without --name would be silently ignored; error instead."""
+        artifact = self._build(tmp_path, "la")
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.5]), np.array([0.5]))
+        with pytest.raises(SystemExit):
+            run([
+                "query", "--artifact", str(artifact), "--points", str(points),
+                "--manifest", str(tmp_path / "deployments.json"),
+            ])
+
+    def test_query_with_sparse_backend_matches_dense(self, capsys, tmp_path):
+        artifact = self._build(tmp_path, "la")
+        points = tmp_path / "points.csv"
+        rng = np.random.default_rng(11)
+        write_points_csv(points, rng.uniform(-0.2, 1.2, 40), rng.uniform(-0.2, 1.2, 40))
+        dense_csv, sparse_csv = tmp_path / "dense.csv", tmp_path / "sparse.csv"
+        assert run(["query", "--artifact", str(artifact), "--points", str(points),
+                    "--output", str(dense_csv)]) == 0
+        assert run(["query", "--artifact", str(artifact), "--points", str(points),
+                    "--backend", "sparse", "--output", str(sparse_csv)]) == 0
+        assert dense_csv.read_text() == sparse_csv.read_text()
+
+    def test_query_unknown_deployment_fails_cleanly(self, capsys, tmp_path):
+        artifact = self._build(tmp_path, "la")
+        manifest = tmp_path / "deployments.json"
+        run(["deploy", "--artifact", str(artifact), "--name", "la",
+             "--manifest", str(manifest)])
+        capsys.readouterr()
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.5]), np.array([0.5]))
+        code = run([
+            "query", "--name", "nyc", "--manifest", str(manifest),
+            "--points", str(points),
+        ])
+        assert code == 1
+        assert "unknown deployment" in capsys.readouterr().err
+
+    def test_deployments_missing_manifest_fails_cleanly(self, capsys, tmp_path):
+        code = run(["deployments", "--manifest", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_deployments_lists_broken_bundle_as_error_row(self, capsys, tmp_path):
+        import shutil
+
+        good = self._build(tmp_path, "good")
+        doomed = self._build(tmp_path, "doomed", height="4")
+        manifest = tmp_path / "deployments.json"
+        run(["deploy", "--artifact", str(good), "--name", "good",
+             "--manifest", str(manifest)])
+        run(["deploy", "--artifact", str(doomed), "--name", "doomed",
+             "--manifest", str(manifest)])
+        shutil.rmtree(doomed)
+        capsys.readouterr()
+        assert run(["deployments", "--manifest", str(manifest)]) == 0
+        output = capsys.readouterr().out
+        assert "ok" in output and "error:" in output
 
     def test_compare_command(self, capsys, tmp_path):
         target = tmp_path / "compare.csv"
