@@ -57,8 +57,11 @@ from ..serving import (
     LocateRequest,
     QueryResult,
     RangeRequest,
+    ServingClient,
     ServingEngine,
+    ServingHTTPServer,
     ShardedDeployment,
+    serve_engine,
 )
 from .facade import (
     BuildResult,
@@ -100,6 +103,9 @@ __all__ = [
     "run_pipeline",
     "ServingEngine",
     "ShardedDeployment",
+    "ServingHTTPServer",
+    "ServingClient",
+    "serve_engine",
     "LocateRequest",
     "RangeRequest",
     "QueryResult",

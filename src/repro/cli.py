@@ -20,6 +20,12 @@ query them without retraining::
     python -m repro query --name la --manifest deployments.json --points points.csv
     python -m repro query --artifact la.artifact --points points.csv  # one-shot
 
+The ``serve`` verb turns the manifest into a network service — a threaded
+HTTP front over the engine speaking the typed query protocol as JSON
+(``ServingClient`` is its Python client)::
+
+    python -m repro serve --manifest deployments.json --port 8350 --admin
+
 Every command prints the regenerated table to stdout; ``--output`` also writes
 the underlying rows to CSV.
 """
@@ -54,6 +60,7 @@ from .io.points import read_points_csv
 from .logging_utils import configure_logging
 from .registry import BACKENDS, MODELS, PARTITIONERS
 from .serving import ServingEngine
+from .serving.http import DEFAULT_PORT as DEFAULT_HTTP_PORT
 from .viz import render_partition_ascii
 
 EXPERIMENTS = (
@@ -61,8 +68,8 @@ EXPERIMENTS = (
 )
 
 #: Serving verbs: persist a partition artifact, deploy bundles under names,
-#: list deployments, batch-query by name or path.
-SERVING_COMMANDS = ("build", "deploy", "deployments", "query")
+#: list deployments, batch-query by name or path, serve a manifest over HTTP.
+SERVING_COMMANDS = ("build", "deploy", "deployments", "query", "serve")
 
 #: Methods the ``build`` verb can persist (everything flagged ``servable``:
 #: the single-task partitioners).  Import-time snapshot for reference and
@@ -184,6 +191,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the deployed artifact as an RxC shard tiling, e.g. "
         "'--shards 2x2' (or '--shards 3' for 3x3); 'deploy' only",
     )
+    transport = parser.add_argument_group("network transport ('serve' verb)")
+    transport.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="address the HTTP service binds (0.0.0.0 to accept remote clients)",
+    )
+    transport.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_HTTP_PORT,
+        help="TCP port the HTTP service binds (0 picks an ephemeral port, "
+        "printed at startup); ServingClient dials the same port by default",
+    )
+    transport.add_argument(
+        "--admin",
+        action="store_true",
+        help="enable the mutating /v1/deploy and /v1/rollback endpoints "
+        "(hot-swaps re-save the manifest); without it the service is "
+        "strictly read-only",
+    )
+    transport.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="serve from a bounded pool of N worker threads instead of one "
+        "thread per connection",
+    )
     return parser
 
 
@@ -218,6 +252,7 @@ def _experiment_catalogue() -> str:
         "deploy": "Deploy an artifact under a name (--manifest records versions)",
         "deployments": "List the manifest's deployments and active versions",
         "query": "Batch point-location by deployment name or artifact path",
+        "serve": "Serve the manifest over HTTP (typed protocol as JSON)",
     }
     for name in SERVING_COMMANDS:
         lines.append(f"  {name:16s} {serving_descriptions[name]}")
@@ -479,6 +514,56 @@ def _run_query(args: argparse.Namespace) -> List[dict]:
     ]
 
 
+def _run_serve(args: argparse.Namespace) -> List[dict]:
+    """Serve the manifest's deployments as a threaded HTTP service.
+
+    The process blocks until interrupted (Ctrl-C / SIGTERM); queries are
+    answered on worker threads, and the engine's per-deployment read/write
+    locks keep admin hot-swaps atomic under concurrent traffic.  With
+    ``--admin``, successful deploys and rollbacks re-save the manifest, so
+    a restarted service serves what was last deployed.
+    """
+    from .serving import serve_engine
+
+    engine = _engine_for(args, require_manifest=True, allow_overrides=not args.admin)
+    server = serve_engine(
+        engine,
+        host=args.host,
+        port=args.port,
+        admin=args.admin,
+        threads=args.threads,
+        manifest_path=args.manifest if args.admin else None,
+    )
+    for row in _deployment_rows(engine):
+        print(
+            f"serving {row['name']} v{row['version']} "
+            f"({row['n_regions']} neighborhoods, {row['backend']} backend)"
+        )
+    print(
+        f"listening on {server.url} "
+        + ("(admin endpoints enabled)" if args.admin else "(read-only)")
+        + (f", {args.threads} worker threads" if args.threads else "")
+    )
+    if args.admin and args.host not in ("127.0.0.1", "localhost", "::1"):
+        # The admin plane is unauthenticated by design (loopback / trusted
+        # networks); binding it wide open deserves a loud note.
+        print(
+            "warning: admin endpoints are unauthenticated — anyone who can "
+            f"reach {args.host}:{server.server_address[1]} can hot-swap "
+            "deployments and load server-side bundle paths",
+            file=sys.stderr,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    if args.verbose:
+        _print_serving_stats(engine)
+    return []
+
+
 def run(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -509,6 +594,26 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.experiment == "deployments" and not args.manifest:
         parser.error("'deployments' requires --manifest")
+    if args.experiment == "serve":
+        if not args.manifest:
+            parser.error("'serve' requires --manifest")
+        if args.threads is not None and args.threads < 1:
+            parser.error(f"--threads must be >= 1, got {args.threads}")
+        if args.admin and (args.backend or args.strict or args.no_strict):
+            # Admin hot-swaps re-save the manifest; a per-invocation flag
+            # must not silently rewrite the persisted serving config.
+            parser.error(
+                "--backend/--strict cannot be combined with 'serve --admin': "
+                "admin hot-swaps re-save the manifest, which keeps the "
+                "config it was created with"
+            )
+    elif args.admin or args.threads is not None \
+            or args.host != "127.0.0.1" or args.port != DEFAULT_HTTP_PORT:
+        # Silently ignoring a transport flag would let `query --port N`
+        # run in-process while the user believes they hit the service.
+        parser.error(
+            "--host/--port/--admin/--threads apply to the 'serve' verb only"
+        )
     if args.experiment == "query":
         if not args.points:
             parser.error("'query' requires --points")
@@ -577,6 +682,7 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
             "deploy": lambda: _run_deploy(args),
             "deployments": lambda: _run_deployments(args),
             "query": lambda: _run_query(args),
+            "serve": lambda: _run_serve(args),
         }
         try:
             if args.experiment == "build":

@@ -54,3 +54,10 @@ class ExperimentError(ReproError):
 
 class ServingError(ReproError):
     """A serving-engine operation addressed an unknown or invalid deployment."""
+
+
+class TransportError(ReproError):
+    """A network transport failed below the protocol: connection refused or
+    dropped, retries exhausted, or a response that is not the serving
+    service's JSON (engine-side errors come back as their own typed
+    exceptions instead)."""

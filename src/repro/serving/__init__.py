@@ -10,6 +10,11 @@ Its unit of work is "answer queries against stored partitions", not
 * :mod:`~repro.serving.protocol` — the typed query vocabulary
   (:class:`LocateRequest` / :class:`RangeRequest` / :class:`QueryResult`),
   JSON-round-trippable so any transport can front the engine.
+* :mod:`~repro.serving.http` / :mod:`~repro.serving.client` — the first
+  such transport: :class:`ServingHTTPServer`, a stdlib-only threaded HTTP
+  service speaking the protocol as JSON (CLI verb ``serve``), and
+  :class:`ServingClient`, its connection-reusing, batching, retrying
+  typed client.
 * :class:`~repro.serving.server.PartitionServer` — fully vectorised batch
   point-location and range queries over one partition (``-1`` for off-map
   points in the default non-strict mode).
@@ -29,7 +34,9 @@ Pair with :mod:`repro.io.artifacts` (the on-disk bundle format) and the
 
 from .backends import DenseGridLocator, LocatorBackend, SparseBandLocator
 from .cache import ArtifactCache
-from .engine import ServingEngine
+from .client import ServingClient
+from .engine import ReadWriteLock, ServingEngine
+from .http import ServingHTTPServer, serve_engine
 from .protocol import LATEST, LocateRequest, QueryResult, RangeRequest
 from .server import PartitionServer
 from .sharding import ShardedDeployment
@@ -46,4 +53,8 @@ __all__ = [
     "LocatorBackend",
     "DenseGridLocator",
     "SparseBandLocator",
+    "ServingHTTPServer",
+    "ServingClient",
+    "serve_engine",
+    "ReadWriteLock",
 ]

@@ -12,10 +12,19 @@ sizes) from load time; a hit whose fingerprint no longer matches — the
 artifact was rebuilt at the same path — is reloaded transparently instead
 of serving stale regions, no manual :meth:`~ArtifactCache.invalidate`
 required.
+
+The cache is **thread-safe**: one mutex guards every LRU mutation and the
+stats counters, so parallel ``get``/``invalidate`` calls from a threaded
+transport can never corrupt the ordering dict, over-fill the cache, or
+lose a counter update.  Misses load the bundle *while holding the lock* —
+deliberately: two threads missing on the same path must produce one load,
+and bundle loads are rare next to hits (which cost one dict move under
+the same lock).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
@@ -53,6 +62,10 @@ class ArtifactCache:
         self._servers: "OrderedDict[str, Tuple[PartitionServer, Tuple[int, ...]]]" = (
             OrderedDict()
         )
+        # RLock, not Lock: PartitionServer.from_artifact may re-enter the
+        # interpreter arbitrarily, and a reentrant guard keeps any future
+        # internal call back into the cache from deadlocking.
+        self._mutex = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -77,40 +90,43 @@ class ArtifactCache:
         load error surfaces only once the entry is evicted or invalidated.
         """
         key = self._key(path)
-        entry = self._servers.get(key)
-        current = None
-        if entry is not None:
-            server, fingerprint = entry
-            try:
-                current = bundle_fingerprint(key)
-            except PartitionError:
-                current = fingerprint  # bundle gone; resident copy still serves
-            if fingerprint == current:
-                self._hits += 1
-                self._servers.move_to_end(key)
-                return server
-            self._reloads += 1
-            del self._servers[key]
-        self._misses += 1
-        # On a reload, reuse the stamp taken above (stat'ing again could
-        # pair a newer stamp with the content about to be loaded); the
-        # pre-load stamp keeps the conservative direction either way.
-        fingerprint = current if current is not None else bundle_fingerprint(key)
-        server = PartitionServer.from_artifact(
-            key, config=self._config, spec_validator=self._spec_validator
-        )
-        self._servers[key] = (server, fingerprint)
-        while len(self._servers) > self._config.cache_entries:
-            self._servers.popitem(last=False)
-            self._evictions += 1
-        return server
+        with self._mutex:
+            entry = self._servers.get(key)
+            current = None
+            if entry is not None:
+                server, fingerprint = entry
+                try:
+                    current = bundle_fingerprint(key)
+                except PartitionError:
+                    current = fingerprint  # bundle gone; resident copy still serves
+                if fingerprint == current:
+                    self._hits += 1
+                    self._servers.move_to_end(key)
+                    return server
+                self._reloads += 1
+                del self._servers[key]
+            self._misses += 1
+            # On a reload, reuse the stamp taken above (stat'ing again could
+            # pair a newer stamp with the content about to be loaded); the
+            # pre-load stamp keeps the conservative direction either way.
+            fingerprint = current if current is not None else bundle_fingerprint(key)
+            server = PartitionServer.from_artifact(
+                key, config=self._config, spec_validator=self._spec_validator
+            )
+            self._servers[key] = (server, fingerprint)
+            while len(self._servers) > self._config.cache_entries:
+                self._servers.popitem(last=False)
+                self._evictions += 1
+            return server
 
     def invalidate(self, path: str | Path) -> bool:
         """Drop the cached server for ``path`` (e.g. after a rebuild)."""
-        return self._servers.pop(self._key(path), None) is not None
+        with self._mutex:
+            return self._servers.pop(self._key(path), None) is not None
 
     def clear(self) -> None:
-        self._servers.clear()
+        with self._mutex:
+            self._servers.clear()
 
     @property
     def stats(self) -> Dict[str, float]:
@@ -120,20 +136,23 @@ class ArtifactCache:
         lookup); ``reloads`` counts hits turned into misses by an on-disk
         bundle change.
         """
-        lookups = self._hits + self._misses
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "reloads": self._reloads,
-            "resident": len(self._servers),
-            "hit_ratio": self._hits / lookups if lookups else 0.0,
-        }
+        with self._mutex:
+            lookups = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "reloads": self._reloads,
+                "resident": len(self._servers),
+                "hit_ratio": self._hits / lookups if lookups else 0.0,
+            }
 
     def __len__(self) -> int:
-        return len(self._servers)
+        with self._mutex:
+            return len(self._servers)
 
     def __contains__(self, path: object) -> bool:
         if not isinstance(path, (str, Path)):
             return False
-        return self._key(path) in self._servers
+        with self._mutex:
+            return self._key(path) in self._servers

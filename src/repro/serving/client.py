@@ -1,0 +1,341 @@
+"""Typed HTTP client for the serving service.
+
+:class:`ServingClient` is the network twin of calling a
+:class:`~repro.serving.engine.ServingEngine` directly: the same protocol
+objects in (:class:`~repro.serving.protocol.LocateRequest` /
+:class:`~repro.serving.protocol.RangeRequest`), the same
+:class:`~repro.serving.protocol.QueryResult` out, and the same exception
+classes on failure — the server sends the engine's exception type name in
+its JSON error body and the client re-raises it from
+:mod:`repro.exceptions`, so ``except ServingError`` works identically
+in-process and over the wire.  What the transport adds is handled here so
+callers never see it:
+
+* **connection reuse** — one persistent HTTP/1.1 connection per thread
+  (``threading.local``), so a client shared across worker threads is safe
+  and each thread pays the TCP handshake once;
+* **retries** — idempotent requests (queries and reads) are retried with
+  exponential backoff on connection-level failures; admin mutations are
+  never retried (a replayed ``deploy`` would create a second version);
+* **batching** — :meth:`locate_points` splits arbitrarily large
+  coordinate batches into bounded requests and pins every chunk after the
+  first to the version that answered the first, so a hot-swap in the
+  middle of a split batch cannot produce a half-old/half-new assignment;
+* **typed transport errors** — anything below the protocol (refused
+  connection, dropped socket, non-JSON response) raises
+  :class:`~repro.exceptions.TransportError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import exceptions
+from ..exceptions import ReproError, ServingError, TransportError
+from .http import DEFAULT_PORT, decode_b64_array, encode_b64_array
+from .protocol import LocateRequest, QueryResult, RangeRequest
+
+__all__ = ["ServingClient"]
+
+#: Default maximum points per locate request; batches above it are split.
+#: 50k points is ~2 MB of JSON per direction — large enough to amortise
+#: the HTTP round-trip, small enough to keep per-request latency bounded.
+DEFAULT_BATCH_SIZE = 50_000
+
+
+def _exception_for(error: Dict[str, Any]) -> ReproError:
+    """The typed exception a server-side JSON error body maps back to.
+
+    The server sends the engine exception's class name; anything that is
+    not a known :class:`ReproError` subclass (old server, foreign proxy)
+    degrades to :class:`ServingError` rather than being swallowed.
+    """
+    name = error.get("type", "")
+    message = error.get("message", "serving request failed")
+    exc_type = getattr(exceptions, str(name), None)
+    if isinstance(exc_type, type) and issubclass(exc_type, ReproError):
+        return exc_type(message)
+    return ServingError(f"{name}: {message}" if name else message)
+
+
+class ServingClient:
+    """Call a :class:`~repro.serving.http.ServingHTTPServer` like an engine.
+
+    Parameters
+    ----------
+    host / port:
+        The serving service's bind address.
+    timeout:
+        Socket timeout per request, seconds.
+    retries:
+        How many times a *read* request is retried after a
+        connection-level failure (total attempts = ``retries + 1``).
+        Engine-side errors (unknown deployment, bad payload) are never
+        retried — they are deterministic.
+    backoff:
+        Base delay between retries, seconds; doubles per attempt.
+    batch_size:
+        Largest point count per locate request;
+        :meth:`locate_points` splits bigger batches transparently.
+
+    The client is usable as a context manager; :meth:`close` drops every
+    thread's persistent connection.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if retries < 0:
+            raise TransportError(f"retries must be >= 0, got {retries}")
+        if batch_size < 1:
+            raise TransportError(f"batch_size must be >= 1, got {batch_size}")
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.batch_size = int(batch_size)
+        self._local = threading.local()
+        self._connections: List[http.client.HTTPConnection] = []
+        self._connections_lock = threading.Lock()
+
+    # -- transport ------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.connection = connection
+            with self._connections_lock:
+                self._connections.append(connection)
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+            with self._connections_lock:
+                if connection in self._connections:
+                    self._connections.remove(connection)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        retry: bool = True,
+        raw_body: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """One HTTP exchange -> parsed JSON, with retries below the protocol.
+
+        Only connection-level failures are retried (and only when
+        ``retry`` — admin mutations pass ``False``): an HTTP response, even
+        a 5xx, means the server made a decision, and replaying it is the
+        caller's call.  ``raw_body`` sends pre-encoded JSON text verbatim
+        (the dense locate path assembles its own, skipping ``json.dumps``'s
+        escaping scan over megabytes of base64).
+        """
+        body = raw_body if raw_body is not None else (
+            None if payload is None else json.dumps(payload)
+        )
+        attempts = (self.retries if retry else 0) + 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                connection = self._connection()
+                connection.request(
+                    method,
+                    path,
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                raw = response.read()  # must drain before connection reuse
+            except (OSError, http.client.HTTPException) as exc:
+                # Covers refused/reset connections, timeouts and protocol
+                # breakage; the stale keep-alive connection is dropped so
+                # the retry dials fresh.
+                self._drop_connection()
+                last_error = exc
+                continue
+            return self._parse(response.status, raw, path)
+        raise TransportError(
+            f"{method} {self.url}{path} failed after {attempts} attempt(s): "
+            f"{last_error}"
+        ) from last_error
+
+    def _parse(self, status: int, raw: bytes, path: str) -> Dict[str, Any]:
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise TransportError(
+                f"non-JSON response (HTTP {status}) from {self.url}{path}: "
+                f"{raw[:200]!r}"
+            ) from exc
+        if isinstance(data, dict) and "error" in data:
+            raise _exception_for(data["error"])
+        if status != 200:
+            raise TransportError(
+                f"HTTP {status} from {self.url}{path} without an error body"
+            )
+        if not isinstance(data, dict):
+            raise TransportError(
+                f"expected a JSON object from {self.url}{path}, "
+                f"got {type(data).__name__}"
+            )
+        return data
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Close every thread's persistent connection."""
+        with self._connections_lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            connection.close()
+        self._local = threading.local()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServingClient({self.url})"
+
+    # -- reads ----------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness probe: ``{"status": "ok", "deployments": N}``."""
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """The engine's counters plus its artifact cache's."""
+        return self._request("GET", "/v1/stats")
+
+    def deployments(self) -> List[Dict[str, Any]]:
+        """The service's deployment table (one row per name)."""
+        return self._request("GET", "/v1/deployments")["deployments"]
+
+    # -- queries --------------------------------------------------------------
+
+    def locate(self, request: LocateRequest) -> QueryResult:
+        """Answer one typed :class:`LocateRequest` over the wire."""
+        return QueryResult.from_dict(
+            self._request("POST", "/v1/locate", request.to_dict())
+        )
+
+    def range_query(self, request: RangeRequest) -> QueryResult:
+        """Answer one typed :class:`RangeRequest` over the wire."""
+        return QueryResult.from_dict(
+            self._request("POST", "/v1/range", request.to_dict())
+        )
+
+    def locate_points(
+        self,
+        deployment: str,
+        xs: Union[np.ndarray, Sequence[float]],
+        ys: Union[np.ndarray, Sequence[float]],
+        strict: Optional[bool] = None,
+        version: Optional[Union[int, str]] = None,
+    ) -> np.ndarray:
+        """Batch point location, split into bounded requests.
+
+        The network twin of
+        :meth:`~repro.serving.engine.ServingEngine.locate_points`: returns
+        the assignment array (``-1`` off-map in non-strict mode).  Batches
+        above ``batch_size`` points are sent as multiple requests; after
+        the first chunk answers, the remaining chunks are pinned to the
+        version that answered it, so a hot-swap mid-batch cannot split the
+        result across two partitions.
+
+        Coordinates cross the wire in the server's dense encoding (base64
+        float64 inside the JSON envelope) — bit-exact and ~50x cheaper to
+        marshal than JSON number lists at benchmark batch sizes.  Use
+        :meth:`locate` for the list form.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise TransportError(
+                f"locate_points needs two equal-length 1-D coordinate arrays, "
+                f"got shapes {xs.shape} and {ys.shape}"
+            )
+        pieces: List[np.ndarray] = []
+        pinned = version
+        for start in range(0, len(xs), self.batch_size) or (0,):
+            # Assembled by hand rather than json.dumps: the base64 alphabet
+            # never needs escaping, and the escaping scan over megabytes of
+            # it is measurable at benchmark batch sizes.
+            body = (
+                '{"deployment":' + json.dumps(deployment)
+                + ',"xs_b64":"'
+                + encode_b64_array(xs[start:start + self.batch_size], "<f8")
+                + '","ys_b64":"'
+                + encode_b64_array(ys[start:start + self.batch_size], "<f8")
+                + '"'
+                + ("" if strict is None else ',"strict":' + json.dumps(strict))
+                + ("" if pinned is None else ',"version":' + json.dumps(pinned))
+                + "}"
+            )
+            answer = self._request("POST", "/v1/locate", raw_body=body)
+            if pinned is None or pinned == "latest":
+                pinned = answer.get("version")
+            try:
+                piece = decode_b64_array(
+                    answer.get("regions_b64"), "<i8", "regions_b64"
+                )
+            except ReproError as exc:
+                raise TransportError(
+                    f"malformed dense locate response: {exc}"
+                ) from exc
+            pieces.append(piece.astype(int))
+        return np.concatenate(pieces) if pieces else np.empty(0, dtype=int)
+
+    # -- admin ----------------------------------------------------------------
+
+    def deploy(
+        self,
+        name: str,
+        artifact: str,
+        shards: Optional[Tuple[int, int]] = None,
+    ) -> Dict[str, Any]:
+        """Hot-swap ``name`` to the bundle at ``artifact`` (a server-host path).
+
+        Requires the service to run with admin endpoints enabled.  Never
+        retried: a replayed deploy would create a second version.
+        """
+        payload: Dict[str, Any] = {"name": name, "artifact": artifact}
+        if shards is not None:
+            payload["shards"] = [int(shards[0]), int(shards[1])]
+        return self._request("POST", "/v1/deploy", payload, retry=False)
+
+    def rollback(
+        self, name: str, version: Optional[Union[int, str]] = None
+    ) -> Dict[str, Any]:
+        """Repoint ``name`` at an older (or explicit) version. Admin only."""
+        payload: Dict[str, Any] = {"name": name}
+        if version is not None:
+            payload["version"] = version
+        return self._request("POST", "/v1/rollback", payload, retry=False)

@@ -30,18 +30,28 @@ what is serving.  :class:`ServingEngine` is that front:
   is how the CLI's ``deploy`` / ``deployments`` / ``query`` verbs share an
   engine across processes.
 
-Swaps and rollbacks are single-reference assignments, so readers in other
-threads always observe either the old or the new version, never a mix.
+The engine is **thread-safe**: each deployment carries a
+writer-preferring :class:`ReadWriteLock`, so a :meth:`deploy` or
+:meth:`rollback` pointer swap is atomic with respect to in-flight
+:meth:`locate` / :meth:`range_query` calls — a query resolves its version
+and grabs the server reference under the read lock, then answers from
+that immutable snapshot, so concurrent swaps can never produce a torn
+result (a response always reports the version that actually answered it).
+Expensive work (bundle loads) happens outside the deployment lock, and
+the per-deployment request counters are guarded by their own mutex so
+parallel readers never lose updates.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import replace
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -55,7 +65,75 @@ from .protocol import LATEST, LocateRequest, QueryResult, RangeRequest
 from .server import PartitionServer
 from .sharding import ShardedDeployment
 
-__all__ = ["ServingEngine", "MANIFEST_FORMAT_VERSION"]
+__all__ = ["ServingEngine", "ReadWriteLock", "MANIFEST_FORMAT_VERSION"]
+
+
+class ReadWriteLock:
+    """A writer-preferring read/write lock for the serving hot path.
+
+    Many reader threads may hold the lock at once; a writer holds it
+    exclusively.  Waiting writers block *new* readers, so a stream of
+    queries cannot starve a hot-swap — the swap waits only for the readers
+    already inside.  Both sides are context managers::
+
+        with lock.read():   # shared
+            ...
+        with lock.write():  # exclusive
+            ...
+
+    The implementation is one condition variable and three counters, which
+    keeps the uncontended read acquire (the per-query cost) at two lock
+    round-trips.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writer_active = False
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
 
 #: Format version of the deployment-manifest JSON written by
 #: :meth:`ServingEngine.save_manifest` (same bump policy as artifact bundles).
@@ -77,7 +155,10 @@ class _Version:
     number can never silently start serving rebuilt content.
     """
 
-    __slots__ = ("version", "source", "server", "shards", "fingerprint", "n_regions")
+    __slots__ = (
+        "version", "source", "server", "shards", "fingerprint", "n_regions",
+        "load_lock",
+    )
 
     def __init__(
         self,
@@ -94,15 +175,30 @@ class _Version:
         self.shards = shards
         self.fingerprint = fingerprint
         self.n_regions = n_regions
+        # Serialises this version's lazy materialisation: readers hold the
+        # deployment lock *shared*, so two can race to load the same
+        # unmaterialised version; per-version (not engine-wide) so the
+        # engine itself adds no cross-deployment serialisation on top of
+        # the cache's.
+        self.load_lock = threading.Lock()
 
 
 class _Deployment:
-    """A named deployment: version history, active pointer, counters."""
+    """A named deployment: version history, active pointer, counters.
+
+    ``lock`` orders version-table mutation (deploy/rollback, write side)
+    against query resolution (read side); ``counters`` is a plain mutex
+    for the request stats, which parallel readers bump — without it,
+    racing ``+=`` would silently drop counts and the "monotonic counters"
+    contract of :meth:`ServingEngine.stats` would be a lie.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.versions: "OrderedDict[int, _Version]" = OrderedDict()
         self.active = 0
+        self.lock = ReadWriteLock()
+        self.counters = threading.Lock()
         self.queries = 0
         self.points = 0
         self.located = 0
@@ -114,13 +210,14 @@ class _Deployment:
         return next(reversed(self.versions))
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "queries": self.queries,
-            "points": self.points,
-            "located": self.located,
-            "swaps": self.swaps,
-            "rollbacks": self.rollbacks,
-        }
+        with self.counters:
+            return {
+                "queries": self.queries,
+                "points": self.points,
+                "located": self.located,
+                "swaps": self.swaps,
+                "rollbacks": self.rollbacks,
+            }
 
 
 class ServingEngine:
@@ -162,6 +259,10 @@ class ServingEngine:
             self._config, spec_validator
         )
         self._deployments: Dict[str, _Deployment] = {}
+        # Guards the deployment *table* (create/remove/snapshot); each
+        # deployment's version history has its own read/write lock, and
+        # each version its own materialisation lock.
+        self._lock = threading.Lock()
 
     # -- deployment lifecycle -------------------------------------------------
 
@@ -192,6 +293,12 @@ class ServingEngine:
         cache's mtime fingerprint guarantees the redeploy sees the rebuilt
         bundle, not a stale cached server).  Returns the new version's
         summary (also the row format of :meth:`deployments`).
+
+        Thread-safe: the bundle is loaded *before* the deployment's write
+        lock is taken, so a slow load never blocks in-flight queries; the
+        version append and active-pointer move happen under the write
+        lock, so concurrent deploys get distinct version numbers and
+        readers observe either the old or the new version, never a mix.
         """
         if not name or not isinstance(name, str):
             raise ServingError("deployment name must be a non-empty string")
@@ -205,15 +312,41 @@ class ServingEngine:
             shards = (int(shards[0]), int(shards[1]))
             server = self._shard(server, shards)
 
-        deployment = self._deployments.setdefault(name, _Deployment(name))
-        version = deployment.latest + 1 if deployment.versions else 1
-        deployment.versions[version] = _Version(
-            version, source, server, shards, fingerprint, server.n_regions
-        )
-        if deployment.active:
-            deployment.swaps += 1
-        deployment.active = version  # the atomic hot-swap
-        return self._describe_version(deployment, version)
+        while True:
+            with self._lock:
+                deployment = self._deployments.get(name)
+                if deployment is None:
+                    # First deploy of this name: build the deployment fully
+                    # formed — version appended, active pointer set —
+                    # *before* it becomes reachable, so a concurrent reader
+                    # can never resolve a versionless deployment.
+                    deployment = _Deployment(name)
+                    deployment.versions[1] = _Version(
+                        1, source, server, shards, fingerprint, server.n_regions
+                    )
+                    deployment.active = 1
+                    self._deployments[name] = deployment
+                    version = 1
+                    break
+            with deployment.lock.write():
+                # Re-validate table membership under the write lock: a
+                # concurrent undeploy (which also takes the write lock
+                # before popping) may have retired this object since the
+                # lookup — appending to it would acknowledge a deploy that
+                # nothing serves.  Retry against whatever the table holds.
+                with self._lock:
+                    if self._deployments.get(name) is not deployment:
+                        continue
+                version = deployment.latest + 1
+                deployment.versions[version] = _Version(
+                    version, source, server, shards, fingerprint, server.n_regions
+                )
+                with deployment.counters:
+                    deployment.swaps += 1
+                deployment.active = version  # the atomic hot-swap
+            break
+        with deployment.lock.read():
+            return self._describe_version(deployment, version)
 
     def rollback(self, name: str, version: Optional[int] = None) -> Dict[str, Any]:
         """Repoint ``name``'s active version at an older one.
@@ -225,31 +358,57 @@ class ServingEngine:
         now-active version's summary.
         """
         deployment = self._resolve_deployment(name)
-        if version is None:
-            older = [v for v in deployment.versions if v < deployment.active]
-            if not older:
-                raise ServingError(
-                    f"deployment {name!r} has no version below the active "
-                    f"v{deployment.active} to roll back to"
-                )
-            version = max(older)
-        else:
-            version = self._resolve_version(deployment, version).version
-            if version == deployment.active:
-                raise ServingError(
-                    f"deployment {name!r} is already serving v{version}"
-                )
-        # Materialise the target *before* the swap: a rollback target whose
-        # bundle is gone or rebuilt must fail without displacing the
-        # version that is currently serving — same contract as deploy.
-        self._materialise(deployment.versions[version])
-        deployment.active = int(version)  # atomic, like deploy
-        deployment.rollbacks += 1
-        return self._describe_version(deployment, deployment.active)
+        # The whole decide-materialise-swap sequence runs under the write
+        # lock: the target choice depends on the active pointer, so a
+        # concurrent deploy must not move it mid-rollback.  Rollbacks are
+        # rare and usually hit an already-loaded version, so holding the
+        # lock across the (then trivial) materialisation is cheap.
+        with deployment.lock.write():
+            if version is None:
+                older = [v for v in deployment.versions if v < deployment.active]
+                if not older:
+                    raise ServingError(
+                        f"deployment {name!r} has no version below the active "
+                        f"v{deployment.active} to roll back to"
+                    )
+                version = max(older)
+            else:
+                version = self._resolve_version(deployment, version).version
+                if version == deployment.active:
+                    raise ServingError(
+                        f"deployment {name!r} is already serving v{version}"
+                    )
+            # Materialise the target *before* the swap: a rollback target whose
+            # bundle is gone or rebuilt must fail without displacing the
+            # version that is currently serving — same contract as deploy.
+            self._materialise(deployment.versions[version])
+            deployment.active = int(version)  # atomic, like deploy
+            with deployment.counters:
+                deployment.rollbacks += 1
+            active = deployment.active
+        with deployment.lock.read():
+            return self._describe_version(deployment, active)
 
     def undeploy(self, name: str) -> bool:
-        """Remove deployment ``name`` and its whole version history."""
-        return self._deployments.pop(name, None) is not None
+        """Remove deployment ``name`` and its whole version history.
+
+        Takes the deployment's write lock before popping, pairing with the
+        membership re-check in :meth:`deploy` — the two mutations of a
+        name's table entry are thereby serialised, so a deploy that
+        reported success was really serving and an undeployed name really
+        stopped (until a later deploy recreates it).
+        """
+        while True:
+            with self._lock:
+                deployment = self._deployments.get(name)
+            if deployment is None:
+                return False
+            with deployment.lock.write():
+                with self._lock:
+                    if self._deployments.get(name) is not deployment:
+                        continue  # a concurrent deploy replaced it; retry
+                    del self._deployments[name]
+                    return True
 
     # -- resolution -----------------------------------------------------------
 
@@ -291,25 +450,38 @@ class ServingEngine:
         still match the one recorded at deploy time — a version number is
         an immutable snapshot, and serving rebuilt content under an old
         number would make pinned queries lie.
+
+        Materialisation is double-checked under the version's own load
+        lock: readers hold the deployment lock *shared*, so two of them can
+        race to load the same unmaterialised version — the lock makes
+        exactly one load (and one shard construction) happen and the other
+        thread reuse it.  Note the cache below serialises bundle loads
+        behind its own mutex (a documented trade-off in
+        :class:`~repro.serving.cache.ArtifactCache`), so concurrent *cold*
+        loads of different bundles still queue there.
         """
         if resolved.server is None:
-            if resolved.fingerprint is not None and \
-                    bundle_fingerprint(resolved.source) != resolved.fingerprint:
-                raise ServingError(
-                    f"bundle {resolved.source} changed on disk since "
-                    f"v{resolved.version} was deployed; deploy it again to "
-                    "serve the new content under a new version"
-                )
-            server = self._cache.get(resolved.source)
-            if resolved.shards is not None:
-                server = self._shard(server, resolved.shards)
-            resolved.server = server
+            with resolved.load_lock:
+                if resolved.server is not None:
+                    return resolved.server
+                if resolved.fingerprint is not None and \
+                        bundle_fingerprint(resolved.source) != resolved.fingerprint:
+                    raise ServingError(
+                        f"bundle {resolved.source} changed on disk since "
+                        f"v{resolved.version} was deployed; deploy it again to "
+                        "serve the new content under a new version"
+                    )
+                server = self._cache.get(resolved.source)
+                if resolved.shards is not None:
+                    server = self._shard(server, resolved.shards)
+                resolved.server = server
         return resolved.server
 
     def _resolve_deployment(self, name: str) -> _Deployment:
         deployment = self._deployments.get(name)
         if deployment is None:
-            known = sorted(self._deployments)
+            with self._lock:  # snapshot: a concurrent deploy may be inserting
+                known = sorted(self._deployments)
             message = (
                 f"unknown deployment {name!r}; "
                 + (f"deployed: {', '.join(known)}" if known else "nothing is deployed")
@@ -338,9 +510,33 @@ class ServingEngine:
     ) -> Any:
         """The server object answering for ``name`` (active version by
         default, ``"latest"`` or an integer to pin)."""
-        return self._materialise(
-            self._resolve_version(self._resolve_deployment(name), version)
-        )
+        deployment = self._resolve_deployment(name)
+        with deployment.lock.read():
+            return self._materialise(self._resolve_version(deployment, version))
+
+    def _snapshot(
+        self, deployment: _Deployment, version: Optional[Union[int, str]]
+    ) -> Tuple[_Version, Any]:
+        """Resolve ``version`` and grab its server as one consistent pair.
+
+        This is the consistency core of every query path.  The common case
+        — active version, server already materialised — is served
+        *lock-free*: ``active`` only ever moves by single reference
+        assignment, a published ``_Version`` is immutable, and deploy
+        fully forms a version before making it reachable, so the
+        ``(version, server)`` pair read here can never be torn by a
+        concurrent swap (this keeps the routing hot path at its unlocked
+        cost).  Everything else — pinned versions, the ``latest`` alias,
+        lazy materialisation — resolves under the deployment's read lock,
+        excluded against deploy/rollback mutation.
+        """
+        if version is None:
+            resolved = deployment.versions.get(deployment.active)
+            if resolved is not None and resolved.server is not None:
+                return resolved, resolved.server
+        with deployment.lock.read():
+            resolved = self._resolve_version(deployment, version)
+            return resolved, self._materialise(resolved)
 
     def __contains__(self, name: object) -> bool:
         return name in self._deployments
@@ -366,23 +562,41 @@ class ServingEngine:
         whose ``located`` counter costs one vectorised scan of the
         assignment, the dominant share of the measured ~3% overhead.
         """
+        return self.locate_batch(name, xs, ys, strict=strict, version=version)[1]
+
+    def locate_batch(
+        self,
+        name: str,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        strict: Optional[bool] = None,
+        version: Optional[Union[int, str]] = None,
+    ) -> Tuple[int, np.ndarray]:
+        """:meth:`locate_points` plus the version number that answered.
+
+        The array-native dispatch transports use when they need to report
+        which version served (the HTTP layer's dense batch encoding): same
+        hot path, but the ``(version, assignment)`` pair is taken as one
+        consistent snapshot under the deployment's read lock.
+        """
         deployment = self._resolve_deployment(name)
-        resolved = self._resolve_version(deployment, version)
-        assignment = self._materialise(resolved).locate_points(xs, ys, strict=strict)
+        resolved, server = self._snapshot(deployment, version)
+        assignment = server.locate_points(xs, ys, strict=strict)
         self._record_locate(deployment, assignment)
-        return assignment
+        return resolved.version, assignment
 
     @staticmethod
     def _record_locate(deployment: _Deployment, assignment: np.ndarray) -> None:
-        deployment.queries += 1
-        deployment.points += int(assignment.size)
-        deployment.located += int(np.count_nonzero(assignment >= 0))
+        with deployment.counters:
+            deployment.queries += 1
+            deployment.points += int(assignment.size)
+            deployment.located += int(np.count_nonzero(assignment >= 0))
 
     def locate(self, request: LocateRequest) -> QueryResult:
         """Answer a typed :class:`LocateRequest` with a :class:`QueryResult`."""
         deployment = self._resolve_deployment(request.deployment)
-        resolved = self._resolve_version(deployment, request.version)
-        assignment = self._materialise(resolved).locate_points(
+        resolved, server = self._snapshot(deployment, request.version)
+        assignment = server.locate_points(
             np.asarray(request.xs, dtype=float),
             np.asarray(request.ys, dtype=float),
             strict=request.strict,
@@ -392,17 +606,18 @@ class ServingEngine:
             deployment=deployment.name,
             version=resolved.version,
             kind="locate",
-            regions=tuple(int(index) for index in assignment),
+            regions=tuple(assignment.tolist()),
         )
 
     def range_query(self, request: RangeRequest) -> QueryResult:
         """Answer a typed :class:`RangeRequest` with a :class:`QueryResult`."""
         deployment = self._resolve_deployment(request.deployment)
-        resolved = self._resolve_version(deployment, request.version)
-        regions = self._materialise(resolved).range_query(request.bounds)
+        resolved, server = self._snapshot(deployment, request.version)
+        regions = server.range_query(request.bounds)
         # Only `queries` moves: `points`/`located` count point lookups, and
         # folding region matches into them would let located exceed points.
-        deployment.queries += 1
+        with deployment.counters:
+            deployment.queries += 1
         return QueryResult(
             deployment=deployment.name,
             version=resolved.version,
@@ -435,10 +650,11 @@ class ServingEngine:
     def describe(self, name: str, version: Optional[Union[int, str]] = None) -> Dict[str, Any]:
         """Full description of one deployment version (active by default)."""
         deployment = self._resolve_deployment(name)
-        resolved = self._resolve_version(deployment, version)
-        info = self._materialise(resolved).describe()
-        summary = self._describe_version(deployment, resolved.version, info=info)
-        summary["versions"] = sorted(deployment.versions)
+        with deployment.lock.read():
+            resolved = self._resolve_version(deployment, version)
+            info = self._materialise(resolved).describe()
+            summary = self._describe_version(deployment, resolved.version, info=info)
+            summary["versions"] = sorted(deployment.versions)
         summary["stats"] = deployment.stats()
         summary["server"] = info
         return summary
@@ -454,42 +670,48 @@ class ServingEngine:
         on disk gets its failure under an ``"error"`` key while every
         other row reports normally.
         """
+        with self._lock:
+            snapshot = list(self._deployments.values())
         rows = []
-        for deployment in self._deployments.values():
-            resolved = deployment.versions[deployment.active]
-            if resolved.server is not None or resolved.n_regions is None:
-                try:
-                    rows.append(self._describe_version(deployment, deployment.active))
-                    continue
-                except ReproError as exc:
-                    error: Optional[str] = str(exc)
-            else:
-                error = None
-                try:
-                    if resolved.fingerprint is not None and \
-                            bundle_fingerprint(resolved.source) != resolved.fingerprint:
-                        error = (
-                            f"bundle {resolved.source} changed on disk since "
-                            f"v{resolved.version} was deployed"
-                        )
-                except ReproError as exc:
-                    error = str(exc)
-            row = {
-                "name": deployment.name,
-                "version": deployment.active,
-                "active": True,
-                "latest": deployment.active == deployment.latest,
-                "source": resolved.source,
-                "shards": list(resolved.shards) if resolved.shards else None,
-                "n_regions": resolved.n_regions if error is None else None,
-                "backend": None if error is not None else (
-                    "sharded" if resolved.shards else self._backend_name()
-                ),
-            }
-            if error is not None:
-                row["error"] = error
-            rows.append(row)
+        for deployment in snapshot:
+            with deployment.lock.read():
+                rows.append(self._deployment_row(deployment))
         return rows
+
+    def _deployment_row(self, deployment: _Deployment) -> Dict[str, Any]:
+        """One :meth:`deployments` row (caller holds the read lock)."""
+        resolved = deployment.versions[deployment.active]
+        if resolved.server is not None or resolved.n_regions is None:
+            try:
+                return self._describe_version(deployment, deployment.active)
+            except ReproError as exc:
+                error: Optional[str] = str(exc)
+        else:
+            error = None
+            try:
+                if resolved.fingerprint is not None and \
+                        bundle_fingerprint(resolved.source) != resolved.fingerprint:
+                    error = (
+                        f"bundle {resolved.source} changed on disk since "
+                        f"v{resolved.version} was deployed"
+                    )
+            except ReproError as exc:
+                error = str(exc)
+        row = {
+            "name": deployment.name,
+            "version": deployment.active,
+            "active": True,
+            "latest": deployment.active == deployment.latest,
+            "source": resolved.source,
+            "shards": list(resolved.shards) if resolved.shards else None,
+            "n_regions": resolved.n_regions if error is None else None,
+            "backend": None if error is not None else (
+                "sharded" if resolved.shards else self._backend_name()
+            ),
+        }
+        if error is not None:
+            row["error"] = error
+        return row
 
     def _backend_name(self) -> str:
         """Canonical name of the configured locator backend."""
@@ -499,10 +721,15 @@ class ServingEngine:
 
     @property
     def stats(self) -> Dict[str, Any]:
-        """Engine-wide counters: per-deployment stats plus the cache's."""
-        per_deployment = {
-            name: deployment.stats() for name, deployment in self._deployments.items()
-        }
+        """Engine-wide counters: per-deployment stats plus the cache's.
+
+        Counters are monotonic (guarded by each deployment's stats mutex,
+        so parallel readers never lose an update) until the deployment is
+        undeployed.
+        """
+        with self._lock:
+            snapshot = list(self._deployments.items())
+        per_deployment = {name: deployment.stats() for name, deployment in snapshot}
         return {
             "deployments": per_deployment,
             "queries": sum(stats["queries"] for stats in per_deployment.values()),
@@ -526,26 +753,29 @@ class ServingEngine:
         are last-writer-wins (the manifest is a snapshot of *this*
         engine's table, not a merge target).
         """
+        with self._lock:
+            snapshot = list(self._deployments.items())
         deployments: Dict[str, Any] = {}
-        for name, deployment in self._deployments.items():
+        for name, deployment in snapshot:
             versions = []
-            for resolved in deployment.versions.values():
-                if resolved.source is None:
-                    raise ServingError(
-                        f"deployment {name!r} v{resolved.version} was deployed "
-                        "from memory, not a bundle path; it cannot be persisted"
+            with deployment.lock.read():
+                for resolved in deployment.versions.values():
+                    if resolved.source is None:
+                        raise ServingError(
+                            f"deployment {name!r} v{resolved.version} was deployed "
+                            "from memory, not a bundle path; it cannot be persisted"
+                        )
+                    versions.append(
+                        {
+                            "version": resolved.version,
+                            "path": resolved.source,
+                            "shards": list(resolved.shards) if resolved.shards else None,
+                            "fingerprint": list(resolved.fingerprint)
+                            if resolved.fingerprint else None,
+                            "n_regions": resolved.n_regions,
+                        }
                     )
-                versions.append(
-                    {
-                        "version": resolved.version,
-                        "path": resolved.source,
-                        "shards": list(resolved.shards) if resolved.shards else None,
-                        "fingerprint": list(resolved.fingerprint)
-                        if resolved.fingerprint else None,
-                        "n_regions": resolved.n_regions,
-                    }
-                )
-            deployments[name] = {"active": deployment.active, "versions": versions}
+                deployments[name] = {"active": deployment.active, "versions": versions}
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {

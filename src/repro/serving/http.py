@@ -1,0 +1,599 @@
+"""HTTP transport: the serving engine as a concurrent network service.
+
+PR 4's typed protocol made the engine transport-agnostic; this module is
+the first transport.  :class:`ServingHTTPServer` fronts a
+:class:`~repro.serving.engine.ServingEngine` with a stdlib-only threaded
+HTTP server (no framework, no extra dependency) speaking JSON over the
+protocol objects — every request body is parsed into a
+:class:`~repro.serving.protocol.LocateRequest` /
+:class:`~repro.serving.protocol.RangeRequest` and every response is a
+:class:`~repro.serving.protocol.QueryResult.to_dict`, so the wire format
+*is* the protocol and cannot drift from the in-process API.
+
+Endpoints
+---------
+
+==========================  =====================================================
+``GET  /v1/healthz``        liveness: ``{"status": "ok", "deployments": N}``
+``GET  /v1/deployments``    the engine's deployment table (one row per name)
+``GET  /v1/stats``          engine + cache counters
+``POST /v1/locate``         a ``LocateRequest`` dict -> ``QueryResult`` dict
+``POST /v1/range``          a ``RangeRequest`` dict -> ``QueryResult`` dict
+``POST /v1/deploy``         admin: ``{"name", "artifact", "shards"?}`` hot-swap
+``POST /v1/rollback``       admin: ``{"name", "version"?}``
+==========================  =====================================================
+
+Admin endpoints are disabled unless the server is constructed with
+``admin=True`` (the CLI's ``serve --admin``); without it they answer 403,
+so a read-only service cannot be made to load arbitrary bundles over the
+network.  The admin plane carries **no authentication** — it is meant for
+loopback or otherwise trusted networks; the CLI warns when ``--admin`` is
+combined with a non-loopback bind.  When the server was given a
+``manifest_path``, a successful admin mutation re-saves the manifest, so
+a restart serves what was last deployed.
+
+Large locate batches may use the **dense encoding**: instead of ``xs`` /
+``ys`` JSON number lists, the body carries ``xs_b64`` / ``ys_b64`` —
+base64 of the raw little-endian float64 coordinate arrays — and the
+response answers with ``regions_b64`` (base64 little-endian int64) instead
+of a ``regions`` list.  The envelope stays JSON and the values are
+bit-exact (binary float64 round-trips where decimal repr must be
+re-parsed), but marshalling a 10^5-point batch drops from ~150 ms of
+number formatting to ~2 ms of base64.  :meth:`ServingClient.locate_points`
+uses it automatically; the list form remains for humans and foreign
+clients.
+
+Errors cross the wire as ``{"error": {"type": <exception class>,
+"message": ...}}`` with a mapped status code;
+:class:`~repro.serving.client.ServingClient` re-raises them as the same
+exception classes, so network callers catch exactly what in-process
+callers catch.
+
+Concurrency: requests are handled on worker threads (a bounded pool when
+``threads`` is given, one thread per connection otherwise); the engine's
+per-deployment read/write locks make hot-swaps atomic under that
+parallelism.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import logging
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import (
+    ConfigurationError,
+    GridError,
+    ReproError,
+    ServingError,
+)
+from ..validation import check_version
+from .engine import ServingEngine
+from .protocol import LocateRequest, RangeRequest
+
+__all__ = [
+    "ServingHTTPServer",
+    "serve_engine",
+    "decode_b64_array",
+    "encode_b64_array",
+    "DEFAULT_PORT",
+]
+
+#: The port the CLI's ``serve`` verb binds and :class:`ServingClient`
+#: dials when neither is told otherwise — one constant, so a
+#: default-started server and a default-constructed client always meet.
+DEFAULT_PORT = 8350
+
+
+def encode_b64_array(values: np.ndarray, dtype: str) -> str:
+    """Base64 of ``values`` as raw ``dtype`` (an explicit-endian spec like
+    ``"<f8"``), the dense encoding's payload form."""
+    return base64.b64encode(
+        np.ascontiguousarray(values, dtype=dtype).tobytes()
+    ).decode("ascii")
+
+
+def decode_b64_array(text: Any, dtype: str, field: str) -> np.ndarray:
+    """Decode a dense-encoding field back to an array, failing typed."""
+    if not isinstance(text, str):
+        raise ConfigurationError(f"{field} must be a base64 string")
+    try:
+        raw = base64.b64decode(text, validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise ConfigurationError(f"{field} is not valid base64: {exc}") from exc
+    itemsize = np.dtype(dtype).itemsize
+    if len(raw) % itemsize:
+        raise ConfigurationError(
+            f"{field} decodes to {len(raw)} bytes, not a multiple of the "
+            f"{itemsize}-byte {dtype} item size"
+        )
+    return np.frombuffer(raw, dtype=dtype)
+
+logger = logging.getLogger(__name__)
+
+#: Largest request body the server will read, in bytes (64 MiB — a
+#: 1e6-point locate batch is ~40 MB of JSON; anything bigger should be
+#: chunked by the client's batcher).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Engine exception -> HTTP status.  The class *name* travels in the JSON
+#: error body and is what the client maps back; the status code is for
+#: generic HTTP middleboxes and curl users.
+_STATUS_BY_EXCEPTION = (
+    (ConfigurationError, 400),  # malformed request payload
+    (ServingError, 404),        # unknown deployment / version / bad name
+    (GridError, 422),           # strict-mode off-map coordinates
+    (ReproError, 409),          # broken bundle, spec mismatch, ...
+)
+
+
+def _status_for(exc: BaseException) -> int:
+    override = getattr(exc, "http_status", None)
+    if override is not None:
+        return int(override)
+    for exc_type, status in _STATUS_BY_EXCEPTION:
+        if isinstance(exc, exc_type):
+            return status
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: route, parse through the protocol, answer JSON.
+
+    ``protocol_version`` is HTTP/1.1, so keep-alive connection reuse works
+    (every response carries an explicit ``Content-Length``) — that is what
+    makes the client's persistent connections worth having.  ``timeout``
+    bounds how long an *idle* keep-alive connection may hold its worker:
+    without it, N idle persistent clients would permanently starve a
+    ``threads=N`` bounded pool.  A timed-out connection is simply closed;
+    :class:`~repro.serving.client.ServingClient` redials transparently.
+    """
+
+    protocol_version = "HTTP/1.1"
+    timeout = 30.0
+    server: "ServingHTTPServer"
+
+    # -- plumbing -------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        self._send_raw_json(status, json.dumps(payload))
+
+    def _send_raw_json(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Set when the request body was refused unread (e.g. oversize):
+            # the unconsumed bytes would corrupt the keep-alive stream, so
+            # the connection must not be reused.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, exc: BaseException) -> None:
+        self._send_json(
+            status,
+            {"error": {"type": type(exc).__name__, "message": str(exc)}},
+        )
+
+    def _content_length(self) -> int:
+        try:
+            return int(self.headers.get("Content-Length") or 0)
+        except ValueError as exc:
+            # The body length is unknowable, so the stream cannot be
+            # resynchronised — refuse and close.
+            self.close_connection = True
+            raise ConfigurationError(
+                f"malformed Content-Length header: {exc}"
+            ) from exc
+
+    def _read_json_body(self) -> Dict[str, Any]:
+        length = self._content_length()
+        if length <= 0:
+            raise ConfigurationError("request body must be a JSON object")
+        if length > MAX_BODY_BYTES:
+            # Refusing means leaving the body unread, which would poison a
+            # reused connection — close it after the error response.
+            self.close_connection = True
+            raise ConfigurationError(
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}"
+                " byte limit; split the batch (ServingClient does this"
+                " automatically)"
+            )
+        try:
+            raw = self.rfile.read(length)
+        except OSError:
+            # Timed-out or broken mid-body read: the stream position is
+            # unknown, so the connection must not serve another request.
+            self.close_connection = True
+            raise
+        if len(raw) != length:
+            self.close_connection = True
+            raise ConfigurationError(
+                f"request body was truncated ({len(raw)} of {length} bytes)"
+            )
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"request body must be a JSON object, got {type(data).__name__}"
+            )
+        return data
+
+    def _drain_body(self) -> None:
+        """Consume an unroutable request's body so keep-alive stays usable."""
+        length = self._content_length()
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+        elif length > 0:
+            try:
+                consumed = len(self.rfile.read(length))
+            except OSError:
+                self.close_connection = True
+                raise
+            if consumed != length:
+                self.close_connection = True
+
+    # -- routes ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(
+            {
+                "/v1/healthz": self._get_healthz,
+                "/v1/deployments": self._get_deployments,
+                "/v1/stats": self._get_stats,
+            }
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(
+            {
+                "/v1/locate": self._post_locate,
+                "/v1/range": self._post_range,
+                "/v1/deploy": self._post_deploy,
+                "/v1/rollback": self._post_rollback,
+            },
+            with_body=True,
+        )
+
+    def _dispatch(self, routes: Dict[str, Any], with_body: bool = False) -> None:
+        handler = routes.get(self.path)
+        body: Optional[Dict[str, Any]] = None
+        try:
+            if with_body:
+                # Read the body before *any* routing or permission decision:
+                # an error response sent while the body sits unread would
+                # corrupt the next request on this keep-alive connection.
+                if handler is not None:
+                    body = self._read_json_body()
+                else:
+                    self._drain_body()
+            else:
+                # A GET carrying a body (unusual but legal) must still be
+                # consumed, or its bytes would prefix the next request.
+                self._drain_body()
+            if handler is None:
+                raise ServingError(
+                    f"unknown endpoint {self.path!r}; "
+                    f"known: {', '.join(sorted(routes))}"
+                )
+            handler(body) if with_body else handler()
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # noqa: BLE001 - the error *is* the response
+            status = _status_for(exc)
+            if status == 500:
+                logger.exception("unhandled error serving %s", self.path)
+            try:
+                self._send_error_json(status, exc)
+            except BrokenPipeError:
+                pass
+
+    def _get_healthz(self) -> None:
+        self._send_json(
+            200, {"status": "ok", "deployments": len(self.server.engine)}
+        )
+
+    def _get_deployments(self) -> None:
+        self._send_json(200, {"deployments": self.server.engine.deployments()})
+
+    def _get_stats(self) -> None:
+        self._send_json(200, self.server.engine.stats)
+
+    def _post_locate(self, data: Dict[str, Any]) -> None:
+        if "xs_b64" in data or "ys_b64" in data:
+            self._post_locate_dense(data)
+            return
+        request = LocateRequest.from_dict(data)
+        self._send_json(200, self.server.engine.locate(request).to_dict())
+
+    def _post_locate_dense(self, data: Dict[str, Any]) -> None:
+        """The dense-encoding locate: b64 float64 in, b64 int64 out.
+
+        Functionally identical to the list form (same engine dispatch,
+        same version/strict semantics, same error mapping) — only the
+        coordinate marshalling differs.
+        """
+        allowed = {"kind", "deployment", "xs_b64", "ys_b64", "strict", "version"}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown locate field(s) {', '.join(map(repr, unknown))}; the "
+                f"dense encoding expects a subset of {tuple(sorted(allowed))} "
+                "(mixing xs/ys lists with xs_b64/ys_b64 is not allowed)"
+            )
+        if data.get("kind", "locate") != "locate":
+            raise ConfigurationError(
+                f"locate got kind {data.get('kind')!r}, expected 'locate'"
+            )
+        deployment = data.get("deployment")
+        if not isinstance(deployment, str) or not deployment:
+            raise ConfigurationError("locate needs a non-empty 'deployment'")
+        xs = decode_b64_array(data.get("xs_b64"), "<f8", "xs_b64")
+        ys = decode_b64_array(data.get("ys_b64"), "<f8", "ys_b64")
+        if len(xs) != len(ys):
+            raise ConfigurationError(
+                f"locate needs paired coordinates, got {len(xs)} xs and "
+                f"{len(ys)} ys"
+            )
+        if (xs.size and not np.isfinite(xs).all()) or \
+                (ys.size and not np.isfinite(ys).all()):
+            raise ConfigurationError("locate coordinates must be finite")
+        strict = data.get("strict")
+        if strict is not None and not isinstance(strict, bool):
+            raise ConfigurationError("locate 'strict' must be a bool or null")
+        check_version(data.get("version"))
+        version, assignment = self.server.engine.locate_batch(
+            deployment, xs, ys, strict=strict, version=data.get("version")
+        )
+        # Assembled by hand for the same reason the client does it: base64
+        # never needs escaping, so json.dumps's scan is pure overhead here.
+        body = (
+            '{"deployment":' + json.dumps(deployment)
+            + ',"version":' + str(int(version))
+            + ',"kind":"locate","regions_b64":"'
+            + encode_b64_array(assignment, "<i8")
+            + '","n":' + str(int(assignment.size)) + "}"
+        )
+        self._send_raw_json(200, body)
+
+    def _post_range(self, data: Dict[str, Any]) -> None:
+        request = RangeRequest.from_dict(data)
+        self._send_json(200, self.server.engine.range_query(request).to_dict())
+
+    # -- admin ----------------------------------------------------------------
+
+    def _require_admin(self) -> None:
+        if not self.server.admin:
+            # 403, not 404: the endpoint exists, the deployment verbs are
+            # just not enabled on this server instance.
+            exc = ServingError(
+                f"{self.path} requires the server to be started with admin "
+                "endpoints enabled (serve --admin)"
+            )
+            exc.http_status = 403
+            raise exc
+
+    def _post_deploy(self, data: Dict[str, Any]) -> None:
+        self._require_admin()
+        unknown = sorted(set(data) - {"name", "artifact", "shards"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown deploy field(s) {', '.join(map(repr, unknown))}; "
+                "expected name, artifact and optionally shards"
+            )
+        if not isinstance(data.get("name"), str) or not data["name"]:
+            raise ConfigurationError("deploy needs 'name': a deployment name")
+        if not isinstance(data.get("artifact"), str) or not data["artifact"]:
+            raise ConfigurationError(
+                "deploy needs 'artifact': a bundle path on the server host"
+            )
+        shards = data.get("shards")
+        if shards is not None:
+            try:
+                shards = (int(shards[0]), int(shards[1]))
+            except (TypeError, ValueError, IndexError) as exc:
+                raise ConfigurationError(
+                    f"deploy 'shards' must be a [rows, cols] pair: {exc}"
+                ) from exc
+        info = self.server.engine.deploy(data["name"], data["artifact"], shards=shards)
+        self._send_json(200, self._with_manifest_state(info))
+
+    def _post_rollback(self, data: Dict[str, Any]) -> None:
+        self._require_admin()
+        unknown = sorted(set(data) - {"name", "version"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown rollback field(s) {', '.join(map(repr, unknown))}; "
+                "expected name and optionally version"
+            )
+        if not isinstance(data.get("name"), str) or not data["name"]:
+            raise ConfigurationError("rollback needs 'name': a deployment name")
+        info = self.server.engine.rollback(data["name"], data.get("version"))
+        self._send_json(200, self._with_manifest_state(info))
+
+    def _with_manifest_state(self, info: Dict[str, Any]) -> Dict[str, Any]:
+        """Persist the manifest after an admin mutation, degrading softly.
+
+        The engine mutation already took effect; failing the request now
+        would tell the operator a hot-swap did not happen when it did (and
+        invite a retry that creates a spurious extra version).  A persist
+        failure therefore rides along as ``manifest_warning`` on the
+        success response instead.
+        """
+        try:
+            self.server.persist_manifest()
+        except (OSError, ReproError) as exc:
+            logger.warning("manifest save failed after admin mutation: %s", exc)
+            return {**info, "manifest_warning": str(exc)}
+        return info
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """A threaded HTTP front over one :class:`ServingEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve; it is shared with the caller (the CLI keeps
+        using it for logging, tests query it directly to cross-check
+        responses).
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port — read the bound
+        one from :attr:`server_address` (tests and benchmarks do).
+    admin:
+        Enable the mutating ``/v1/deploy`` and ``/v1/rollback`` endpoints.
+    threads:
+        ``None`` (default) spawns one daemon thread per connection, like
+        :class:`http.server.ThreadingHTTPServer`; a positive integer
+        serves from a bounded pool of that many workers instead, which is
+        the knob for a box that must not run an unbounded thread count
+        under heavy traffic.
+    manifest_path:
+        When given, every successful admin mutation re-saves the engine's
+        deployment manifest there, so hot-swaps survive a restart.
+
+    Use :meth:`serve_background` in tests (returns once the socket is
+    accepting), :meth:`serve_forever` in a real process, and :meth:`close`
+    (or the context manager) to shut down either.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        admin: bool = False,
+        threads: Optional[int] = None,
+        manifest_path: Optional[str] = None,
+    ) -> None:
+        if threads is not None and threads < 1:
+            raise ConfigurationError(f"threads must be >= 1, got {threads}")
+        self.engine = engine
+        self.admin = bool(admin)
+        self.manifest_path = manifest_path
+        self._pool = (
+            ThreadPoolExecutor(threads, thread_name_prefix="repro-serve")
+            if threads is not None
+            else None
+        )
+        self._serve_thread: Optional[threading.Thread] = None
+        self._started_serving = False
+        super().__init__((host, port), _Handler)
+
+    # -- request fan-out ------------------------------------------------------
+
+    def process_request(self, request: socket.socket, client_address: Tuple) -> None:
+        """Hand the connection to a worker.
+
+        Bounded-pool mode submits the stdlib's own per-connection routine
+        (:meth:`~socketserver.ThreadingMixIn.process_request_thread`) to
+        the executor; otherwise :class:`ThreadingHTTPServer` spawns its
+        usual daemon thread per connection.
+        """
+        if self._pool is not None:
+            self._pool.submit(self.process_request_thread, request, client_address)
+        else:
+            super().process_request(request, client_address)
+
+    def handle_error(self, request: socket.socket, client_address: Tuple) -> None:
+        logger.debug("error handling connection from %s", client_address, exc_info=True)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def persist_manifest(self) -> None:
+        """Re-save the deployment manifest after an admin mutation."""
+        if self.manifest_path:
+            self.engine.save_manifest(self.manifest_path)
+
+    def serve_background(self) -> "ServingHTTPServer":
+        """Run :meth:`serve_forever` on a daemon thread and return."""
+        if self._serve_thread is not None:
+            raise ServingError("server is already running in the background")
+        # Mark before the thread starts: a close() racing this call must
+        # see the flag and issue shutdown(), or the serve loop would keep
+        # polling a closed socket.
+        self._started_serving = True
+        self._serve_thread = threading.Thread(
+            # Tight poll interval: background servers are the test/benchmark
+            # mode, and shutdown() waits out one poll cycle.
+            target=lambda: self.serve_forever(poll_interval=0.02),
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._started_serving = True
+        super().serve_forever(poll_interval=poll_interval)
+
+    def close(self) -> None:
+        """Stop accepting, drain the worker pool, release the socket.
+
+        Safe in every lifecycle state: ``shutdown()`` is only issued once
+        ``serve_forever`` has run (calling it on a server that never
+        served would wait forever on an event only the serve loop sets).
+        """
+        if self._started_serving:
+            self.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        self.server_close()
+
+    def __enter__(self) -> "ServingHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def serve_engine(
+    engine: ServingEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    admin: bool = False,
+    threads: Optional[int] = None,
+    manifest_path: Optional[str] = None,
+) -> ServingHTTPServer:
+    """Construct a :class:`ServingHTTPServer` (not yet serving).
+
+    Thin convenience for the CLI and examples::
+
+        server = serve_engine(engine, port=8350, admin=True)
+        print("listening on", server.url)
+        server.serve_forever()          # or server.serve_background()
+    """
+    return ServingHTTPServer(
+        engine,
+        host=host,
+        port=port,
+        admin=admin,
+        threads=threads,
+        manifest_path=manifest_path,
+    )

@@ -31,6 +31,8 @@ import math
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 from ..spatial.geometry import BoundingBox
 from ..validation import check_keys, check_version
@@ -110,22 +112,34 @@ class LocateRequest(_JsonValue):
             raise ConfigurationError(
                 "LocateRequest coordinates must be numeric sequences, not strings"
             )
+        # Vectorised canonicalisation: batches are the point of this
+        # request, and a 10^5-point batch through per-element float() used
+        # to dominate transport dispatch time.
         try:
-            xs = tuple(float(x) for x in self.xs)
-            ys = tuple(float(y) for y in self.ys)
-        except (TypeError, ValueError) as exc:
+            xs = np.asarray(self.xs, dtype=float)
+            ys = np.asarray(self.ys, dtype=float)
+        except (TypeError, ValueError, OverflowError) as exc:
+            # OverflowError: JSON admits integer literals beyond float64
+            # range, and numpy raises it where per-element float() raised
+            # the OverflowError too — keep it a typed validation error.
             raise ConfigurationError(
                 f"LocateRequest coordinates must be numeric: {exc}"
             ) from exc
+        if xs.ndim != 1 or ys.ndim != 1:
+            raise ConfigurationError(
+                "LocateRequest coordinates must be flat sequences, got "
+                f"shapes {xs.shape} and {ys.shape}"
+            )
         if len(xs) != len(ys):
             raise ConfigurationError(
                 f"LocateRequest needs paired coordinates, got {len(xs)} xs "
                 f"and {len(ys)} ys"
             )
-        if any(not math.isfinite(v) for v in xs + ys):
+        if (xs.size and not np.isfinite(xs).all()) or \
+                (ys.size and not np.isfinite(ys).all()):
             raise ConfigurationError("LocateRequest coordinates must be finite")
-        object.__setattr__(self, "xs", xs)
-        object.__setattr__(self, "ys", ys)
+        object.__setattr__(self, "xs", tuple(xs.tolist()))
+        object.__setattr__(self, "ys", tuple(ys.tolist()))
         if self.strict is not None and not isinstance(self.strict, bool):
             raise ConfigurationError("LocateRequest.strict must be a bool or None")
         _check_version("LocateRequest", self.version)
@@ -239,8 +253,27 @@ class QueryResult(_JsonValue):
                 f"QueryResult.kind must be one of {QUERY_KINDS}, got {self.kind!r}"
             )
         try:
-            regions = tuple(int(r) for r in self.regions)
-        except (TypeError, ValueError) as exc:
+            regions = np.asarray(self.regions)
+            if regions.ndim != 1:
+                raise ValueError(f"regions must be flat, got shape {regions.shape}")
+            # Guard the cast to int64: astype would fold NaN/Inf to
+            # INT64_MIN and wrap uint64 values past int64 max to negative
+            # ids silently, where the per-element int() this replaced kept
+            # the value — and json.loads admits both NaN literals and
+            # arbitrarily large ints.
+            if regions.dtype.kind == "f" and regions.size:
+                if not np.isfinite(regions).all():
+                    raise ValueError("regions contain non-finite values")
+                if (np.abs(regions) >= 2.0 ** 63).any():
+                    raise OverflowError("regions exceed the int64 range")
+            if regions.dtype.kind == "u" and regions.size \
+                    and int(regions.max()) > np.iinfo(np.int64).max:
+                raise OverflowError("regions exceed the int64 range")
+            regions = tuple(regions.astype(int, casting="unsafe").tolist()) \
+                if regions.size else ()
+        except (TypeError, ValueError, OverflowError) as exc:
+            # OverflowError: a region id beyond C long range (possible in
+            # a JSON body) must stay a typed validation error, not a 500.
             raise ConfigurationError(
                 f"QueryResult.regions must be integers: {exc}"
             ) from exc

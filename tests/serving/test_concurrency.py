@@ -1,0 +1,438 @@
+"""Threaded stress tests: readers racing hot-swaps must never see torn state.
+
+The engine's concurrency contract (PR 5): a ``deploy``/``rollback`` pointer
+swap is atomic with respect to in-flight queries.  Concretely, every
+response must carry a ``version`` that was deployed at some point, and its
+assignments must be bit-exact against what a single-threaded engine serving
+*that version* would answer — never a mix of two versions.
+
+The oracle construction: every version's partition is known up front (the
+swap schedule is fixed), so the expected assignment for each version is
+computed single-threaded before any thread starts.  Reader threads then
+only ever compare a response against the oracle row for the version the
+response itself reports.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.config import ServingConfig
+from repro.exceptions import ServingError
+from repro.io.artifacts import save_partition_artifact
+from repro.serving import (
+    ArtifactCache,
+    LocateRequest,
+    PartitionServer,
+    ReadWriteLock,
+    ServingClient,
+    ServingEngine,
+    ServingHTTPServer,
+)
+from repro.spatial.grid import Grid
+from repro.spatial.partition import uniform_partition
+
+#: Stress shape — at least 8 reader threads racing at least 20 hot-swaps
+#: (the PR's acceptance floor).
+N_READERS = 8
+N_SWAPS = 24
+
+
+def _partitions(n):
+    """Distinct partitions: block size varies, so assignments differ."""
+    return [uniform_partition(Grid(16, 16), blocks, blocks) for blocks in (2, 4, 8)][:n]
+
+
+@pytest.fixture()
+def query_points():
+    rng = np.random.default_rng(11)
+    return rng.uniform(-0.05, 1.05, 400), rng.uniform(-0.05, 1.05, 400)
+
+
+class TestReadersRacingHotSwaps:
+    def test_no_torn_reads_against_single_threaded_oracle(self, query_points):
+        """8 reader threads x 24 hot-swaps: every response bit-exact."""
+        xs, ys = query_points
+        partitions = _partitions(3)
+        servers = [PartitionServer(p) for p in partitions]
+
+        # The swap schedule is deterministic: version v serves
+        # partitions[(v - 1) % 3].  Oracle computed single-threaded up front.
+        oracle = {
+            version: servers[(version - 1) % 3].locate_points(xs, ys)
+            for version in range(1, N_SWAPS + 2)
+        }
+
+        engine = ServingEngine()
+        engine.deploy("city", servers[0])
+
+        stop = threading.Event()
+        failures = []
+        observed_versions = set()
+
+        def reader():
+            request = LocateRequest(deployment="city", xs=tuple(xs), ys=tuple(ys))
+            while not stop.is_set():
+                result = engine.locate(request)
+                observed_versions.add(result.version)
+                if result.version not in oracle:
+                    failures.append(f"unknown version {result.version}")
+                    return
+                if not np.array_equal(result.regions, oracle[result.version]):
+                    failures.append(f"torn read at version {result.version}")
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(N_READERS)]
+        for thread in threads:
+            thread.start()
+        try:
+            for swap in range(N_SWAPS):
+                # Brief pause between swaps so readers interleave with every
+                # version, not just the last one — the point is the race.
+                time.sleep(0.005)
+                engine.deploy("city", servers[(swap + 1) % 3])
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not failures, failures[:5]
+        # The race is real: readers saw more than one version fly by.
+        assert len(observed_versions) > 1
+        assert max(observed_versions) <= N_SWAPS + 1
+        stats = engine.stats["deployments"]["city"]
+        assert stats["swaps"] == N_SWAPS
+
+    def test_pinned_queries_survive_swaps(self, query_points):
+        """A reader pinned to v1 must keep answering v1 under swaps."""
+        xs, ys = query_points
+        partitions = _partitions(2)
+        engine = ServingEngine()
+        engine.deploy("city", PartitionServer(partitions[0]))
+        pinned_oracle = engine.locate_points("city", xs, ys, version=1)
+
+        stop = threading.Event()
+        failures = []
+
+        def pinned_reader():
+            while not stop.is_set():
+                result = engine.locate_points("city", xs, ys, version=1)
+                if not np.array_equal(result, pinned_oracle):
+                    failures.append("pinned read changed under swap")
+                    return
+
+        threads = [threading.Thread(target=pinned_reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for swap in range(10):
+                engine.deploy("city", PartitionServer(partitions[swap % 2]))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not failures
+
+    def test_deploy_racing_locate_from_disk_bundles(self, tmp_path, query_points):
+        """Swapping disk bundles (through the cache) under readers: no
+        exception, no stale-fingerprint serve, every read matches an oracle."""
+        xs, ys = query_points
+        partitions = _partitions(2)
+        bundles = [
+            save_partition_artifact(p, tmp_path / f"b{i}", {"i": i})
+            for i, p in enumerate(partitions)
+        ]
+        oracle = [PartitionServer(p).locate_points(xs, ys) for p in partitions]
+
+        engine = ServingEngine(ServingConfig(cache_entries=2))
+        engine.deploy("city", bundles[0])
+
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    assignment = engine.locate_points("city", xs, ys)
+                except Exception as exc:  # noqa: BLE001 - the test asserts none
+                    failures.append(f"reader raised {exc!r}")
+                    return
+                if not any(np.array_equal(assignment, o) for o in oracle):
+                    failures.append("assignment matches no deployed bundle")
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(N_READERS)]
+        for thread in threads:
+            thread.start()
+        try:
+            for swap in range(N_SWAPS):
+                engine.deploy("city", bundles[(swap + 1) % 2])
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not failures, failures[:5]
+
+    def test_concurrent_deploys_get_distinct_versions(self):
+        """Parallel deploys to one name must never reuse a version number."""
+        partition = uniform_partition(Grid(8, 8), 2, 2)
+        engine = ServingEngine()
+        with ThreadPoolExecutor(8) as pool:
+            infos = list(
+                pool.map(
+                    lambda _: engine.deploy("city", PartitionServer(partition)),
+                    range(32),
+                )
+            )
+        versions = [info["version"] for info in infos]
+        assert sorted(versions) == list(range(1, 33))
+        assert engine.describe("city")["versions"] == list(range(1, 33))
+
+    def test_deploy_racing_undeploy_never_orphans_a_success(self):
+        """A deploy that returns success must leave the name serving, even
+        when an undeploy raced into the gap between the table insert and
+        the version append (the undeploy linearises first)."""
+        partition = uniform_partition(Grid(8, 8), 2, 2)
+        engine = ServingEngine()
+        engine.deploy("city", PartitionServer(partition))
+        deployment = engine._deployments["city"]
+        real_write = deployment.lock.write
+        fired = []
+
+        def write_with_racing_undeploy():
+            if not fired:  # only the first acquisition (the racing deploy)
+                fired.append(True)
+                engine.undeploy("city")  # lands exactly in the gap
+            return real_write()
+
+        deployment.lock.write = write_with_racing_undeploy
+        try:
+            info = engine.deploy("city", PartitionServer(partition))
+        finally:
+            deployment.lock.write = real_write
+        # The undeploy linearised first, so the deploy restarted the
+        # name's history — but it IS serving, which is the contract.
+        assert info["version"] == 1 and info["active"]
+        assert "city" in engine
+        assert engine.server_for("city").n_regions == 4
+        assert engine._deployments["city"] is not deployment
+
+    def test_rollback_racing_readers(self, query_points):
+        """Rollback's read-modify-write of the active pointer is atomic."""
+        xs, ys = query_points
+        partitions = _partitions(2)
+        engine = ServingEngine()
+        engine.deploy("city", PartitionServer(partitions[0]))
+        engine.deploy("city", PartitionServer(partitions[1]))
+        oracle = {
+            1: PartitionServer(partitions[0]).locate_points(xs, ys),
+            2: PartitionServer(partitions[1]).locate_points(xs, ys),
+        }
+
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            request = LocateRequest(deployment="city", xs=tuple(xs), ys=tuple(ys))
+            while not stop.is_set():
+                result = engine.locate(request)
+                if not np.array_equal(result.regions, oracle[result.version]):
+                    failures.append(f"torn read at version {result.version}")
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for target in (1, 2) * 8:
+                try:
+                    engine.rollback("city", target)
+                except ServingError:
+                    pass  # already serving that version; the race decides
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not failures, failures[:5]
+
+
+class TestHTTPUnderConcurrency:
+    def test_wire_readers_racing_admin_hot_swaps(self, tmp_path, query_points):
+        """The full stack — client -> HTTP -> engine — under swap load."""
+        xs, ys = query_points
+        partitions = _partitions(2)
+        bundles = [
+            save_partition_artifact(p, tmp_path / f"b{i}", {"i": i})
+            for i, p in enumerate(partitions)
+        ]
+        oracle_by_parity = [
+            PartitionServer(p).locate_points(xs, ys) for p in partitions
+        ]
+        engine = ServingEngine()
+        engine.deploy("city", bundles[0])
+
+        with ServingHTTPServer(engine, port=0, admin=True).serve_background() as server:
+            host, port = server.server_address[:2]
+            stop = threading.Event()
+            failures = []
+
+            def reader():
+                with ServingClient(host=host, port=port) as client:
+                    request = LocateRequest(
+                        deployment="city", xs=tuple(xs), ys=tuple(ys)
+                    )
+                    while not stop.is_set():
+                        result = client.locate(request)
+                        expected = oracle_by_parity[(result.version - 1) % 2]
+                        if not np.array_equal(result.regions, expected):
+                            failures.append(f"torn wire read at v{result.version}")
+                            return
+
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            try:
+                with ServingClient(host=host, port=port) as admin:
+                    for swap in range(8):
+                        admin.deploy("city", str(bundles[(swap + 1) % 2]))
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+        assert not failures, failures[:5]
+
+
+class TestArtifactCacheThreadSafety:
+    def test_parallel_get_put_invalidate_keeps_invariants(self, tmp_path):
+        capacity = 3
+        paths = [
+            str(
+                save_partition_artifact(
+                    uniform_partition(Grid(8, 8), 2, 2), tmp_path / f"b{i}", {"i": i}
+                )
+            )
+            for i in range(6)
+        ]
+        cache = ArtifactCache(ServingConfig(cache_entries=capacity))
+        gets_per_thread = 60
+        n_threads = 8
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for step in range(gets_per_thread):
+                path = paths[int(rng.integers(len(paths)))]
+                try:
+                    server = cache.get(path)
+                    assert server.n_regions == 4
+                    if step % 7 == 0:
+                        cache.invalidate(path)
+                    if len(cache) > capacity:
+                        errors.append(f"cache grew to {len(cache)}")
+                        return
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(repr(exc))
+                    return
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors[:5]
+
+        stats = cache.stats
+        assert stats["resident"] <= capacity and len(cache) <= capacity
+        # Every get resolved to exactly one hit or miss; nothing was lost.
+        assert stats["hits"] + stats["misses"] == n_threads * gets_per_thread
+        assert stats["reloads"] == 0  # no bundle changed on disk
+        assert 0.0 <= stats["hit_ratio"] <= 1.0
+
+    def test_concurrent_same_path_misses_load_once_each(self, tmp_path):
+        """Racing gets on one cold path must serialise into one load."""
+        path = str(
+            save_partition_artifact(
+                uniform_partition(Grid(8, 8), 2, 2), tmp_path / "b", {}
+            )
+        )
+        cache = ArtifactCache()
+        with ThreadPoolExecutor(8) as pool:
+            servers = list(pool.map(lambda _: cache.get(path), range(16)))
+        assert len({id(server) for server in servers}) == 1
+        stats = cache.stats
+        assert stats["misses"] == 1 and stats["hits"] == 15
+
+
+class TestReadWriteLock:
+    def test_readers_share_writers_exclude(self):
+        lock = ReadWriteLock()
+        state = {"readers": 0, "writers": 0, "max_readers": 0}
+        state_mutex = threading.Lock()
+        errors = []
+
+        def reader():
+            for _ in range(200):
+                with lock.read():
+                    with state_mutex:
+                        state["readers"] += 1
+                        state["max_readers"] = max(
+                            state["max_readers"], state["readers"]
+                        )
+                        if state["writers"]:
+                            errors.append("reader inside writer")
+                    with state_mutex:
+                        state["readers"] -= 1
+
+        def writer():
+            for _ in range(50):
+                with lock.write():
+                    with state_mutex:
+                        state["writers"] += 1
+                        if state["writers"] > 1 or state["readers"]:
+                            errors.append("writer not exclusive")
+                    with state_mutex:
+                        state["writers"] -= 1
+
+        threads = [threading.Thread(target=reader) for _ in range(6)] + [
+            threading.Thread(target=writer) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors[:5]
+        assert state["max_readers"] >= 1
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_acquired = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            writer_acquired.set()
+            lock.release_write()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        # Give the writer time to queue; a new reader must now block, so
+        # try it on a thread with a timeout.
+        time.sleep(0.05)
+        reader_acquired = threading.Event()
+
+        def late_reader():
+            lock.acquire_read()
+            reader_acquired.set()
+            lock.release_read()
+
+        late = threading.Thread(target=late_reader)
+        late.start()
+        time.sleep(0.05)
+        assert not reader_acquired.is_set()  # blocked behind the writer
+        assert not writer_acquired.is_set()  # first reader still holds
+        lock.release_read()
+        thread.join(timeout=10)
+        late.join(timeout=10)
+        assert writer_acquired.is_set() and reader_acquired.is_set()

@@ -1,0 +1,359 @@
+"""Tests for the HTTP transport: server endpoints, client semantics, errors."""
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    GridError,
+    ServingError,
+    TransportError,
+)
+from repro.io.artifacts import save_partition_artifact
+from repro.serving import (
+    LocateRequest,
+    RangeRequest,
+    ServingClient,
+    ServingEngine,
+    ServingHTTPServer,
+    serve_engine,
+)
+from repro.spatial.grid import Grid
+from repro.spatial.partition import uniform_partition
+
+
+def _bundle(tmp_path, name: str, blocks: int):
+    partition = uniform_partition(Grid(8, 8), blocks, blocks)
+    return save_partition_artifact(partition, tmp_path / name, {"name": name})
+
+
+@pytest.fixture()
+def engine(tmp_path):
+    engine = ServingEngine()
+    engine.deploy("la", _bundle(tmp_path, "v1", 2))
+    return engine
+
+
+@pytest.fixture()
+def server(engine):
+    with ServingHTTPServer(engine, port=0).serve_background() as server:
+        yield server
+
+
+@pytest.fixture()
+def admin_server(engine):
+    with ServingHTTPServer(engine, port=0, admin=True).serve_background() as server:
+        yield server
+
+
+def _client(server, **kwargs) -> ServingClient:
+    host, port = server.server_address[:2]
+    return ServingClient(host=host, port=port, **kwargs)
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        with _client(server) as client:
+            assert client.healthz() == {"status": "ok", "deployments": 1}
+
+    def test_locate_round_trips_protocol(self, engine, server):
+        request = LocateRequest(deployment="la", xs=(0.1, 0.9), ys=(0.1, 0.9))
+        with _client(server) as client:
+            result = client.locate(request)
+        assert result == engine.locate(request)
+        assert result.kind == "locate" and result.version == 1
+
+    def test_range_round_trips_protocol(self, engine, server):
+        request = RangeRequest(
+            deployment="la", min_x=0.0, min_y=0.0, max_x=0.4, max_y=0.4
+        )
+        with _client(server) as client:
+            result = client.range_query(request)
+        assert result == engine.range_query(request)
+        assert result.kind == "range"
+
+    def test_locate_points_matches_in_process_engine(self, engine, server):
+        rng = np.random.default_rng(3)
+        xs, ys = rng.uniform(-0.1, 1.1, 500), rng.uniform(-0.1, 1.1, 500)
+        with _client(server) as client:
+            over_wire = client.locate_points("la", xs, ys)
+        assert np.array_equal(over_wire, engine.locate_points("la", xs, ys))
+
+    def test_deployments_matches_engine_table(self, engine, server):
+        with _client(server) as client:
+            assert client.deployments() == engine.deployments()
+
+    def test_stats_counts_wire_queries(self, engine, server):
+        with _client(server) as client:
+            client.locate_points("la", [0.5], [0.5])
+            stats = client.stats()
+        assert stats["deployments"]["la"]["queries"] == 1
+        assert stats["points"] == 1
+
+    def test_unknown_endpoint_is_typed_error(self, server):
+        with _client(server) as client:
+            with pytest.raises(ServingError, match="unknown endpoint"):
+                client._request("GET", "/v1/nope")
+            with pytest.raises(ServingError, match="unknown endpoint"):
+                client._request("POST", "/v1/nope", {"x": 1})
+            # keep-alive connection survives both error responses
+            assert client.healthz()["status"] == "ok"
+
+
+class TestErrorMapping:
+    def test_unknown_deployment_maps_to_serving_error(self, server):
+        with _client(server) as client:
+            with pytest.raises(ServingError, match="unknown deployment"):
+                client.locate(LocateRequest(deployment="sf", xs=(0.5,), ys=(0.5,)))
+
+    def test_malformed_payload_maps_to_configuration_error(self, server):
+        with _client(server) as client:
+            with pytest.raises(ConfigurationError, match="unknown LocateRequest"):
+                client._request("POST", "/v1/locate", {"bogus": 1})
+
+    def test_strict_offmap_maps_to_grid_error(self, server):
+        with _client(server) as client:
+            with pytest.raises(GridError):
+                client.locate_points("la", [5.0], [5.0], strict=True)
+            assert client.healthz()["status"] == "ok"
+
+    def test_non_json_body_maps_to_configuration_error(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/locate",
+            data=b"not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"]["type"] == "ConfigurationError"
+
+    def test_unknown_error_type_degrades_to_serving_error(self, server):
+        from repro.serving.client import _exception_for
+
+        exc = _exception_for({"type": "NoSuchError", "message": "boom"})
+        assert isinstance(exc, ServingError) and "boom" in str(exc)
+
+    def test_connection_refused_raises_transport_error(self):
+        client = ServingClient(host="127.0.0.1", port=1, retries=1, backoff=0.0)
+        with pytest.raises(TransportError, match="after 2 attempt"):
+            client.healthz()
+
+
+class TestAdmin:
+    def test_admin_disabled_answers_403(self, server, tmp_path):
+        with _client(server) as client:
+            with pytest.raises(ServingError, match="--admin"):
+                client.deploy("la", str(tmp_path / "whatever"))
+            with pytest.raises(ServingError, match="--admin"):
+                client.rollback("la")
+
+    def test_deploy_and_rollback_over_the_wire(self, engine, admin_server, tmp_path):
+        bundle = _bundle(tmp_path, "v2", 4)
+        with _client(admin_server) as client:
+            info = client.deploy("la", str(bundle))
+            assert info["version"] == 2 and info["n_regions"] == 16
+            assert engine.describe("la")["version"] == 2
+            back = client.rollback("la")
+            assert back["version"] == 1
+            assert engine.describe("la")["version"] == 1
+
+    def test_sharded_deploy_over_the_wire(self, engine, admin_server, tmp_path):
+        bundle = _bundle(tmp_path, "v2", 4)
+        with _client(admin_server) as client:
+            info = client.deploy("la", str(bundle), shards=(2, 2))
+        assert info["shards"] == [2, 2]
+
+    def test_admin_mutation_persists_manifest(self, tmp_path):
+        engine = ServingEngine()
+        engine.deploy("la", _bundle(tmp_path, "v1", 2))
+        manifest = tmp_path / "m.json"
+        server = serve_engine(
+            engine, port=0, admin=True, manifest_path=str(manifest)
+        ).serve_background()
+        try:
+            with _client(server) as client:
+                client.deploy("la", str(_bundle(tmp_path, "v2", 4)))
+            restored = ServingEngine.from_manifest(manifest)
+            assert restored.describe("la")["version"] == 2
+        finally:
+            server.close()
+
+    def test_manifest_save_failure_degrades_to_warning(self, tmp_path):
+        # The mutation took effect; a failing manifest write must not turn
+        # the response into an error (a retry would create a spurious
+        # version) — it rides along as manifest_warning.
+        engine = ServingEngine()
+        engine.deploy("la", _bundle(tmp_path, "v1", 2))
+        # The "directory" component is a regular file, so the manifest
+        # write fails even when running as root (chmod would not).
+        (tmp_path / "blocker").write_text("not a directory")
+        doomed = tmp_path / "blocker" / "m.json"
+        server = serve_engine(
+            engine, port=0, admin=True, manifest_path=str(doomed)
+        ).serve_background()
+        try:
+            with _client(server) as client:
+                info = client.deploy("la", str(_bundle(tmp_path, "v2", 4)))
+            assert info["version"] == 2 and "manifest_warning" in info
+            assert engine.describe("la")["version"] == 2  # swap really happened
+        finally:
+            server.close()
+
+    def test_get_with_body_keeps_connection_usable(self, server):
+        host, port = server.server_address[:2]
+        import http.client
+
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            # Unusual but legal: a GET with a body; the server must drain
+            # it or the next request on the connection parses garbage.
+            connection.request("GET", "/v1/healthz", body='{"x": 1}')
+            first = connection.getresponse()
+            assert first.status == 200
+            first.read()
+            connection.request("GET", "/v1/healthz")
+            second = connection.getresponse()
+            assert second.status == 200 and b"ok" in second.read()
+        finally:
+            connection.close()
+
+    def test_malformed_content_length_is_typed_and_closes(self, server):
+        host, port = server.server_address[:2]
+        import socket
+
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /v1/locate HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: abc\r\n\r\n"
+            )
+            chunks = []
+            while True:  # server closes the connection; read to EOF
+                data = sock.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+            response = b"".join(chunks).decode()
+        assert "400" in response.splitlines()[0]
+        assert "ConfigurationError" in response
+        assert "Connection: close" in response
+
+    def test_deploy_payload_validation(self, admin_server):
+        with _client(admin_server) as client:
+            with pytest.raises(ConfigurationError, match="artifact"):
+                client._request("POST", "/v1/deploy", {"name": "x"}, retry=False)
+            with pytest.raises(ConfigurationError, match="deploy needs 'name'"):
+                client._request(
+                    "POST", "/v1/deploy", {"artifact": "/tmp/x"}, retry=False
+                )
+            with pytest.raises(ConfigurationError, match="unknown deploy field"):
+                client._request(
+                    "POST",
+                    "/v1/deploy",
+                    {"name": "x", "artifact": "y", "extra": 1},
+                    retry=False,
+                )
+            with pytest.raises(ConfigurationError, match="shards"):
+                client._request(
+                    "POST",
+                    "/v1/deploy",
+                    {"name": "x", "artifact": "y", "shards": "2x2"},
+                    retry=False,
+                )
+            with pytest.raises(ConfigurationError, match="rollback needs"):
+                client._request("POST", "/v1/rollback", {}, retry=False)
+
+
+class TestClient:
+    def test_batching_splits_and_pins_version(self, engine, server):
+        xs = np.linspace(0.01, 0.99, 23)
+        ys = np.linspace(0.01, 0.99, 23)
+        with _client(server, batch_size=5) as client:
+            assignment = client.locate_points("la", xs, ys)
+        assert np.array_equal(assignment, engine.locate_points("la", xs, ys))
+        # 23 points at batch_size 5 -> 5 requests
+        assert engine.stats["deployments"]["la"]["queries"] == 6
+
+    def test_batches_pin_first_chunk_version_across_hot_swap(
+        self, engine, admin_server, tmp_path
+    ):
+        # Deploy v2, then query pinned to v1: every chunk must answer v1.
+        engine.deploy("la", _bundle(tmp_path, "v2", 4))
+        with _client(admin_server, batch_size=4) as client:
+            result = client.locate_points(
+                "la", np.full(10, 0.9), np.full(10, 0.9), version=1
+            )
+        oracle = engine.server_for("la", 1).locate_points(
+            np.full(10, 0.9), np.full(10, 0.9)
+        )
+        assert np.array_equal(result, oracle)
+
+    def test_empty_batch(self, server):
+        with _client(server) as client:
+            result = client.locate_points("la", [], [])
+        assert result.size == 0
+
+    def test_mismatched_coordinates_rejected_client_side(self, server):
+        with _client(server) as client:
+            with pytest.raises(TransportError, match="equal-length"):
+                client.locate_points("la", [0.1, 0.2], [0.1])
+
+    def test_client_validates_construction(self):
+        with pytest.raises(TransportError):
+            ServingClient(retries=-1)
+        with pytest.raises(TransportError):
+            ServingClient(batch_size=0)
+
+    def test_connection_is_reused_across_requests(self, server):
+        with _client(server) as client:
+            client.healthz()
+            first = client._connection()
+            client.healthz()
+            assert client._connection() is first
+
+
+class TestServerLifecycle:
+    def test_threads_must_be_positive(self, engine):
+        with pytest.raises(ConfigurationError, match="threads"):
+            ServingHTTPServer(engine, port=0, threads=0)
+
+    def test_bounded_pool_serves_concurrent_clients(self, engine):
+        import concurrent.futures
+
+        with ServingHTTPServer(engine, port=0, threads=2).serve_background() as server:
+            def hit(_):
+                with _client(server) as client:
+                    return client.locate_points("la", [0.5], [0.5])[0]
+
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                results = list(pool.map(hit, range(16)))
+        assert len(set(results)) == 1
+
+    def test_serve_background_twice_rejected(self, engine):
+        server = ServingHTTPServer(engine, port=0).serve_background()
+        try:
+            with pytest.raises(ServingError, match="already running"):
+                server.serve_background()
+        finally:
+            server.close()
+
+    def test_url_reports_bound_port(self, server):
+        host, port = server.server_address[:2]
+        assert server.url == f"http://{host}:{port}"
+
+    def test_close_before_serving_does_not_hang(self, engine):
+        # shutdown() deadlocks if serve_forever never ran; close() must
+        # guard against that so `with serve_engine(...)` is exception-safe.
+        with serve_engine(engine, port=0):
+            pass  # never started serving; __exit__ closes
+
+    def test_client_default_port_matches_cli_serve_default(self):
+        from repro.cli import build_parser
+        from repro.serving.http import DEFAULT_PORT
+
+        args = build_parser().parse_args(["serve", "--manifest", "m.json"])
+        assert args.port == DEFAULT_PORT == ServingClient().port

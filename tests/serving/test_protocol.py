@@ -14,6 +14,12 @@ class TestLocateRequest:
         assert request.ys == (3.0, 4.5)
         assert len(request) == 2
 
+    def test_overlarge_integer_coordinates_rejected_typed(self):
+        # A JSON int beyond float64 range must fail as ConfigurationError,
+        # not leak numpy's OverflowError through the transport as a 500.
+        with pytest.raises(ConfigurationError, match="numeric"):
+            LocateRequest(deployment="la", xs=(10**400,), ys=(0.5,))
+
     def test_json_round_trip(self):
         request = LocateRequest(
             deployment="la", xs=(0.25, 0.5), ys=(0.75, 1.0), strict=True, version=3
@@ -123,6 +129,27 @@ class TestQueryResult:
         )
         assert result.regions == (1, 2)
         assert all(isinstance(region, int) for region in result.regions)
+
+    def test_overlarge_region_ids_rejected_typed(self):
+        # json.loads parses arbitrarily large ints; the int64 cast must
+        # fail as ConfigurationError, not a bare OverflowError (HTTP 500)
+        # — and the uint64 range (2**63..2**64-1), which numpy would wrap
+        # to negative ids, must be rejected rather than corrupted.
+        for overlarge in (2**70, 2**63):
+            with pytest.raises(ConfigurationError, match="regions"):
+                QueryResult(
+                    deployment="la", version=1, kind="locate",
+                    regions=(1, overlarge),
+                )
+
+    def test_non_finite_regions_rejected(self):
+        # json.loads admits NaN/Infinity literals, and the vectorised
+        # float->int cast would otherwise fold them to INT64_MIN silently.
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError, match="regions"):
+                QueryResult(
+                    deployment="la", version=1, kind="locate", regions=(1, bad)
+                )
 
     def test_n_located_counts_real_regions(self):
         result = QueryResult(deployment="la", version=1, kind="locate", regions=(3, -1, 0))

@@ -65,7 +65,7 @@ class TestParser:
             assert name in output
 
     def test_serving_verbs_registered(self):
-        assert SERVING_COMMANDS == ("build", "deploy", "deployments", "query")
+        assert SERVING_COMMANDS == ("build", "deploy", "deployments", "query", "serve")
         args = build_parser().parse_args(
             ["build", "--artifact", "x.artifact", "--method", "median_kdtree"]
         )
@@ -134,6 +134,43 @@ class TestParser:
     def test_deployments_requires_manifest(self, capsys):
         with pytest.raises(SystemExit):
             run(["deployments"])
+
+    def test_serve_defaults_and_flags(self):
+        args = build_parser().parse_args(["serve", "--manifest", "m.json"])
+        assert args.host == "127.0.0.1" and args.port == 8350
+        assert not args.admin and args.threads is None
+        args = build_parser().parse_args(
+            ["serve", "--manifest", "m.json", "--host", "0.0.0.0",
+             "--port", "0", "--admin", "--threads", "4"]
+        )
+        assert args.admin and args.threads == 4 and args.port == 0
+
+    def test_serve_requires_manifest(self, capsys):
+        with pytest.raises(SystemExit):
+            run(["serve"])
+
+    def test_serve_rejects_bad_threads(self, capsys):
+        with pytest.raises(SystemExit):
+            run(["serve", "--manifest", "m.json", "--threads", "0"])
+
+    def test_serve_admin_rejects_config_overrides(self, capsys):
+        # Admin hot-swaps re-save the manifest, so per-invocation config
+        # flags must not silently rewrite the persisted serving config.
+        for flag in (["--backend", "sparse"], ["--strict"], ["--no-strict"]):
+            with pytest.raises(SystemExit):
+                run(["serve", "--manifest", "m.json", "--admin", *flag])
+
+    def test_transport_flags_rejected_outside_serve(self, capsys):
+        with pytest.raises(SystemExit):
+            run(["deployments", "--manifest", "m.json", "--admin"])
+        with pytest.raises(SystemExit):
+            run(["deployments", "--manifest", "m.json", "--threads", "2"])
+        # --host/--port silently ignored would mislead (`query --port N`
+        # runs in-process, not against the service) — rejected too.
+        with pytest.raises(SystemExit):
+            run(["deployments", "--manifest", "m.json", "--port", "9000"])
+        with pytest.raises(SystemExit):
+            run(["deployments", "--manifest", "m.json", "--host", "0.0.0.0"])
 
 
 class TestRun:
