@@ -3,11 +3,37 @@
 The library is normally installed with ``pip install -e .``; this hook keeps
 ``pytest`` usable on machines where the editable install is unavailable
 (e.g. offline environments without the ``wheel`` package).
+
+It also registers the ``stress`` marker for the long-running concurrency
+suites (e.g. ``tests/serving/test_shard_concurrency.py``): stress tests
+are *skipped by default* so tier-1 stays fast, and run explicitly with
+``pytest -m stress`` (CI's smoke job does).
 """
 
 import sys
 from pathlib import Path
 
+import pytest
+
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "stress: long-running concurrency stress tests; skipped unless "
+        "selected with -m (e.g. `pytest -m stress`)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("-m"):
+        # An explicit marker expression (e.g. `-m stress` or `-m "not
+        # stress"`) states intent; let pytest's own filtering apply.
+        return
+    skip = pytest.mark.skip(reason="stress test; run with `pytest -m stress`")
+    for item in items:
+        if "stress" in item.keywords:
+            item.add_marker(skip)

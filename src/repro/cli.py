@@ -16,6 +16,9 @@ query them without retraining::
 
     python -m repro build --cities los_angeles --heights 6 --artifact la.artifact
     python -m repro deploy --artifact la.artifact --name la --manifest deployments.json
+    python -m repro deploy --artifact la.artifact --name la --manifest deployments.json --shards 2x2
+    python -m repro swap-shard --name la --manifest deployments.json --shard 0x1 --artifact la_v2.artifact
+    python -m repro rollback-shard --name la --manifest deployments.json --shard 0x1
     python -m repro deployments --manifest deployments.json
     python -m repro query --name la --manifest deployments.json --points points.csv
     python -m repro query --artifact la.artifact --points points.csv  # one-shot
@@ -68,8 +71,12 @@ EXPERIMENTS = (
 )
 
 #: Serving verbs: persist a partition artifact, deploy bundles under names,
-#: list deployments, batch-query by name or path, serve a manifest over HTTP.
-SERVING_COMMANDS = ("build", "deploy", "deployments", "query", "serve")
+#: hot-swap/rollback single shard tiles, list deployments, batch-query by
+#: name or path, serve a manifest over HTTP.
+SERVING_COMMANDS = (
+    "build", "deploy", "swap-shard", "rollback-shard", "deployments", "query",
+    "serve",
+)
 
 #: Methods the ``build`` verb can persist (everything flagged ``servable``:
 #: the single-task partitioners).  Import-time snapshot for reference and
@@ -97,6 +104,22 @@ def _parse_shards(text: str) -> Tuple[int, int]:
     if shards[0] < 1 or shards[1] < 1:
         raise argparse.ArgumentTypeError(f"shard counts must be positive, got {text!r}")
     return shards
+
+
+def _parse_shard_address(text: str) -> Tuple[int, int]:
+    """Parse ``--shard``: a 0-based 'RxC' tile address like '0x1'."""
+    try:
+        row_text, col_text = text.split("x", 1)
+        address = (int(row_text), int(col_text))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a 0-based 'RxC' tile address like '0x1', got {text!r}"
+        ) from None
+    if address[0] < 0 or address[1] < 0:
+        raise argparse.ArgumentTypeError(
+            f"shard address must be non-negative, got {text!r}"
+        )
+    return address
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -191,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the deployed artifact as an RxC shard tiling, e.g. "
         "'--shards 2x2' (or '--shards 3' for 3x3); 'deploy' only",
     )
+    serving.add_argument(
+        "--shard",
+        type=_parse_shard_address,
+        default=None,
+        help="0-based tile address ('RxC', e.g. '0x1') the 'swap-shard' and "
+        "'rollback-shard' verbs operate on",
+    )
     transport = parser.add_argument_group("network transport ('serve' verb)")
     transport.add_argument(
         "--host",
@@ -250,6 +280,8 @@ def _experiment_catalogue() -> str:
     serving_descriptions = {
         "build": "Build a partition once and persist it as an artifact bundle",
         "deploy": "Deploy an artifact under a name (--manifest records versions)",
+        "swap-shard": "Hot-swap one tile of a sharded deployment (--shard RxC)",
+        "rollback-shard": "Step one tile of a sharded deployment back a version",
         "deployments": "List the manifest's deployments and active versions",
         "query": "Batch point-location by deployment name or artifact path",
         "serve": "Serve the manifest over HTTP (typed protocol as JSON)",
@@ -455,6 +487,58 @@ def _run_deploy(args: argparse.Namespace) -> List[dict]:
     return [_cli_row(info)]
 
 
+def _run_swap_shard(args: argparse.Namespace) -> List[dict]:
+    """Hot-swap one tile of a sharded deployment from a donor bundle.
+
+    The tile's cell window is sliced out of the donor's label grid (the
+    donor must be built over the same grid); the swap is logged in the
+    manifest, so a restarted engine replays it.
+    """
+    engine = _engine_for(args, require_manifest=True, allow_overrides=False)
+    row, col = args.shard
+    info = engine.swap_shard(args.name, row, col, args.artifact)
+    engine.save_manifest(args.manifest)
+    print(
+        f"swapped shard ({row}, {col}) of {info['name']} v{info['version']} "
+        f"from {args.artifact} (tile now at version {info['shard_version']})"
+    )
+    print(f"manifest written to {args.manifest}")
+    if args.verbose:
+        _print_serving_stats(engine)
+    return [
+        {
+            "name": info["name"],
+            "version": info["version"],
+            "shard": f"{row}x{col}",
+            "shard_version": info["shard_version"],
+            "artifact": args.artifact,
+        }
+    ]
+
+
+def _run_rollback_shard(args: argparse.Namespace) -> List[dict]:
+    """Step one tile of a sharded deployment back one label version."""
+    engine = _engine_for(args, require_manifest=True, allow_overrides=False)
+    row, col = args.shard
+    info = engine.rollback_shard(args.name, row, col)
+    engine.save_manifest(args.manifest)
+    print(
+        f"rolled back shard ({row}, {col}) of {info['name']} "
+        f"v{info['version']} (tile now at version {info['shard_version']})"
+    )
+    print(f"manifest written to {args.manifest}")
+    if args.verbose:
+        _print_serving_stats(engine)
+    return [
+        {
+            "name": info["name"],
+            "version": info["version"],
+            "shard": f"{row}x{col}",
+            "shard_version": info["shard_version"],
+        }
+    ]
+
+
 def _run_deployments(args: argparse.Namespace) -> List[dict]:
     """List the manifest's deployments (active version each)."""
     engine = _engine_for(args, require_manifest=True)
@@ -575,10 +659,29 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         print(_experiment_catalogue())
         return 0
 
-    if args.experiment in ("build", "deploy") and not args.artifact:
+    if args.experiment in ("build", "deploy", "swap-shard") and not args.artifact:
         parser.error(f"'{args.experiment}' requires --artifact")
     if args.shards is not None and args.experiment != "deploy":
         parser.error("--shards applies to the 'deploy' verb only")
+    if args.experiment in ("swap-shard", "rollback-shard"):
+        if not (args.name and args.manifest):
+            parser.error(f"'{args.experiment}' requires --name and --manifest")
+        if args.shard is None:
+            parser.error(
+                f"'{args.experiment}' requires --shard (a 0-based RxC tile "
+                "address like '--shard 0x1')"
+            )
+        if args.backend or args.strict or args.no_strict:
+            # Shard ops re-save the manifest, same rule as deploy below.
+            parser.error(
+                f"--backend/--strict cannot be combined with "
+                f"'{args.experiment}': the manifest keeps the config it was "
+                "created with"
+            )
+    elif args.shard is not None:
+        parser.error(
+            "--shard applies to the 'swap-shard' and 'rollback-shard' verbs only"
+        )
     if args.strict and args.no_strict:
         parser.error("--strict and --no-strict are mutually exclusive")
     if args.experiment == "deploy" and not (args.name and args.manifest):
@@ -680,6 +783,8 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         # instead of dumping a traceback.
         serving_verbs = {
             "deploy": lambda: _run_deploy(args),
+            "swap-shard": lambda: _run_swap_shard(args),
+            "rollback-shard": lambda: _run_rollback_shard(args),
             "deployments": lambda: _run_deployments(args),
             "query": lambda: _run_query(args),
             "serve": lambda: _run_serve(args),

@@ -23,7 +23,9 @@ Its unit of work is "answer queries against stored partitions", not
   :data:`repro.registry.BACKENDS`.
 * :class:`~repro.serving.sharding.ShardedDeployment` — one partition
   served as a tile grid of independent shard indexes, batch queries
-  scatter/gathered across them.
+  scatter/gathered across them (sequential, thread-pooled or fused
+  dispatch plans) with per-tile versioned hot-swap
+  (``swap_shard``/``rollback_shard``).
 * :class:`~repro.serving.cache.ArtifactCache` — an LRU cache that keeps
   hot artifact bundles resident as ready-to-query servers and reloads
   bundles that changed on disk.
@@ -35,20 +37,32 @@ Pair with :mod:`repro.io.artifacts` (the on-disk bundle format) and the
 from .backends import DenseGridLocator, LocatorBackend, SparseBandLocator
 from .cache import ArtifactCache
 from .client import ServingClient
-from .engine import ReadWriteLock, ServingEngine
+from .engine import ServingEngine
 from .http import ServingHTTPServer, serve_engine
-from .protocol import LATEST, LocateRequest, QueryResult, RangeRequest
+from .locks import ReadWriteLock
+from .protocol import (
+    LATEST,
+    LocateRequest,
+    QueryResult,
+    RangeRequest,
+    ShardRollbackRequest,
+    ShardSwapRequest,
+)
 from .server import PartitionServer
-from .sharding import ShardedDeployment
+from .sharding import ShardedDeployment, TileGridIndex, build_tile_index
 
 __all__ = [
     "ServingEngine",
     "PartitionServer",
     "ShardedDeployment",
+    "TileGridIndex",
+    "build_tile_index",
     "ArtifactCache",
     "LocateRequest",
     "RangeRequest",
     "QueryResult",
+    "ShardSwapRequest",
+    "ShardRollbackRequest",
     "LATEST",
     "LocatorBackend",
     "DenseGridLocator",

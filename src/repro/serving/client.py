@@ -339,3 +339,23 @@ class ServingClient:
         if version is not None:
             payload["version"] = version
         return self._request("POST", "/v1/rollback", payload, retry=False)
+
+    def swap_shard(
+        self, name: str, row: int, col: int, artifact: str
+    ) -> Dict[str, Any]:
+        """Hot-swap one tile of ``name``'s active sharded version from the
+        donor bundle at ``artifact`` (a server-host path). Admin only; never
+        retried — a replayed swap would append a second tile version."""
+        payload = {
+            "deployment": name,
+            "row": int(row),
+            "col": int(col),
+            "artifact": artifact,
+        }
+        return self._request("POST", "/v1/swap-shard", payload, retry=False)
+
+    def rollback_shard(self, name: str, row: int, col: int) -> Dict[str, Any]:
+        """Step one tile of ``name``'s active sharded version back. Admin
+        only; never retried, like :meth:`swap_shard`."""
+        payload = {"deployment": name, "row": int(row), "col": int(col)}
+        return self._request("POST", "/v1/rollback-shard", payload, retry=False)

@@ -24,7 +24,10 @@ what is serving.  :class:`ServingEngine` is that front:
   the typed protocol (:mod:`repro.serving.protocol`), for transports.
 * :meth:`deploy` with ``shards=(r, c)`` serves the artifact as a
   :class:`~repro.serving.sharding.ShardedDeployment` instead of one
-  monolithic server.
+  monolithic server; :meth:`swap_shard` / :meth:`rollback_shard` then
+  hot-swap *one tile* of the active sharded version (from a donor bundle
+  or a bare label array) while queries keep flowing — the ops are logged
+  per version, and manifest restore replays them.
 * :meth:`save_manifest` / :meth:`from_manifest` — persist and restore the
   deployment table (names, version paths, active pointers) as JSON, which
   is how the CLI's ``deploy`` / ``deployments`` / ``query`` verbs share an
@@ -48,10 +51,9 @@ import json
 import os
 import threading
 from collections import OrderedDict
-from contextlib import contextmanager
 from dataclasses import replace
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -61,83 +63,24 @@ from ..spatial.partition import Partition
 from ..io.artifacts import bundle_fingerprint
 from ..validation import check_version, did_you_mean
 from .cache import ArtifactCache
+# Re-exported: ReadWriteLock lived here through PR 5 and
+# `repro.serving.engine.ReadWriteLock` stays importable.
+from .locks import ReadWriteLock
 from .protocol import LATEST, LocateRequest, QueryResult, RangeRequest
 from .server import PartitionServer
 from .sharding import ShardedDeployment
 
 __all__ = ["ServingEngine", "ReadWriteLock", "MANIFEST_FORMAT_VERSION"]
 
+#: Newest format version of the deployment-manifest JSON written by
+#: :meth:`ServingEngine.save_manifest` (same bump policy as artifact
+#: bundles).  Format 2 added per-version shard patch logs; a manifest
+#: without patches is still written as format 1, so older readers keep
+#: working until a deployment actually uses shard-level swaps.
+MANIFEST_FORMAT_VERSION = 2
 
-class ReadWriteLock:
-    """A writer-preferring read/write lock for the serving hot path.
-
-    Many reader threads may hold the lock at once; a writer holds it
-    exclusively.  Waiting writers block *new* readers, so a stream of
-    queries cannot starve a hot-swap — the swap waits only for the readers
-    already inside.  Both sides are context managers::
-
-        with lock.read():   # shared
-            ...
-        with lock.write():  # exclusive
-            ...
-
-    The implementation is one condition variable and three counters, which
-    keeps the uncontended read acquire (the per-query cost) at two lock
-    round-trips.
-    """
-
-    def __init__(self) -> None:
-        self._cond = threading.Condition()
-        self._readers = 0
-        self._writers_waiting = 0
-        self._writer_active = False
-
-    def acquire_read(self) -> None:
-        with self._cond:
-            while self._writer_active or self._writers_waiting:
-                self._cond.wait()
-            self._readers += 1
-
-    def release_read(self) -> None:
-        with self._cond:
-            self._readers -= 1
-            if not self._readers:
-                self._cond.notify_all()
-
-    def acquire_write(self) -> None:
-        with self._cond:
-            self._writers_waiting += 1
-            try:
-                while self._writer_active or self._readers:
-                    self._cond.wait()
-            finally:
-                self._writers_waiting -= 1
-            self._writer_active = True
-
-    def release_write(self) -> None:
-        with self._cond:
-            self._writer_active = False
-            self._cond.notify_all()
-
-    @contextmanager
-    def read(self) -> Iterator[None]:
-        self.acquire_read()
-        try:
-            yield
-        finally:
-            self.release_read()
-
-    @contextmanager
-    def write(self) -> Iterator[None]:
-        self.acquire_write()
-        try:
-            yield
-        finally:
-            self.release_write()
-
-#: Format version of the deployment-manifest JSON written by
-#: :meth:`ServingEngine.save_manifest` (same bump policy as artifact bundles).
-MANIFEST_FORMAT_VERSION = 1
+#: Manifest formats :meth:`ServingEngine.from_manifest` can restore.
+_SUPPORTED_MANIFEST_FORMATS = (1, 2)
 
 #: Deployment names the engine refuses, to keep the version-alias grammar
 #: unambiguous.
@@ -153,11 +96,17 @@ class _Version:
     addresses that version.  ``fingerprint`` records the bundle's on-disk
     stamp at deploy time; lazy materialisation re-checks it, so a version
     number can never silently start serving rebuilt content.
+
+    ``patches`` is the ordered log of shard-level operations applied to a
+    *sharded* version after deploy (``swap``/``rollback`` entries, see
+    :meth:`ServingEngine.swap_shard`) — lazy materialisation replays it,
+    so a manifest restore reproduces the patched tiles, not just the base
+    bundle.
     """
 
     __slots__ = (
         "version", "source", "server", "shards", "fingerprint", "n_regions",
-        "load_lock",
+        "load_lock", "patches",
     )
 
     def __init__(
@@ -175,6 +124,7 @@ class _Version:
         self.shards = shards
         self.fingerprint = fingerprint
         self.n_regions = n_regions
+        self.patches: List[Dict[str, Any]] = []
         # Serialises this version's lazy materialisation: readers hold the
         # deployment lock *shared*, so two can race to load the same
         # unmaterialised version; per-version (not engine-wide) so the
@@ -204,6 +154,8 @@ class _Deployment:
         self.located = 0
         self.swaps = 0
         self.rollbacks = 0
+        self.shard_swaps = 0
+        self.shard_rollbacks = 0
 
     @property
     def latest(self) -> int:
@@ -217,6 +169,8 @@ class _Deployment:
                 "located": self.located,
                 "swaps": self.swaps,
                 "rollbacks": self.rollbacks,
+                "shard_swaps": self.shard_swaps,
+                "shard_rollbacks": self.shard_rollbacks,
             }
 
 
@@ -389,6 +343,92 @@ class ServingEngine:
         with deployment.lock.read():
             return self._describe_version(deployment, active)
 
+    def _active_sharded(self, deployment: _Deployment) -> Tuple[_Version, ShardedDeployment]:
+        """The active version and its server, required sharded (write lock held)."""
+        resolved = deployment.versions[deployment.active]
+        server = self._materialise(resolved)
+        if not isinstance(server, ShardedDeployment):
+            raise ServingError(
+                f"deployment {deployment.name!r} v{resolved.version} is not "
+                "sharded; shard-level swap/rollback needs a version deployed "
+                "with shards (deploy --shards RxC)"
+            )
+        return resolved, server
+
+    def swap_shard(
+        self,
+        name: str,
+        row: int,
+        col: int,
+        artifact: Union[str, Path, np.ndarray],
+    ) -> Dict[str, Any]:
+        """Hot-swap one tile of ``name``'s active (sharded) version.
+
+        ``artifact`` is either a bundle path — the donor bundle must be
+        built over the *same* grid, and the tile's cell window is sliced
+        out of its label grid — or a bare label array of exactly the
+        tile's shape.  The swap is atomic per tile: queries keep flowing,
+        in-flight batches finish against the pre-swap snapshot, and every
+        other tile is untouched.  The operation is appended to the
+        version's patch log, so a manifest save/restore reproduces the
+        patched deployment (array-swapped tiles, having no on-disk source,
+        make the deployment unpersistable — same rule as deploying from
+        memory).
+
+        Runs under the deployment's write lock: the patch log and the
+        served tiles must move together, and shard ops are rare admin
+        actions (queries don't take the lock on the fast path).
+        """
+        deployment = self._resolve_deployment(name)
+        with deployment.lock.write():
+            resolved, server = self._active_sharded(deployment)
+            if isinstance(artifact, (str, Path)):
+                donor_path = str(Path(artifact).resolve())
+                # Stamp before loading, like deploy: a donor rebuilt
+                # mid-swap must fail replay loudly, not serve mixed tiles.
+                fingerprint = bundle_fingerprint(donor_path)
+                donor = self._cache.get(donor_path)
+                labels = self._donor_tile(server, donor, donor_path, row, col)
+                patch: Dict[str, Any] = {
+                    "op": "swap",
+                    "row": int(row),
+                    "col": int(col),
+                    "artifact": donor_path,
+                    "fingerprint": list(fingerprint),
+                }
+            else:
+                labels = np.asarray(artifact)
+                patch = {
+                    "op": "swap",
+                    "row": int(row),
+                    "col": int(col),
+                    "artifact": None,
+                    "fingerprint": None,
+                }
+            info = server.swap_shard(row, col, labels)
+            resolved.patches.append(patch)
+            with deployment.counters:
+                deployment.shard_swaps += 1
+            return {"name": deployment.name, "version": resolved.version, **info}
+
+    def rollback_shard(self, name: str, row: int, col: int) -> Dict[str, Any]:
+        """Step one tile of ``name``'s active (sharded) version back a version.
+
+        The inverse of :meth:`swap_shard`, logged to the same patch log;
+        raises :class:`ServingError` when the tile is already serving its
+        original labels.
+        """
+        deployment = self._resolve_deployment(name)
+        with deployment.lock.write():
+            resolved, server = self._active_sharded(deployment)
+            info = server.rollback_shard(row, col)
+            resolved.patches.append(
+                {"op": "rollback", "row": int(row), "col": int(col)}
+            )
+            with deployment.counters:
+                deployment.shard_rollbacks += 1
+            return {"name": deployment.name, "version": resolved.version, **info}
+
     def undeploy(self, name: str) -> bool:
         """Remove deployment ``name`` and its whole version history.
 
@@ -474,8 +514,57 @@ class ServingEngine:
                 server = self._cache.get(resolved.source)
                 if resolved.shards is not None:
                     server = self._shard(server, resolved.shards)
+                    # A restored sharded version is its base bundle *plus*
+                    # every shard-level swap/rollback applied after deploy
+                    # — replay the patch log so the materialised tiles
+                    # match what the saved engine was serving.
+                    for patch in resolved.patches:
+                        self._apply_patch(resolved, server, patch)
                 resolved.server = server
         return resolved.server
+
+    def _apply_patch(
+        self, resolved: _Version, server: ShardedDeployment, patch: Mapping[str, Any]
+    ) -> None:
+        """Replay one shard patch-log entry onto a freshly sharded server."""
+        row, col = int(patch["row"]), int(patch["col"])
+        if patch["op"] == "rollback":
+            server.rollback_shard(row, col)
+            return
+        donor_path = patch["artifact"]
+        fingerprint = patch.get("fingerprint")
+        if fingerprint is not None and \
+                bundle_fingerprint(donor_path) != tuple(fingerprint):
+            raise ServingError(
+                f"bundle {donor_path} changed on disk since shard "
+                f"({row}, {col}) of v{resolved.version} was swapped from it; "
+                "swap the shard again to serve the new content"
+            )
+        donor = self._cache.get(donor_path)
+        server.swap_shard(
+            row, col, self._donor_tile(server, donor, donor_path, row, col)
+        )
+
+    @staticmethod
+    def _donor_tile(
+        server: ShardedDeployment,
+        donor: PartitionServer,
+        donor_path: str,
+        row: int,
+        col: int,
+    ) -> np.ndarray:
+        """Slice the target tile's cell window out of a donor bundle's grid."""
+        grid = server.partition.grid
+        donor_grid = donor.partition.label_grid
+        if donor_grid.shape != (grid.rows, grid.cols):
+            raise ServingError(
+                f"donor bundle {donor_path} has a "
+                f"{donor_grid.shape[0]}x{donor_grid.shape[1]} label grid; the "
+                f"deployment serves {grid.rows}x{grid.cols} — shard swaps "
+                "need bundles built over the same grid"
+            )
+        r0, r1, c0, c1 = server.tile_window(row, col)
+        return donor_grid[r0:r1, c0:c1]
 
     def _resolve_deployment(self, name: str) -> _Deployment:
         deployment = self._deployments.get(name)
@@ -756,6 +845,7 @@ class ServingEngine:
         with self._lock:
             snapshot = list(self._deployments.items())
         deployments: Dict[str, Any] = {}
+        any_patches = False
         for name, deployment in snapshot:
             versions = []
             with deployment.lock.read():
@@ -765,25 +855,40 @@ class ServingEngine:
                             f"deployment {name!r} v{resolved.version} was deployed "
                             "from memory, not a bundle path; it cannot be persisted"
                         )
-                    versions.append(
-                        {
-                            "version": resolved.version,
-                            "path": resolved.source,
-                            "shards": list(resolved.shards) if resolved.shards else None,
-                            "fingerprint": list(resolved.fingerprint)
-                            if resolved.fingerprint else None,
-                            "n_regions": resolved.n_regions,
-                        }
-                    )
+                    for patch in resolved.patches:
+                        if patch["op"] == "swap" and patch["artifact"] is None:
+                            raise ServingError(
+                                f"deployment {name!r} v{resolved.version} has a "
+                                f"shard ({patch['row']}, {patch['col']}) swapped "
+                                "from in-memory labels, not a bundle path; it "
+                                "cannot be persisted"
+                            )
+                    entry = {
+                        "version": resolved.version,
+                        "path": resolved.source,
+                        "shards": list(resolved.shards) if resolved.shards else None,
+                        "fingerprint": list(resolved.fingerprint)
+                        if resolved.fingerprint else None,
+                        "n_regions": resolved.n_regions,
+                    }
+                    if resolved.patches:
+                        entry["patches"] = [dict(patch) for patch in resolved.patches]
+                        any_patches = True
+                    versions.append(entry)
                 deployments[name] = {"active": deployment.active, "versions": versions}
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
-            "format_version": MANIFEST_FORMAT_VERSION,
+            # Patch logs are the only format-2 construct; a patchless
+            # table is still a valid format-1 manifest, so stamp the
+            # lowest format that can express it.
+            "format_version": MANIFEST_FORMAT_VERSION if any_patches else 1,
             "config": {
                 "cache_entries": self._config.cache_entries,
                 "strict": self._config.strict,
                 "backend": self._config.backend,
+                "shard_workers": self._config.shard_workers,
+                "parallel_threshold": self._config.parallel_threshold,
             },
             "deployments": deployments,
         }
@@ -824,10 +929,10 @@ class ServingEngine:
         except json.JSONDecodeError as exc:
             raise ServingError(f"malformed deployment manifest {path}: {exc}") from exc
         version = payload.get("format_version")
-        if version != MANIFEST_FORMAT_VERSION:
+        if version not in _SUPPORTED_MANIFEST_FORMATS:
             raise ServingError(
                 f"deployment manifest {path} has format version {version!r}; "
-                f"this reader supports ({MANIFEST_FORMAT_VERSION},)"
+                f"this reader supports {_SUPPORTED_MANIFEST_FORMATS}"
             )
         try:
             if config is None:
@@ -850,7 +955,7 @@ class ServingEngine:
                     shards = vinfo.get("shards")
                     fingerprint = vinfo.get("fingerprint")
                     n_regions = vinfo.get("n_regions")
-                    restored.versions[number] = _Version(
+                    restored_version = _Version(
                         number,
                         str(vinfo["path"]),
                         None,
@@ -858,6 +963,23 @@ class ServingEngine:
                         tuple(int(f) for f in fingerprint) if fingerprint else None,
                         int(n_regions) if n_regions is not None else None,
                     )
+                    for patch in vinfo.get("patches") or []:
+                        op = patch["op"]
+                        if op not in ("swap", "rollback"):
+                            raise ValueError(f"unknown shard patch op {op!r}")
+                        entry = {
+                            "op": op,
+                            "row": int(patch["row"]),
+                            "col": int(patch["col"]),
+                        }
+                        if op == "swap":
+                            entry["artifact"] = str(patch["artifact"])
+                            stamp = patch.get("fingerprint")
+                            entry["fingerprint"] = (
+                                [int(f) for f in stamp] if stamp else None
+                            )
+                        restored_version.patches.append(entry)
+                    restored.versions[number] = restored_version
                 active = int(info["active"])
                 if active not in restored.versions:
                     raise ServingError(

@@ -21,6 +21,8 @@ Endpoints
 ``POST /v1/range``          a ``RangeRequest`` dict -> ``QueryResult`` dict
 ``POST /v1/deploy``         admin: ``{"name", "artifact", "shards"?}`` hot-swap
 ``POST /v1/rollback``       admin: ``{"name", "version"?}``
+``POST /v1/swap-shard``     admin: a ``ShardSwapRequest`` dict (one tile hot-swap)
+``POST /v1/rollback-shard`` admin: a ``ShardRollbackRequest`` dict
 ==========================  =====================================================
 
 Admin endpoints are disabled unless the server is constructed with
@@ -77,7 +79,12 @@ from ..exceptions import (
 )
 from ..validation import check_version
 from .engine import ServingEngine
-from .protocol import LocateRequest, RangeRequest
+from .protocol import (
+    LocateRequest,
+    RangeRequest,
+    ShardRollbackRequest,
+    ShardSwapRequest,
+)
 
 __all__ = [
     "ServingHTTPServer",
@@ -266,6 +273,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "/v1/range": self._post_range,
                 "/v1/deploy": self._post_deploy,
                 "/v1/rollback": self._post_rollback,
+                "/v1/swap-shard": self._post_swap_shard,
+                "/v1/rollback-shard": self._post_rollback_shard,
             },
             with_body=True,
         )
@@ -426,6 +435,22 @@ class _Handler(BaseHTTPRequestHandler):
         info = self.server.engine.rollback(data["name"], data.get("version"))
         self._send_json(200, self._with_manifest_state(info))
 
+    def _post_swap_shard(self, data: Dict[str, Any]) -> None:
+        self._require_admin()
+        request = ShardSwapRequest.from_dict(data)
+        info = self.server.engine.swap_shard(
+            request.deployment, request.row, request.col, request.artifact
+        )
+        self._send_json(200, self._with_manifest_state(info))
+
+    def _post_rollback_shard(self, data: Dict[str, Any]) -> None:
+        self._require_admin()
+        request = ShardRollbackRequest.from_dict(data)
+        info = self.server.engine.rollback_shard(
+            request.deployment, request.row, request.col
+        )
+        self._send_json(200, self._with_manifest_state(info))
+
     def _with_manifest_state(self, info: Dict[str, Any]) -> Dict[str, Any]:
         """Persist the manifest after an admin mutation, degrading softly.
 
@@ -456,7 +481,8 @@ class ServingHTTPServer(ThreadingHTTPServer):
         Bind address.  ``port=0`` picks an ephemeral port — read the bound
         one from :attr:`server_address` (tests and benchmarks do).
     admin:
-        Enable the mutating ``/v1/deploy`` and ``/v1/rollback`` endpoints.
+        Enable the mutating endpoints (``/v1/deploy``, ``/v1/rollback``,
+        ``/v1/swap-shard``, ``/v1/rollback-shard``).
     threads:
         ``None`` (default) spawns one daemon thread per connection, like
         :class:`http.server.ThreadingHTTPServer`; a positive integer

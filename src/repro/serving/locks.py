@@ -1,0 +1,85 @@
+"""Synchronisation primitives shared by the serving layer.
+
+:class:`ReadWriteLock` started life inside :mod:`repro.serving.engine`
+(PR 5's concurrent engine); it moved here when
+:mod:`repro.serving.sharding` grew per-tile hot-swap and needed the same
+primitive — the engine imports sharding, so the lock had to live below
+both.  :mod:`repro.serving.engine` re-exports it unchanged, and
+``repro.serving.ReadWriteLock`` remains the public name.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A writer-preferring read/write lock for the serving hot path.
+
+    Many reader threads may hold the lock at once; a writer holds it
+    exclusively.  Waiting writers block *new* readers, so a stream of
+    queries cannot starve a hot-swap — the swap waits only for the readers
+    already inside.  Both sides are context managers::
+
+        with lock.read():   # shared
+            ...
+        with lock.write():  # exclusive
+            ...
+
+    The implementation is one condition variable and three counters, which
+    keeps the uncontended read acquire (the per-query cost) at two lock
+    round-trips.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writer_active = False
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -18,6 +18,13 @@ speak to the engine with the same value objects.
 * :class:`QueryResult` — the uniform response: which deployment/version
   answered, the request ``kind``, and the region indices.
 
+Shard-addressed admin operations travel as two more messages —
+:class:`ShardSwapRequest` (replace one tile of a sharded deployment from
+a donor bundle) and :class:`ShardRollbackRequest` (step one tile back a
+version) — which the HTTP transport accepts on its admin endpoints and
+forwards to :meth:`~repro.serving.engine.ServingEngine.swap_shard` /
+:meth:`~repro.serving.engine.ServingEngine.rollback_shard`.
+
 The protocol is for transports and provenance, not the hot loop: a
 million-point batch should use the engine's array-native
 :meth:`~repro.serving.engine.ServingEngine.locate_points` directly and
@@ -37,7 +44,14 @@ from ..exceptions import ConfigurationError
 from ..spatial.geometry import BoundingBox
 from ..validation import check_keys, check_version
 
-__all__ = ["LocateRequest", "RangeRequest", "QueryResult", "LATEST"]
+__all__ = [
+    "LocateRequest",
+    "RangeRequest",
+    "QueryResult",
+    "ShardSwapRequest",
+    "ShardRollbackRequest",
+    "LATEST",
+]
 
 #: Version alias resolving to a deployment's newest version (which can
 #: differ from its *active* version after a rollback).
@@ -223,6 +237,85 @@ class RangeRequest(_JsonValue):
         allowed = ("kind",) + tuple(f.name for f in fields(cls))
         check_keys("RangeRequest", data, allowed)
         _check_kind_field("RangeRequest", data, "range")
+        return cls._construct({k: v for k, v in data.items() if k != "kind"})
+
+
+def _check_shard_coord(kind: str, name: str, value: Any) -> None:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ConfigurationError(
+            f"{kind}.{name} must be a non-negative integer, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ShardSwapRequest(_JsonValue):
+    """Replace one tile of a sharded deployment from a donor bundle.
+
+    ``row``/``col`` address the tile in the deployment's shard tiling
+    (0-based, row-major); ``artifact`` is the donor bundle path on the
+    *server's* filesystem — it must be built over the same grid, and the
+    tile's cell window is sliced out of its label grid.  Always targets
+    the deployment's active version (shard patches are per-version state,
+    see :meth:`~repro.serving.engine.ServingEngine.swap_shard`).
+    """
+
+    deployment: str
+    row: int
+    col: int
+    artifact: str
+
+    def __post_init__(self) -> None:
+        _check_deployment("ShardSwapRequest", self.deployment)
+        _check_shard_coord("ShardSwapRequest", "row", self.row)
+        _check_shard_coord("ShardSwapRequest", "col", self.col)
+        if not isinstance(self.artifact, str) or not self.artifact:
+            raise ConfigurationError(
+                "ShardSwapRequest.artifact must be a non-empty bundle path"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "swap-shard",
+            "deployment": self.deployment,
+            "row": self.row,
+            "col": self.col,
+            "artifact": self.artifact,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardSwapRequest":
+        allowed = ("kind",) + tuple(f.name for f in fields(cls))
+        check_keys("ShardSwapRequest", data, allowed)
+        _check_kind_field("ShardSwapRequest", data, "swap-shard")
+        return cls._construct({k: v for k, v in data.items() if k != "kind"})
+
+
+@dataclass(frozen=True)
+class ShardRollbackRequest(_JsonValue):
+    """Step one tile of a sharded deployment back one label version."""
+
+    deployment: str
+    row: int
+    col: int
+
+    def __post_init__(self) -> None:
+        _check_deployment("ShardRollbackRequest", self.deployment)
+        _check_shard_coord("ShardRollbackRequest", "row", self.row)
+        _check_shard_coord("ShardRollbackRequest", "col", self.col)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "rollback-shard",
+            "deployment": self.deployment,
+            "row": self.row,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardRollbackRequest":
+        allowed = ("kind",) + tuple(f.name for f in fields(cls))
+        check_keys("ShardRollbackRequest", data, allowed)
+        _check_kind_field("ShardRollbackRequest", data, "rollback-shard")
         return cls._construct({k: v for k, v in data.items() if k != "kind"})
 
 

@@ -206,6 +206,7 @@ class TestStats:
         counters = stats["deployments"]["la"]
         assert counters == {
             "queries": 1, "points": 2, "located": 1, "swaps": 1, "rollbacks": 1,
+            "shard_swaps": 0, "shard_rollbacks": 0,
         }
         assert stats["queries"] == 1 and stats["points"] == 2
         assert stats["cache"]["misses"] == 2
@@ -400,3 +401,104 @@ class TestManifest:
         engine.deploy("la", bundles["v2"])
         with pytest.raises(ServingError, match="positive integer"):
             engine.rollback("la", version=True)
+
+
+class TestShardOps:
+    """Engine-level shard swap/rollback: patch log, manifest, validation."""
+
+    def _tiled(self, engine, bundles, name="tiled"):
+        engine.deploy(name, bundles["v2"], shards=(2, 2))
+        return engine.server_for(name)
+
+    def test_swap_shard_changes_only_target_tile(self, bundles):
+        engine = ServingEngine()
+        server = self._tiled(engine, bundles)
+        info = engine.swap_shard("tiled", 0, 1, bundles["v1"])
+        assert info["shard"] == [0, 1] and info["shard_version"] == 2
+
+        expected = uniform_partition(Grid(8, 8), 4, 4).label_grid.copy()
+        r0, r1, c0, c1 = server.tile_window(0, 1)
+        donor = uniform_partition(Grid(8, 8), 2, 2).label_grid
+        expected[r0:r1, c0:c1] = donor[r0:r1, c0:c1]
+
+        rng = np.random.default_rng(9)
+        xs, ys = rng.uniform(0, 1, 400), rng.uniform(0, 1, 400)
+        rows, cols = server.partition.grid.locate_many(xs, ys)
+        np.testing.assert_array_equal(
+            engine.locate_points("tiled", xs, ys), expected[rows, cols]
+        )
+        assert engine.stats["deployments"]["tiled"]["shard_swaps"] == 1
+
+    def test_rollback_shard_restores_bit_exact(self, bundles):
+        engine = ServingEngine()
+        self._tiled(engine, bundles)
+        rng = np.random.default_rng(11)
+        xs, ys = rng.uniform(-0.1, 1.1, 400), rng.uniform(-0.1, 1.1, 400)
+        before = engine.locate_points("tiled", xs, ys)
+        engine.swap_shard("tiled", 1, 0, bundles["v1"])
+        info = engine.rollback_shard("tiled", 1, 0)
+        assert info["shard_version"] == 1
+        np.testing.assert_array_equal(engine.locate_points("tiled", xs, ys), before)
+        assert engine.stats["deployments"]["tiled"]["shard_rollbacks"] == 1
+        with pytest.raises(ServingError, match="nothing to roll back"):
+            engine.rollback_shard("tiled", 1, 0)
+
+    def test_shard_ops_require_sharded_deployment(self, bundles):
+        engine = ServingEngine()
+        engine.deploy("flat", bundles["v2"])
+        with pytest.raises(ServingError, match="not sharded"):
+            engine.swap_shard("flat", 0, 0, bundles["v1"])
+        with pytest.raises(ServingError, match="not sharded"):
+            engine.rollback_shard("flat", 0, 0)
+
+    def test_manifest_replays_shard_patches(self, bundles, tmp_path):
+        import json
+
+        engine = ServingEngine()
+        self._tiled(engine, bundles)
+        engine.swap_shard("tiled", 0, 0, bundles["v1"])
+        engine.swap_shard("tiled", 1, 1, bundles["v1"])
+        engine.rollback_shard("tiled", 0, 0)
+        manifest = engine.save_manifest(tmp_path / "deployments.json")
+        assert json.loads(manifest.read_text())["format_version"] == 2
+
+        restored = ServingEngine.from_manifest(manifest)
+        rng = np.random.default_rng(13)
+        xs, ys = rng.uniform(-0.1, 1.1, 500), rng.uniform(-0.1, 1.1, 500)
+        np.testing.assert_array_equal(
+            restored.locate_points("tiled", xs, ys),
+            engine.locate_points("tiled", xs, ys),
+        )
+        versions = restored.server_for("tiled").shard_versions()
+        assert versions[0][0] == 1 and versions[1][1] == 2
+
+    def test_patchless_manifest_stays_format_1(self, bundles, tmp_path):
+        import json
+
+        engine = ServingEngine()
+        self._tiled(engine, bundles)
+        manifest = engine.save_manifest(tmp_path / "deployments.json")
+        assert json.loads(manifest.read_text())["format_version"] == 1
+
+    def test_in_memory_swap_blocks_persist(self, bundles, tmp_path):
+        engine = ServingEngine()
+        server = self._tiled(engine, bundles)
+        r0, r1, c0, c1 = server.tile_window(0, 0)
+        tile = np.zeros((r1 - r0, c1 - c0), dtype=np.int64)
+        engine.swap_shard("tiled", 0, 0, tile)
+        with pytest.raises(ServingError, match="cannot be persisted"):
+            engine.save_manifest(tmp_path / "deployments.json")
+        # Rolling back does not clear the blocker: the patch log still
+        # records the in-memory tile (replay needs it to rebuild the
+        # shard's version history), so the deployment stays unpersistable.
+        engine.rollback_shard("tiled", 0, 0)
+        with pytest.raises(ServingError, match="cannot be persisted"):
+            engine.save_manifest(tmp_path / "deployments.json")
+
+    def test_donor_grid_shape_mismatch_rejected(self, bundles, tmp_path):
+        small = uniform_partition(Grid(4, 4), 2, 2)
+        donor = save_partition_artifact(small, tmp_path / "small", {})
+        engine = ServingEngine()
+        self._tiled(engine, bundles)
+        with pytest.raises(ServingError, match="same grid"):
+            engine.swap_shard("tiled", 0, 0, donor)

@@ -357,3 +357,66 @@ class TestServerLifecycle:
 
         args = build_parser().parse_args(["serve", "--manifest", "m.json"])
         assert args.port == DEFAULT_PORT == ServingClient().port
+
+
+class TestShardAdmin:
+    """The per-tile swap/rollback endpoints (admin-gated, never retried)."""
+
+    def test_swap_and_rollback_shard_over_the_wire(
+        self, engine, admin_server, tmp_path
+    ):
+        donor = _bundle(tmp_path, "donor", 2)
+        with _client(admin_server) as client:
+            client.deploy("la", str(_bundle(tmp_path, "v2", 4)), shards=(2, 2))
+            xs, ys = [0.1, 0.6, 0.9], [0.7, 0.2, 0.9]
+            before = client.locate_points("la", xs, ys)
+
+            info = client.swap_shard("la", 0, 1, str(donor))
+            assert info["shard"] == [0, 1] and info["shard_version"] == 2
+            assert engine.server_for("la").shard_versions()[0][1] == 2
+            np.testing.assert_array_equal(
+                client.locate_points("la", xs, ys),
+                engine.locate_points("la", np.asarray(xs), np.asarray(ys)),
+            )
+
+            back = client.rollback_shard("la", 0, 1)
+            assert back["shard_version"] == 1
+            np.testing.assert_array_equal(
+                client.locate_points("la", xs, ys), before
+            )
+
+    def test_shard_ops_need_admin(self, server):
+        with _client(server) as client:
+            with pytest.raises(ServingError, match="--admin"):
+                client.swap_shard("la", 0, 0, "/tmp/whatever")
+            with pytest.raises(ServingError, match="--admin"):
+                client.rollback_shard("la", 0, 0)
+
+    def test_shard_ops_on_unsharded_deployment_are_typed(self, admin_server):
+        with _client(admin_server) as client:
+            with pytest.raises(ServingError, match="not sharded"):
+                client.rollback_shard("la", 0, 0)
+
+    def test_shard_payload_validation(self, admin_server):
+        with _client(admin_server) as client:
+            with pytest.raises(ConfigurationError, match="non-negative integer"):
+                client._request(
+                    "POST",
+                    "/v1/swap-shard",
+                    {"deployment": "la", "row": -1, "col": 0, "artifact": "/b"},
+                    retry=False,
+                )
+            with pytest.raises(ConfigurationError, match="artifact"):
+                client._request(
+                    "POST",
+                    "/v1/swap-shard",
+                    {"deployment": "la", "row": 0, "col": 0},
+                    retry=False,
+                )
+            with pytest.raises(ConfigurationError, match="unknown"):
+                client._request(
+                    "POST",
+                    "/v1/rollback-shard",
+                    {"deployment": "la", "row": 0, "col": 0, "force": True},
+                    retry=False,
+                )

@@ -170,3 +170,49 @@ class TestQueryResult:
                 {"deployment": "la", "version": 1, "kind": "locate",
                  "regions": [], "elapsed": 0.1}
             )
+
+
+class TestShardRequests:
+    def test_swap_json_round_trip(self):
+        from repro.serving import ShardSwapRequest
+
+        request = ShardSwapRequest(
+            deployment="la", row=0, col=1, artifact="/data/v2"
+        )
+        assert request.to_dict()["kind"] == "swap-shard"
+        assert ShardSwapRequest.from_json(request.to_json()) == request
+
+    def test_rollback_json_round_trip(self):
+        from repro.serving import ShardRollbackRequest
+
+        request = ShardRollbackRequest(deployment="la", row=2, col=0)
+        assert request.to_dict()["kind"] == "rollback-shard"
+        assert ShardRollbackRequest.from_json(request.to_json()) == request
+
+    def test_bad_shard_coords_rejected(self):
+        from repro.serving import ShardRollbackRequest, ShardSwapRequest
+
+        for bad in (-1, 1.5, "0", True, None):
+            with pytest.raises(ConfigurationError, match="non-negative integer"):
+                ShardSwapRequest(deployment="la", row=bad, col=0, artifact="/b")
+            with pytest.raises(ConfigurationError, match="non-negative integer"):
+                ShardRollbackRequest(deployment="la", row=0, col=bad)
+
+    def test_empty_artifact_rejected(self):
+        from repro.serving import ShardSwapRequest
+
+        with pytest.raises(ConfigurationError, match="non-empty bundle path"):
+            ShardSwapRequest(deployment="la", row=0, col=0, artifact="")
+
+    def test_unknown_key_and_wrong_kind_rejected(self):
+        from repro.serving import ShardRollbackRequest, ShardSwapRequest
+
+        with pytest.raises(ConfigurationError, match="unknown"):
+            ShardSwapRequest.from_dict(
+                {"deployment": "la", "row": 0, "col": 0, "artifact": "/b",
+                 "force": True}
+            )
+        with pytest.raises(ConfigurationError, match="kind"):
+            ShardRollbackRequest.from_dict(
+                {"kind": "swap-shard", "deployment": "la", "row": 0, "col": 0}
+            )

@@ -7,10 +7,14 @@ from hypothesis import strategies as st
 
 from repro.config import ServingConfig
 from repro.exceptions import GridError, ServingError
-from repro.serving import PartitionServer, ShardedDeployment
+from repro.serving import PartitionServer, ShardedDeployment, build_tile_index
+from repro.serving.sharding import DISPATCH_PLANS
 from repro.spatial.geometry import BoundingBox
 from repro.spatial.grid import Grid
 from repro.spatial.partition import uniform_partition
+
+#: The concrete execution plans (everything but the "auto" selector).
+PLANS = tuple(plan for plan in DISPATCH_PLANS if plan != "auto")
 
 
 @pytest.fixture()
@@ -160,3 +164,229 @@ class TestShardedProperties:
         np.testing.assert_array_equal(
             sharded.locate_points(xs, ys), server.locate_points(xs, ys)
         )
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        shard_rows=st.integers(1, 6),
+        shard_cols=st.integers(1, 6),
+        strict=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_plan_matches_monolithic(
+        self, seed, shard_rows, shard_cols, strict
+    ):
+        """Bit-exactness per explicit dispatch plan, off-map points included.
+
+        ``parallel_threshold=1`` forces the pool and fused paths to engage
+        even on small property-test batches.
+        """
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(shard_rows, 20))
+        cols = int(rng.integers(shard_cols, 20))
+        partition = uniform_partition(
+            Grid(rows, cols),
+            int(rng.integers(1, rows + 1)),
+            int(rng.integers(1, cols + 1)),
+        )
+        config = ServingConfig(strict=strict, parallel_threshold=1)
+        server = PartitionServer(partition, config=config)
+        sharded = ShardedDeployment(partition, shard_rows, shard_cols, config=config)
+        if strict:
+            xs = rng.uniform(0.0, 1.0, 200)
+            ys = rng.uniform(0.0, 1.0, 200)
+        else:
+            xs = rng.uniform(-0.5, 1.5, 200)
+            ys = rng.uniform(-0.5, 1.5, 200)
+        expected = server.locate_points(xs, ys)
+        for plan in PLANS + ("auto",):
+            np.testing.assert_array_equal(
+                sharded.locate_points(xs, ys, plan=plan), expected
+            )
+
+
+class TestDispatchPlans:
+    def test_unknown_plan_rejected(self, partition):
+        sharded = ShardedDeployment(partition, 2, 2)
+        with pytest.raises(ServingError, match="unknown dispatch plan"):
+            sharded.locate_points(np.zeros(1), np.zeros(1), plan="magic")
+
+    def test_empty_batch_every_plan(self, partition):
+        sharded = ShardedDeployment(
+            partition, 2, 2, config=ServingConfig(parallel_threshold=1)
+        )
+        for plan in PLANS + ("auto",):
+            result = sharded.locate_points(np.empty(0), np.empty(0), plan=plan)
+            assert result.shape == (0,)
+        assert sharded.shard_loads().tolist() == [0, 0, 0, 0]
+
+    def test_empty_buckets_single_tile_batch(self, partition):
+        """A batch landing entirely in one tile leaves the others' buckets
+        empty; every plan must still answer bit-exact."""
+        server = PartitionServer(partition)
+        sharded = ShardedDeployment(
+            partition, 4, 4, config=ServingConfig(parallel_threshold=1)
+        )
+        bounds = partition.grid.bounds
+        rng = np.random.default_rng(9)
+        # Points in the grid's lower-left corner cell block only.
+        xs = rng.uniform(bounds.min_x, bounds.min_x + 0.5, 64)
+        ys = rng.uniform(bounds.min_y, bounds.min_y + 0.5, 64)
+        expected = server.locate_points(xs, ys)
+        for plan in PLANS:
+            np.testing.assert_array_equal(
+                sharded.locate_points(xs, ys, plan=plan), expected
+            )
+        assert int(np.count_nonzero(sharded.shard_loads())) == 1
+
+    def test_strict_mode_raises_on_every_plan(self, partition):
+        sharded = ShardedDeployment(
+            partition, 2, 2, config=ServingConfig(strict=True, parallel_threshold=1)
+        )
+        bounds = partition.grid.bounds
+        for plan in PLANS:
+            with pytest.raises(GridError):
+                sharded.locate_points(
+                    np.array([bounds.max_x + 1.0]), np.array([bounds.min_y]),
+                    plan=plan,
+                )
+
+    def test_parallel_plan_respects_worker_config(self, partition):
+        sharded = ShardedDeployment(
+            partition, 2, 2,
+            config=ServingConfig(shard_workers=2, parallel_threshold=1),
+        )
+        rng = np.random.default_rng(11)
+        xs = rng.uniform(-2.0, 6.0, 500)
+        ys = rng.uniform(1.0, 5.0, 500)
+        server = PartitionServer(partition)
+        np.testing.assert_array_equal(
+            sharded.locate_points(xs, ys, plan="parallel"),
+            server.locate_points(xs, ys),
+        )
+        sharded.close()  # idempotent shutdown of the pool
+        sharded.close()
+
+    def test_describe_reports_dispatch_knobs(self, partition):
+        info = ShardedDeployment(
+            partition, 2, 2, config=ServingConfig(parallel_threshold=123)
+        ).describe()
+        assert info["parallel_threshold"] == 123
+        assert info["shard_versions"] == [[1, 1], [1, 1]]
+
+
+class TestTileGridIndex:
+    def test_build_tile_index_gather_matches_direct(self):
+        rng = np.random.default_rng(21)
+        labels = rng.integers(0, 50, size=(37, 53))
+        index = build_tile_index(labels, 3, 4)
+        rows = rng.integers(0, 37, size=500)
+        cols = rng.integers(0, 53, size=500)
+        np.testing.assert_array_equal(
+            index.gather(rows, cols), labels[rows, cols]
+        )
+
+    def test_tile_views_reassemble_the_grid(self):
+        rng = np.random.default_rng(22)
+        labels = rng.integers(0, 9, size=(10, 7))
+        index = build_tile_index(labels, 2, 3)
+        rebuilt = np.empty_like(labels)
+        for i in range(index.geometry.n_tiles):
+            r0, r1, c0, c1 = index.geometry.tile_window(i)
+            rebuilt[r0:r1, c0:c1] = index.tile_view(i)
+        np.testing.assert_array_equal(rebuilt, labels)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ServingError, match="2-D"):
+            build_tile_index(np.zeros(5, dtype=int), 1, 1)
+
+
+class TestShardSwap:
+    def test_swap_changes_only_the_target_tile(self, partition):
+        server = PartitionServer(partition)
+        sharded = ShardedDeployment(partition, 2, 2)
+        bounds = partition.grid.bounds
+        rng = np.random.default_rng(31)
+        xs = rng.uniform(bounds.min_x, bounds.max_x, 2000)
+        ys = rng.uniform(bounds.min_y, bounds.max_y, 2000)
+        before = server.locate_points(xs, ys)
+
+        r0, r1, c0, c1 = sharded.tile_window(0, 0)
+        new_tile = np.zeros((r1 - r0, c1 - c0), dtype=np.int64)
+        info = sharded.swap_shard(0, 0, new_tile)
+        assert info["shard_version"] == 2
+
+        # Oracle: the full label grid with only that window replaced.
+        labels = partition.label_grid.copy()
+        labels[r0:r1, c0:c1] = 0
+        rows, cols = partition.grid.locate_many(xs, ys)
+        expected = labels[rows, cols]
+        for plan in PLANS:
+            np.testing.assert_array_equal(
+                sharded.locate_points(xs, ys, plan=plan), expected
+            )
+        # Points outside the swapped window still answer as before.
+        outside = ~((rows >= r0) & (rows < r1) & (cols >= c0) & (cols < c1))
+        np.testing.assert_array_equal(
+            sharded.locate_points(xs, ys)[outside], before[outside]
+        )
+
+    def test_rollback_restores_bit_exact(self, partition):
+        server = PartitionServer(partition)
+        sharded = ShardedDeployment(partition, 3, 2)
+        bounds = partition.grid.bounds
+        rng = np.random.default_rng(32)
+        xs = rng.uniform(bounds.min_x - 1, bounds.max_x + 1, 1500)
+        ys = rng.uniform(bounds.min_y - 1, bounds.max_y + 1, 1500)
+        before = sharded.locate_points(xs, ys)
+        r0, r1, c0, c1 = sharded.tile_window(2, 1)
+        sharded.swap_shard(2, 1, np.full((r1 - r0, c1 - c0), -1, dtype=np.int64))
+        assert not np.array_equal(sharded.locate_points(xs, ys), before)
+        info = sharded.rollback_shard(2, 1)
+        assert info["shard_version"] == 1
+        np.testing.assert_array_equal(sharded.locate_points(xs, ys), before)
+        np.testing.assert_array_equal(
+            sharded.locate_points(xs, ys), server.locate_points(xs, ys)
+        )
+
+    def test_swap_then_swap_again_then_double_rollback(self, partition):
+        sharded = ShardedDeployment(partition, 2, 2)
+        r0, r1, c0, c1 = sharded.tile_window(1, 1)
+        shape = (r1 - r0, c1 - c0)
+        sharded.swap_shard(1, 1, np.zeros(shape, dtype=np.int64))
+        sharded.swap_shard(1, 1, np.ones(shape, dtype=np.int64))
+        assert sharded.shard_versions()[1][1] == 3
+        sharded.rollback_shard(1, 1)
+        sharded.rollback_shard(1, 1)
+        assert sharded.shard_versions()[1][1] == 1
+        with pytest.raises(ServingError, match="nothing to roll back"):
+            sharded.rollback_shard(1, 1)
+
+    def test_swap_validation(self, partition):
+        sharded = ShardedDeployment(partition, 2, 2)
+        r0, r1, c0, c1 = sharded.tile_window(0, 0)
+        shape = (r1 - r0, c1 - c0)
+        with pytest.raises(ServingError, match="no shard"):
+            sharded.swap_shard(2, 0, np.zeros(shape, dtype=np.int64))
+        with pytest.raises(ServingError, match="shape"):
+            sharded.swap_shard(0, 0, np.zeros((1, 1), dtype=np.int64))
+        with pytest.raises(ServingError, match="integer"):
+            sharded.swap_shard(0, 0, np.zeros(shape, dtype=float))
+        with pytest.raises(ServingError, match="region indices"):
+            sharded.swap_shard(
+                0, 0, np.full(shape, sharded.n_regions, dtype=np.int64)
+            )
+        # A failed swap must leave the tile untouched.
+        assert sharded.shard_versions() == [[1, 1], [1, 1]]
+
+    def test_swap_visible_to_fused_plan_built_before_swap(self, partition):
+        """The fused grid is rebuilt copy-on-write on swap, not patched."""
+        sharded = ShardedDeployment(
+            partition, 2, 2, config=ServingConfig(parallel_threshold=1)
+        )
+        bounds = partition.grid.bounds
+        xs = np.array([bounds.min_x + 0.1]); ys = np.array([bounds.min_y + 0.1])
+        first = sharded.locate_points(xs, ys, plan="fused")
+        r0, r1, c0, c1 = sharded.tile_window(0, 0)
+        sharded.swap_shard(0, 0, np.zeros((r1 - r0, c1 - c0), dtype=np.int64))
+        assert int(sharded.locate_points(xs, ys, plan="fused")[0]) == 0
+        assert int(first[0]) == int(partition.label_grid[0, 0])

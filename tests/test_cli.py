@@ -65,7 +65,10 @@ class TestParser:
             assert name in output
 
     def test_serving_verbs_registered(self):
-        assert SERVING_COMMANDS == ("build", "deploy", "deployments", "query", "serve")
+        assert SERVING_COMMANDS == (
+            "build", "deploy", "swap-shard", "rollback-shard", "deployments",
+            "query", "serve",
+        )
         args = build_parser().parse_args(
             ["build", "--artifact", "x.artifact", "--method", "median_kdtree"]
         )
@@ -90,6 +93,36 @@ class TestParser:
         with pytest.raises(SystemExit):
             run(["query", "--artifact", "x.artifact", "--points", str(points),
                  "--shards", "2x2"])
+
+    def test_shard_address_parsing(self):
+        parsed = build_parser().parse_args(["swap-shard", "--shard", "0x1"])
+        assert parsed.shard == (0, 1)
+        for bad in ("1", "ax0", "-1x0", "0x"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["swap-shard", "--shard", bad])
+
+    def test_swap_shard_requires_name_manifest_shard_artifact(self, capsys):
+        # Each missing required flag is a usage error, not a crash.
+        with pytest.raises(SystemExit):
+            run(["swap-shard", "--name", "la", "--manifest", "m.json",
+                 "--artifact", "x.artifact"])  # no --shard
+        with pytest.raises(SystemExit):
+            run(["swap-shard", "--name", "la", "--manifest", "m.json",
+                 "--shard", "0x0"])  # no --artifact
+        with pytest.raises(SystemExit):
+            run(["rollback-shard", "--manifest", "m.json", "--shard", "0x0"])
+        capsys.readouterr()
+
+    def test_shard_verbs_reject_config_overrides(self, capsys):
+        with pytest.raises(SystemExit):
+            run(["rollback-shard", "--name", "la", "--manifest", "m.json",
+                 "--shard", "0x0", "--backend", "sparse"])
+        capsys.readouterr()
+
+    def test_shard_flag_rejected_outside_shard_verbs(self, capsys):
+        with pytest.raises(SystemExit):
+            run(["deployments", "--manifest", "m.json", "--shard", "0x0"])
+        capsys.readouterr()
 
     def test_build_requires_artifact(self, capsys):
         with pytest.raises(SystemExit):
@@ -366,6 +399,52 @@ class TestRun:
             "--points", str(points),
         ]) == 0
         assert "sharded backend" in capsys.readouterr().out
+
+    def test_swap_then_rollback_shard_roundtrip(self, capsys, tmp_path):
+        manifest = tmp_path / "deployments.json"
+        target = self._build(tmp_path, "fair")
+        donor = self._build(tmp_path, "median", method="median_kdtree")
+        run(["deploy", "--artifact", str(target), "--name", "la",
+             "--manifest", str(manifest), "--shards", "2x2"])
+        capsys.readouterr()
+
+        assert run([
+            "swap-shard", "--name", "la", "--manifest", str(manifest),
+            "--shard", "0x1", "--artifact", str(donor),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "swapped shard (0, 1)" in output
+        assert "tile now at version 2" in output
+
+        # The patched tiling persists: a fresh engine (new CLI process)
+        # replays the swap from the saved manifest before querying.
+        points = tmp_path / "points.csv"
+        write_points_csv(points, np.array([0.25, 0.75]), np.array([0.25, 0.75]))
+        assert run([
+            "query", "--name", "la", "--manifest", str(manifest),
+            "--points", str(points),
+        ]) == 0
+        assert "sharded backend" in capsys.readouterr().out
+
+        assert run([
+            "rollback-shard", "--name", "la", "--manifest", str(manifest),
+            "--shard", "0x1",
+        ]) == 0
+        assert "tile now at version 1" in capsys.readouterr().out
+
+    def test_swap_shard_on_unsharded_deployment_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        manifest = tmp_path / "deployments.json"
+        artifact = self._build(tmp_path, "flat")
+        run(["deploy", "--artifact", str(artifact), "--name", "la",
+             "--manifest", str(manifest)])
+        capsys.readouterr()
+        assert run([
+            "swap-shard", "--name", "la", "--manifest", str(manifest),
+            "--shard", "0x0", "--artifact", str(artifact),
+        ]) == 1
+        assert "not sharded" in capsys.readouterr().err
 
     def test_query_verbose_surfaces_cache_and_engine_stats(self, capsys, tmp_path):
         artifact = self._build(tmp_path, "la")
