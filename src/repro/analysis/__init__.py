@@ -1,0 +1,47 @@
+"""Static analysis for the repro serving stack: ``repro lint``.
+
+An AST-walker lint framework plus six repo-specific rules that enforce the
+concurrency and API invariants PRs 5–6 introduced dynamically (stress
+tests) as *static* guarantees:
+
+``lock-guarded-attrs``
+    Attributes declared ``# guarded-by: self._lock`` are only touched
+    inside a ``with`` block on that lock (writes need write mode).
+``lock-order``
+    The static lock-acquisition graph built from nested ``with`` blocks is
+    acyclic — no potential deadlocks.
+``blocking-under-lock``
+    No file/socket/``np.load``/``time.sleep``/HTTP calls while a lock is
+    held (the engine's "answer outside the read lock" rule).
+``exception-discipline``
+    No bare ``except``; no ``except Exception`` without a justified
+    pragma; serving/io/api code raises :class:`~repro.exceptions.ReproError`
+    subclasses.
+``hot-path-loop``
+    No Python-level loops over ndarrays in hot modules.
+``public-surface``
+    ``__all__`` stays honest; deprecated shims emit ``DeprecationWarning``.
+
+Violations are suppressed per-line with ``# repro: ignore[rule-name] --
+justification``; see :mod:`repro.analysis.pragmas` for the full comment
+grammar and :mod:`repro.analysis.runner` for per-path configuration.
+"""
+
+from .base import LINT_RULES, LintConfig, ModuleContext, Rule, register_rule
+from .findings import Finding
+from .pragmas import GuardComment, PragmaIndex
+from .runner import LintReport, iter_python_files, lint_paths
+
+__all__ = [
+    "Finding",
+    "GuardComment",
+    "LINT_RULES",
+    "LintConfig",
+    "LintReport",
+    "ModuleContext",
+    "PragmaIndex",
+    "Rule",
+    "iter_python_files",
+    "lint_paths",
+    "register_rule",
+]

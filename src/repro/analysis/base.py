@@ -1,0 +1,180 @@
+"""Rule base class, per-run configuration, and the lint-rule registry.
+
+Rules are plain classes registered on :data:`LINT_RULES` — the same
+alias-aware :class:`~repro.registry.Registry` that backs partitioners and
+serving backends — so ``repro lint`` resolves rule names (and aliases in
+pragmas) with the usual did-you-mean errors.  A rule sees one module at a
+time through :meth:`Rule.check` and may hold cross-module state until
+:meth:`Rule.finalize` (the lock-order rule aggregates a whole-repo
+acquisition graph this way).  The runner instantiates fresh rule objects
+per run, so rules are free to accumulate state on ``self``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..registry import Registry
+from .findings import Finding
+from .pragmas import PragmaIndex
+
+__all__ = [
+    "LINT_RULES",
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "register_rule",
+]
+
+LINT_RULES = Registry("lint rule", populate_from="repro.analysis.rules")
+
+#: Modules where Python-level loops over ndarrays are treated as defects.
+DEFAULT_HOT_PATHS: Tuple[str, ...] = (
+    "*/serving/backends.py",
+    "*/serving/sharding.py",
+    "*/spatial/queries.py",
+)
+
+#: Packages whose raised exceptions must descend from ``ReproError``.  The
+#: spatial/experiment layers deliberately raise builtin ``ValueError`` for
+#: argument validation (pinned by their test-suites), so the discipline is
+#: scoped to the library-boundary packages.
+DEFAULT_RAISE_SCOPE: Tuple[str, ...] = (
+    "*/repro/serving/*",
+    "*/repro/io/*",
+    "*/repro/api/*",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-run knobs: rule selection and per-path scoping."""
+
+    hot_paths: Tuple[str, ...] = DEFAULT_HOT_PATHS
+    raise_scope: Tuple[str, ...] = DEFAULT_RAISE_SCOPE
+    select: Optional[Tuple[str, ...]] = None
+    ignore: Tuple[str, ...] = ()
+    per_path_ignores: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+
+    def rule_enabled(self, rule_name: str) -> bool:
+        if self.select is not None and rule_name not in self.select:
+            return False
+        return rule_name not in self.ignore
+
+    def rule_enabled_for_path(self, rule_name: str, path: str) -> bool:
+        if not self.rule_enabled(rule_name):
+            return False
+        posix = path.replace("\\", "/")
+        for pattern, rules in self.per_path_ignores:
+            if rule_name in rules and fnmatch(posix, pattern):
+                return False
+        return True
+
+    def is_hot(self, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        return any(fnmatch(posix, pattern) for pattern in self.hot_paths)
+
+    def in_raise_scope(self, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        return any(fnmatch(posix, pattern) for pattern in self.raise_scope)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    pragmas: PragmaIndex
+    config: LintConfig
+    lines: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = tuple(self.source.splitlines())
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses implement :meth:`check`; cross-module rules may also
+    implement :meth:`finalize`, called once after every module has been
+    checked.  ``name`` is stamped by :func:`register_rule`.
+    """
+
+    name = "rule"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self,
+        module: ModuleContext,
+        lineno: int,
+        message: str,
+        *,
+        rule: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=lineno,
+            rule=rule or self.name,
+            message=message,
+            source=module.source_line(lineno),
+        )
+
+
+def register_rule(name: str, *, aliases: Tuple[str, ...] = (), summary: str = "", **metadata):
+    """Register a :class:`Rule` subclass under ``name`` (plus aliases)."""
+
+    registry_decorator = LINT_RULES.decorator(
+        name, aliases=aliases, summary=summary, **metadata
+    )
+
+    def _register(cls):
+        cls.name = name
+        return registry_decorator(cls)
+
+    return _register
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Yield module- and class-level functions (not functions nested in
+    functions — those are covered by the lexical walk of their parent)."""
+
+    def from_body(body):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+            elif isinstance(node, ast.ClassDef):
+                yield from from_body(node.body)
+            elif isinstance(node, (ast.If, ast.Try)):
+                yield from from_body(node.body)
+                for handler in getattr(node, "handlers", []):
+                    yield from from_body(handler.body)
+                yield from from_body(getattr(node, "orelse", []))
+                yield from from_body(getattr(node, "finalbody", []))
+
+    yield from from_body(tree.body)
+
+
+def build_parent_map(tree: ast.AST) -> dict:
+    """Map each node to its parent, for try-enclosure checks."""
+
+    parents: dict = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents

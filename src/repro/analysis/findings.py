@@ -1,0 +1,75 @@
+"""Diagnostics emitted by the lint rules.
+
+A :class:`Finding` is one diagnostic anchored to a file and line.  Findings
+are plain frozen dataclasses so rules can build them cheaply and the runner
+can sort, deduplicate, and serialise them without extra plumbing.  Report
+rendering (text for terminals, JSON for CI artifacts) lives here too so the
+CLI and the test-suite share one formatter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["Finding", "render_json", "render_text"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint diagnostic: rule ``rule`` fired at ``path:line``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    source: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.source:
+            payload["source"] = self.source
+        return payload
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.source:
+            text += f"\n    {self.source}"
+        return text
+
+
+def _summary_line(count: int, files: int, suppressed: int) -> str:
+    noun = "finding" if count == 1 else "findings"
+    text = f"{count} {noun} in {files} file{'s' if files != 1 else ''}"
+    if suppressed:
+        text += f" ({suppressed} suppressed by pragmas)"
+    return text
+
+
+def render_text(
+    findings: Sequence[Finding], *, files: int = 0, suppressed: int = 0
+) -> str:
+    """Render a human-readable report, one block per finding."""
+
+    lines: List[str] = [finding.render() for finding in findings]
+    lines.append(_summary_line(len(findings), files, suppressed))
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], *, files: int = 0, suppressed: int = 0
+) -> str:
+    """Render the machine-readable report consumed by the CI job."""
+
+    payload = {
+        "files": files,
+        "suppressed": suppressed,
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,128 @@
+"""A lexical model of lock acquisition for the concurrency rules.
+
+The serving stack acquires locks exclusively through ``with`` statements:
+plain mutexes and conditions (``with self._mutex:``, ``with self._cond:``)
+and the reader/writer pair on :class:`~repro.serving.locks.ReadWriteLock`
+(``with lock.read():`` / ``with lock.write():``).  That discipline lets the
+linter reason about held locks *lexically*: walking a function body while
+tracking the stack of enclosing ``with`` items recovers exactly which locks
+are held at every node, with no data-flow analysis.
+
+The model is deliberately name-based.  An expression counts as a lock when
+its terminal component looks lock-ish (contains ``lock``, ``mutex``, or
+``cond``) or is one of the repo's known odd names (``counters``, the plain
+``threading.Lock`` guarding per-deployment counters).  False negatives from
+creative naming are acceptable; false positives have been vetted against
+the whole of ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["LockAcquisition", "lock_acquisition", "walk_with_locks"]
+
+_LOCKISH_MARKERS = ("lock", "mutex", "cond")
+_EXTRA_LOCK_NAMES = frozenset({"counters", "counter"})
+_READ_METHODS = frozenset({"read", "acquire_read"})
+_WRITE_METHODS = frozenset({"write", "acquire_write"})
+
+
+@dataclass(frozen=True)
+class LockAcquisition:
+    """One ``with``-item that acquires a lock.
+
+    ``base`` is the unparsed expression for the lock object itself
+    (``"self._lock"``), ``leaf`` its terminal name (``"_lock"``), and
+    ``mode`` one of ``"read"``, ``"write"``, or ``"exclusive"`` (plain
+    mutexes and conditions).
+    """
+
+    base: str
+    leaf: str
+    mode: str
+    line: int
+
+    def grants_write(self) -> bool:
+        return self.mode in ("write", "exclusive")
+
+
+def _is_lockish(name: str) -> bool:
+    lowered = name.lower()
+    if any(marker in lowered for marker in _LOCKISH_MARKERS):
+        return True
+    return lowered.lstrip("_") in _EXTRA_LOCK_NAMES
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def lock_acquisition(expr: ast.expr) -> Optional[LockAcquisition]:
+    """Interpret a ``with``-item context expression as a lock acquisition.
+
+    Returns ``None`` when the expression does not look like one (ordinary
+    context managers such as ``open(...)`` or ``tempfile...`` pass through
+    untouched).
+    """
+
+    target = expr
+    mode = "exclusive"
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        if expr.func.attr in _READ_METHODS:
+            target, mode = expr.func.value, "read"
+        elif expr.func.attr in _WRITE_METHODS:
+            target, mode = expr.func.value, "write"
+    leaf = _terminal_name(target)
+    if leaf is None or not _is_lockish(leaf):
+        return None
+    base = ast.unparse(target)
+    return LockAcquisition(base=base, leaf=leaf, mode=mode, line=expr.lineno)
+
+
+def walk_with_locks(
+    root: ast.AST,
+) -> Iterator[Tuple[ast.AST, Tuple[LockAcquisition, ...]]]:
+    """Yield ``(node, held_locks)`` for every node lexically under ``root``.
+
+    ``held_locks`` is the tuple of enclosing lock acquisitions, outermost
+    first.  Nested function and lambda bodies restart with an empty stack:
+    a closure defined under a lock typically runs later, when the lock is
+    no longer held, so assuming otherwise would hide real races.
+    """
+
+    def visit(
+        node: ast.AST, held: Tuple[LockAcquisition, ...]
+    ) -> Iterator[Tuple[ast.AST, Tuple[LockAcquisition, ...]]]:
+        yield node, held
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                yield from visit(item.context_expr, inner)
+                acquired = lock_acquisition(item.context_expr)
+                if acquired is not None:
+                    inner = inner + (acquired,)
+                if item.optional_vars is not None:
+                    yield from visit(item.optional_vars, inner)
+            for statement in node.body:
+                yield from visit(statement, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not root:
+            for decorator in node.decorator_list:
+                yield from visit(decorator, held)
+            for statement in node.body:
+                yield from visit(statement, ())
+            return
+        if isinstance(node, ast.Lambda) and node is not root:
+            yield from visit(node.body, ())
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, held)
+
+    yield from visit(root, ())

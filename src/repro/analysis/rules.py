@@ -1,0 +1,804 @@
+"""The six repo-specific lint rules.
+
+Each rule encodes one invariant the serving stack relies on.  They are
+registered on :data:`~repro.analysis.base.LINT_RULES` and discovered lazily
+when the registry is first queried, mirroring how partitioners and serving
+backends register themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .base import (
+    ModuleContext,
+    Rule,
+    build_parent_map,
+    iter_functions,
+    register_rule,
+)
+from .findings import Finding
+from .locks_model import LockAcquisition, lock_acquisition, walk_with_locks
+from .pragmas import GUARD_MODES
+
+__all__ = [
+    "BlockingUnderLock",
+    "ExceptionDiscipline",
+    "HotPathLoop",
+    "LockGuardedAttrs",
+    "LockOrder",
+    "PublicSurface",
+]
+
+_SELF_ATTR_RE = re.compile(r"^self\.(\w+)$")
+
+
+# ---------------------------------------------------------------------------
+# lock-guarded-attrs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _GuardDecl:
+    attr: str
+    lock_attr: str
+    mode: str
+    line: int
+
+
+def _write_subscript_targets(func: ast.AST) -> Set[int]:
+    """ids of Attribute nodes written *through* a subscript, e.g. the
+    ``deployment.versions`` in ``deployment.versions[n] = v`` (the Attribute
+    itself carries Load context there, but it is a mutation of the mapping
+    the attribute names)."""
+
+    marked: Set[int] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, (ast.Store, ast.Del))
+            and isinstance(node.value, ast.Attribute)
+        ):
+            marked.add(id(node.value))
+    return marked
+
+
+@register_rule(
+    "lock-guarded-attrs",
+    aliases=("guarded-attrs", "guarded-by"),
+    summary="attributes declared `# guarded-by: self._lock` are only touched under that lock",
+)
+class LockGuardedAttrs(Rule):
+    """Enforce ``# guarded-by`` declarations lexically.
+
+    Every access to a guarded attribute (outside ``__init__``, where the
+    object is not yet published) must sit inside a ``with`` block acquiring
+    the declared lock on the *same base object*; writes additionally need
+    write or exclusive mode.  ``guarded-by(writes)`` exempts reads.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        declarations, errors = self._declarations(module)
+        yield from errors
+        if not declarations:
+            return
+        for func in iter_functions(module.tree):
+            if func.name == "__init__":
+                continue
+            subscript_writes = _write_subscript_targets(func)
+            for node, held in walk_with_locks(func):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                guard = declarations.get(node.attr)
+                if guard is None:
+                    continue
+                is_write = (
+                    isinstance(node.ctx, (ast.Store, ast.Del))
+                    or id(node) in subscript_writes
+                )
+                if guard.mode == "writes" and not is_write:
+                    continue
+                base = ast.unparse(node.value)
+                wanted = f"{base}.{guard.lock_attr}"
+                if self._held(held, wanted, is_write):
+                    continue
+                action = "write to" if is_write else "read of"
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"{action} guarded attribute `{base}.{node.attr}` outside "
+                    f"`with {wanted}`"
+                    + (" (or without write mode)" if is_write else "")
+                    + f"; declared guarded at line {guard.line}",
+                )
+
+    @staticmethod
+    def _held(
+        held: Tuple[LockAcquisition, ...], wanted: str, is_write: bool
+    ) -> bool:
+        for acquired in held:
+            if acquired.base != wanted:
+                continue
+            if is_write and not acquired.grants_write():
+                continue
+            return True
+        return False
+
+    def _declarations(
+        self, module: ModuleContext
+    ) -> Tuple[Dict[str, _GuardDecl], List[Finding]]:
+        assigns: Dict[int, List[str]] = {}
+        for node in ast.walk(module.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    assigns.setdefault(node.lineno, []).append(target.attr)
+
+        declarations: Dict[str, _GuardDecl] = {}
+        errors: List[Finding] = []
+        for guard in module.pragmas.guards:
+            if guard.mode not in GUARD_MODES:
+                errors.append(
+                    self.finding(
+                        module,
+                        guard.line,
+                        f"unknown guarded-by mode `{guard.mode}` "
+                        f"(expected one of {', '.join(GUARD_MODES)})",
+                    )
+                )
+                continue
+            match = _SELF_ATTR_RE.match(guard.expr)
+            if match is None:
+                errors.append(
+                    self.finding(
+                        module,
+                        guard.line,
+                        f"guarded-by expression `{guard.expr}` must name a "
+                        "`self.<lock>` attribute",
+                    )
+                )
+                continue
+            attrs = assigns.get(guard.line, [])
+            if not attrs:
+                errors.append(
+                    self.finding(
+                        module,
+                        guard.line,
+                        "guarded-by comment is not attached to a `self.<attr>` "
+                        "assignment",
+                    )
+                )
+                continue
+            for attr in attrs:
+                declarations[attr] = _GuardDecl(
+                    attr=attr,
+                    lock_attr=match.group(1),
+                    mode=guard.mode,
+                    line=guard.line,
+                )
+        return declarations, errors
+
+
+# ---------------------------------------------------------------------------
+# lock-order
+# ---------------------------------------------------------------------------
+
+
+@register_rule(
+    "lock-order",
+    aliases=("deadlock", "lock-cycle"),
+    summary="the static lock-acquisition graph from nested `with` blocks is acyclic",
+)
+class LockOrder(Rule):
+    """Build the cross-module lock-acquisition graph and flag cycles.
+
+    An edge ``a -> b`` means some function acquires ``b`` (by terminal lock
+    name) while lexically holding ``a``.  Acquiring two distinct locks that
+    share a terminal name (``shard.lock`` then ``other.lock``) records a
+    self-edge, which surfaces as a one-lock "cycle" — exactly the
+    hand-over-hand pattern that deadlocks two shard swaps.  Re-entering the
+    *same* lock expression is ignored (RLock-style or condition re-entry is
+    a different defect class).
+    """
+
+    def __init__(self) -> None:
+        self._edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for func in iter_functions(module.tree):
+            for node, held in walk_with_locks(func):
+                if not isinstance(node, (ast.With, ast.AsyncWith)):
+                    continue
+                acquired_here: List[LockAcquisition] = []
+                for item in node.items:
+                    acquired = lock_acquisition(item.context_expr)
+                    if acquired is None:
+                        continue
+                    for prior in tuple(held) + tuple(acquired_here):
+                        if prior.base == acquired.base:
+                            continue
+                        edge = (prior.leaf, acquired.leaf)
+                        self._edges.setdefault(
+                            edge,
+                            (module.path, acquired.line, func.name),
+                        )
+                    acquired_here.append(acquired)
+        return
+        yield  # pragma: no cover - makes check a generator
+
+    def finalize(self) -> Iterator[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        for (source, target) in self._edges:
+            graph.setdefault(source, set()).add(target)
+            graph.setdefault(target, set())
+
+        for cycle in self._cycles(graph):
+            sites = sorted(
+                (edge, site)
+                for edge, site in self._edges.items()
+                if edge[0] in cycle and edge[1] in cycle
+            )
+            (edge, (path, line, func_name)) = sites[0]
+            ordering = " -> ".join(sorted(cycle))
+            yield Finding(
+                path=path,
+                line=line,
+                rule=self.name,
+                message=(
+                    f"lock-acquisition cycle involving {{{ordering}}}: e.g. "
+                    f"`{edge[1]}` is acquired while `{edge[0]}` is held in "
+                    f"{func_name}(); acquire locks in one global order"
+                ),
+            )
+
+    def _cycles(self, graph: Dict[str, Set[str]]) -> List[Set[str]]:
+        """Strongly-connected components with >1 node, plus self-loops."""
+
+        index_counter = [0]
+        stack: List[str] = []
+        lowlink: Dict[str, int] = {}
+        index: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        components: List[Set[str]] = []
+
+        def strongconnect(node: str) -> None:
+            index[node] = lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for successor in graph.get(node, ()):
+                if successor not in index:
+                    strongconnect(successor)
+                    lowlink[node] = min(lowlink[node], lowlink[successor])
+                elif successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if lowlink[node] == index[node]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+        for node in sorted(graph):
+            if node not in index:
+                strongconnect(node)
+
+        cyclic = [component for component in components if len(component) > 1]
+        for node in sorted(graph):
+            if node in graph.get(node, ()) and not any(
+                node in component for component in cyclic
+            ):
+                cyclic.append({node})
+        return cyclic
+
+
+# ---------------------------------------------------------------------------
+# blocking-under-lock
+# ---------------------------------------------------------------------------
+
+#: Calls that perform I/O or sleep.  Three entry kinds: a bare name matches
+#: an exact call (``open(...)``), a dotted entry matches the trailing
+#: components of the call text (``np.load`` matches ``np.load`` and
+#: ``numpy.load`` via its own entry; ``_cache.get`` matches
+#: ``self._cache.get``), and ``*.name`` matches a method on any receiver.
+_BLOCKING_CALLS: Tuple[str, ...] = (
+    "open",
+    "time.sleep",
+    "np.load",
+    "numpy.load",
+    "np.save",
+    "np.savez",
+    "np.savez_compressed",
+    "numpy.save",
+    "json.load",
+    "json.dump",
+    "os.replace",
+    "os.rename",
+    "os.remove",
+    "shutil.copy",
+    "shutil.copytree",
+    "shutil.rmtree",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "urlopen",
+    "subprocess.run",
+    "subprocess.Popen",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "requests.get",
+    "requests.post",
+    "requests.put",
+    "requests.delete",
+    "requests.request",
+    "*.read_text",
+    "*.write_text",
+    "*.read_bytes",
+    "*.write_bytes",
+    "*.recv",
+    "*.sendall",
+    "*.accept",
+    "*.connect",
+    "*.urlopen",
+    # Repo-specific artifact I/O: loading a bundle walks the filesystem and
+    # deserialises npz payloads.
+    "bundle_fingerprint",
+    "load_partition_artifact",
+    "save_partition_artifact",
+    "_cache.get",
+    "*.from_artifact",
+)
+
+
+def _call_blocks(call_text: str) -> bool:
+    components = call_text.split(".")
+    for entry in _BLOCKING_CALLS:
+        if entry.startswith("*."):
+            if len(components) >= 2 and components[-1] == entry[2:]:
+                return True
+        elif "." in entry:
+            tail = entry.split(".")
+            if len(components) >= len(tail) and components[-len(tail):] == tail:
+                return True
+        elif call_text == entry:
+            return True
+    return False
+
+
+@register_rule(
+    "blocking-under-lock",
+    aliases=("no-io-under-lock", "blocking"),
+    summary="no file/np.load/socket/sleep/HTTP calls while holding a lock",
+)
+class BlockingUnderLock(Rule):
+    """The engine answers queries *outside* the read lock and materialises
+    servers through a dedicated load lock; this rule checks the same
+    discipline mechanically everywhere a lock is lexically held."""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for func in iter_functions(module.tree):
+            for node, held in walk_with_locks(func):
+                if not held or not isinstance(node, ast.Call):
+                    continue
+                call_text = ast.unparse(node.func)
+                if not _call_blocks(call_text):
+                    continue
+                held_names = ", ".join(
+                    f"{acq.base} ({acq.mode})" for acq in held
+                )
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"blocking call `{call_text}(...)` while holding "
+                    f"{held_names}; move the I/O outside the lock or pragma "
+                    "with a justification",
+                )
+
+
+# ---------------------------------------------------------------------------
+# exception-discipline
+# ---------------------------------------------------------------------------
+
+#: Builtin exceptions that library code must not let escape to callers.
+#: Types used for control flow, programming errors, or interpreter signals
+#: stay allowed everywhere.
+_FLAGGED_BUILTINS = frozenset(
+    {
+        "ValueError",
+        "KeyError",
+        "IndexError",
+        "RuntimeError",
+        "OSError",
+        "IOError",
+        "FileNotFoundError",
+        "FileExistsError",
+        "PermissionError",
+        "LookupError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "OverflowError",
+        "EOFError",
+        "ConnectionError",
+        "TimeoutError",
+        "Exception",
+        "BaseException",
+    }
+)
+
+_BUILTIN_BASES: Dict[str, Tuple[str, ...]] = {
+    "ValueError": ("ValueError", "Exception", "BaseException"),
+    "KeyError": ("KeyError", "LookupError", "Exception", "BaseException"),
+    "IndexError": ("IndexError", "LookupError", "Exception", "BaseException"),
+    "RuntimeError": ("RuntimeError", "Exception", "BaseException"),
+    "OSError": ("OSError", "Exception", "BaseException"),
+    "IOError": ("OSError", "Exception", "BaseException"),
+    "FileNotFoundError": ("FileNotFoundError", "OSError", "Exception", "BaseException"),
+    "FileExistsError": ("FileExistsError", "OSError", "Exception", "BaseException"),
+    "PermissionError": ("PermissionError", "OSError", "Exception", "BaseException"),
+    "LookupError": ("LookupError", "Exception", "BaseException"),
+    "ArithmeticError": ("ArithmeticError", "Exception", "BaseException"),
+    "ZeroDivisionError": (
+        "ZeroDivisionError",
+        "ArithmeticError",
+        "Exception",
+        "BaseException",
+    ),
+    "OverflowError": ("OverflowError", "ArithmeticError", "Exception", "BaseException"),
+    "EOFError": ("EOFError", "Exception", "BaseException"),
+    "ConnectionError": ("ConnectionError", "OSError", "Exception", "BaseException"),
+    "TimeoutError": ("TimeoutError", "OSError", "Exception", "BaseException"),
+    "Exception": ("Exception", "BaseException"),
+    "BaseException": ("BaseException",),
+}
+
+
+def _handler_names(handler_type: Optional[ast.expr]) -> List[str]:
+    if handler_type is None:
+        return []
+    nodes = (
+        list(handler_type.elts)
+        if isinstance(handler_type, ast.Tuple)
+        else [handler_type]
+    )
+    names: List[str] = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+@register_rule(
+    "exception-discipline",
+    aliases=("exceptions", "no-bare-except"),
+    summary="no bare/broad excepts; serving/io/api raise ReproError subclasses",
+)
+class ExceptionDiscipline(Rule):
+    """Three checks: bare ``except:``; ``except Exception`` /
+    ``BaseException`` without a pragma; and — within the configured raise
+    scope — ``raise`` of a builtin error type that callers would have to
+    catch as a builtin rather than a :class:`~repro.exceptions.ReproError`.
+    A raise lexically enclosed in a ``try`` whose handlers catch that type
+    is internal control flow and passes."""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        parents = build_parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        "bare `except:` swallows SystemExit/KeyboardInterrupt; "
+                        "name the exception types",
+                    )
+                    continue
+                names = _handler_names(node.type)
+                broad = [n for n in names if n in ("Exception", "BaseException")]
+                if broad:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"`except {broad[0]}` hides unrelated defects; narrow "
+                        "the types or pragma with a justification",
+                    )
+            elif isinstance(node, ast.Raise) and module.config.in_raise_scope(
+                module.path
+            ):
+                yield from self._check_raise(module, node, parents)
+
+    def _check_raise(
+        self, module: ModuleContext, node: ast.Raise, parents: dict
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        if exc is None:
+            return
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            cls_name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            cls_name = exc.id
+        else:
+            return
+        if cls_name not in _FLAGGED_BUILTINS:
+            return
+        if self._caught_internally(node, parents, cls_name):
+            return
+        yield self.finding(
+            module,
+            node.lineno,
+            f"`raise {cls_name}` escapes to callers as a builtin; raise a "
+            "ReproError subclass (see repro.exceptions) or pragma with a "
+            "justification",
+        )
+
+    @staticmethod
+    def _caught_internally(node: ast.AST, parents: dict, cls_name: str) -> bool:
+        bases = _BUILTIN_BASES.get(cls_name, (cls_name,))
+        child = node
+        while True:
+            parent = parents.get(child)
+            if parent is None or isinstance(
+                parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+            ):
+                return False
+            if isinstance(parent, ast.Try) and child in parent.body:
+                for handler in parent.handlers:
+                    caught = _handler_names(handler.type)
+                    if handler.type is None or any(
+                        name in bases for name in caught
+                    ):
+                        return True
+            child = parent
+
+
+# ---------------------------------------------------------------------------
+# hot-path-loop
+# ---------------------------------------------------------------------------
+
+
+def _numpy_call(expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    if isinstance(func, ast.Attribute) and func.attr == "tolist":
+        return False
+    node: ast.expr = func
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id in ("np", "numpy")
+    if isinstance(node, ast.Call):
+        return _numpy_call(node)
+    return False
+
+
+def _array_names(func: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and _numpy_call(node.value)
+        ):
+            names.add(node.targets[0].id)
+    return names
+
+
+def _iterates_array(expr: ast.expr, array_names: Set[str]) -> bool:
+    if _numpy_call(expr):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in array_names
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        if expr.func.id == "range" and len(expr.args) == 1:
+            arg = expr.args[0]
+            return (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id == "len"
+                and len(arg.args) == 1
+                and _iterates_array(arg.args[0], array_names)
+            )
+        if expr.func.id in ("enumerate", "zip"):
+            return any(_iterates_array(arg, array_names) for arg in expr.args)
+    return False
+
+
+@register_rule(
+    "hot-path-loop",
+    aliases=("hot-loop", "no-python-loop"),
+    summary="no Python-level `for` over ndarrays in hot modules; vectorise instead",
+)
+class HotPathLoop(Rule):
+    """In modules tagged hot (serving backends, sharding, spatial queries) a
+    Python-level loop over an ndarray is a per-point interpreter round-trip
+    and a throughput bug.  ``.tolist()`` is the sanctioned escape hatch;
+    intentionally small loops (per-tile, per-shard) take a pragma."""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.config.is_hot(module.path):
+            return
+        for func in iter_functions(module.tree):
+            array_names = _array_names(func)
+            for node in ast.walk(func):
+                if isinstance(node, ast.For):
+                    iter_expr = node.iter
+                elif isinstance(node, ast.comprehension):
+                    iter_expr = node.iter
+                else:
+                    continue
+                if _iterates_array(iter_expr, array_names):
+                    yield self.finding(
+                        module,
+                        iter_expr.lineno,
+                        "Python-level loop over an ndarray in a hot module; "
+                        "vectorise, use .tolist(), or pragma with the bound "
+                        "on iterations",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# public-surface
+# ---------------------------------------------------------------------------
+
+
+def _module_defined_names(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Top-level names a module defines; the bool is True when a
+    ``from x import *`` makes the set unknowable."""
+
+    names: Set[str] = set()
+    star_import = False
+
+    def from_body(body) -> None:
+        nonlocal star_import
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for element in ast.walk(target):
+                        if isinstance(element, ast.Name):
+                            names.add(element.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                names.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        star_import = True
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.If, ast.Try)):
+                from_body(node.body)
+                for handler in getattr(node, "handlers", []):
+                    from_body(handler.body)
+                from_body(getattr(node, "orelse", []))
+                from_body(getattr(node, "finalbody", []))
+
+    from_body(tree.body)
+    return names, star_import
+
+
+@register_rule(
+    "public-surface",
+    aliases=("all-consistency", "deprecation"),
+    summary="__all__ names exist and are public; deprecated shims warn",
+)
+class PublicSurface(Rule):
+    """Keep ``__all__`` honest (every entry defined, no duplicates, no
+    underscore names) and make sure any function whose docstring announces
+    deprecation actually emits a ``DeprecationWarning``."""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_all(module)
+        yield from self._check_deprecations(module)
+
+    def _check_all(self, module: ModuleContext) -> Iterator[Finding]:
+        all_node: Optional[ast.Assign] = None
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "__all__"
+            ):
+                all_node = node
+        if all_node is None:
+            return
+        value = all_node.value
+        if not isinstance(value, (ast.List, ast.Tuple)) or not all(
+            isinstance(element, ast.Constant) and isinstance(element.value, str)
+            for element in value.elts
+        ):
+            yield self.finding(
+                module,
+                all_node.lineno,
+                "__all__ is not a static list/tuple of string literals and "
+                "cannot be checked",
+            )
+            return
+        entries = [element.value for element in value.elts]  # type: ignore[union-attr]
+        seen: Set[str] = set()
+        defined, star_import = _module_defined_names(module.tree)
+        # A module-level __getattr__ (PEP 562) provides names lazily, so the
+        # statically-defined set is a lower bound, like after `import *`.
+        lazy_exports = star_import or "__getattr__" in defined
+        for element, entry in zip(value.elts, entries):
+            if entry in seen:
+                yield self.finding(
+                    module, element.lineno, f"duplicate __all__ entry `{entry}`"
+                )
+                continue
+            seen.add(entry)
+            is_dunder = entry.startswith("__") and entry.endswith("__")
+            if entry.startswith("_") and not is_dunder:
+                yield self.finding(
+                    module,
+                    element.lineno,
+                    f"__all__ exports underscore-prefixed name `{entry}`",
+                )
+            elif entry not in defined and not lazy_exports:
+                yield self.finding(
+                    module,
+                    element.lineno,
+                    f"__all__ names `{entry}` which the module does not define",
+                )
+
+    def _check_deprecations(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            # Module __getattr__ hooks dispatch to deprecated shims that
+            # warn themselves; the hook is a forwarder, not the shim.
+            if node.name == "__getattr__":
+                continue
+            docstring = ast.get_docstring(node)
+            if not docstring or "deprecated" not in docstring.lower():
+                continue
+            if self._emits_deprecation_warning(node):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                f"`{node.name}` documents itself as deprecated but never "
+                "emits a DeprecationWarning",
+            )
+
+    @staticmethod
+    def _emits_deprecation_warning(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            is_warn = (
+                isinstance(callee, ast.Attribute) and callee.attr == "warn"
+            ) or (isinstance(callee, ast.Name) and callee.id == "warn")
+            if not is_warn:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for element in ast.walk(arg):
+                    if (
+                        isinstance(element, ast.Name)
+                        and element.id == "DeprecationWarning"
+                    ):
+                        return True
+        return False

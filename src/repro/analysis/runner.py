@@ -1,0 +1,187 @@
+"""Drive the lint rules over a set of files and assemble the report.
+
+The runner owns everything that is not rule logic: discovering Python
+files, parsing, building the per-module :class:`~repro.analysis.pragmas.
+PragmaIndex`, instantiating one fresh rule object per run, filtering
+findings through pragmas (with alias resolution, so ``# repro:
+ignore[guarded-attrs]`` suppresses ``lock-guarded-attrs``), validating the
+pragmas themselves, and rendering the final :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import AnalysisError
+from .base import LINT_RULES, LintConfig, ModuleContext, Rule
+from .findings import Finding, render_json, render_text
+from .pragmas import PragmaIndex
+
+__all__ = ["LintReport", "iter_python_files", "lint_paths"]
+
+#: Rule name attached to meta-findings about the pragmas themselves.
+PRAGMA_RULE = "lint-pragma"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: surviving findings plus run statistics."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render_text(self) -> str:
+        return render_text(
+            self.findings, files=self.files, suppressed=self.suppressed
+        )
+
+    def to_json(self) -> str:
+        return render_json(
+            self.findings, files=self.files, suppressed=self.suppressed
+        )
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files or directories).
+
+    Directories are walked recursively in sorted order for deterministic
+    reports; a path that does not exist raises
+    :class:`~repro.exceptions.AnalysisError`.
+    """
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            raise AnalysisError(f"lint path does not exist: {raw}")
+
+
+def _resolve_rule_names(names: Iterable[str], *, option: str) -> Tuple[str, ...]:
+    resolved = []
+    for name in names:
+        if name not in LINT_RULES:
+            raise AnalysisError(
+                f"{option}: {LINT_RULES.unknown_message(name)}"
+            )
+        resolved.append(LINT_RULES.canonical(name))
+    return tuple(resolved)
+
+
+def _build_rules(config: LintConfig) -> List[Rule]:
+    select = (
+        _resolve_rule_names(config.select, option="--select")
+        if config.select is not None
+        else None
+    )
+    ignore = _resolve_rule_names(config.ignore, option="--ignore")
+    effective = LintConfig(
+        hot_paths=config.hot_paths,
+        raise_scope=config.raise_scope,
+        select=select,
+        ignore=ignore,
+        per_path_ignores=config.per_path_ignores,
+    )
+    rules = [
+        entry.obj()
+        for entry in LINT_RULES.entries()
+        if effective.rule_enabled(entry.name)
+    ]
+    return rules
+
+
+def _suppressions(pragmas: PragmaIndex) -> Tuple[Dict[int, Set[str]], List[Tuple[int, str]]]:
+    """Canonicalised line -> rule-name suppression map, plus the unknown
+    rule names referenced by pragmas (reported as findings)."""
+
+    table: Dict[int, Set[str]] = {}
+    unknown: List[Tuple[int, str]] = []
+    for line, names in pragmas.ignores.items():
+        canonical: Set[str] = set()
+        for name in names:
+            if name == PRAGMA_RULE or name in LINT_RULES:
+                canonical.add(
+                    LINT_RULES.canonical(name) if name in LINT_RULES else name
+                )
+            else:
+                unknown.append((line, name))
+        if canonical:
+            table[line] = canonical
+    return table, unknown
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> LintReport:
+    """Lint every Python file under ``paths`` and return the report."""
+
+    config = config or LintConfig()
+    files = list(iter_python_files(paths))
+    rules = _build_rules(config)
+
+    raw_findings: List[Finding] = []
+    suppression_by_path: Dict[str, Dict[int, Set[str]]] = {}
+
+    for path in files:
+        key = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise AnalysisError(f"cannot read {key}: {exc}") from exc
+        pragmas = PragmaIndex.from_source(source)
+        suppressions, unknown = _suppressions(pragmas)
+        suppression_by_path[key] = suppressions
+        for line, name in unknown:
+            raw_findings.append(
+                Finding(
+                    path=key,
+                    line=line,
+                    rule=PRAGMA_RULE,
+                    message=f"pragma ignores unknown rule `{name}`; "
+                    f"known rules: {', '.join(LINT_RULES.names())}",
+                )
+            )
+        try:
+            tree = ast.parse(source, filename=key)
+        except SyntaxError as exc:
+            raw_findings.append(
+                Finding(
+                    path=key,
+                    line=exc.lineno or 1,
+                    rule=PRAGMA_RULE,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        module = ModuleContext(
+            path=key, source=source, tree=tree, pragmas=pragmas, config=config
+        )
+        for rule in rules:
+            if config.rule_enabled_for_path(rule.name, key):
+                raw_findings.extend(rule.check(module))
+
+    for rule in rules:
+        raw_findings.extend(rule.finalize())
+
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw_findings:
+        ignored = suppression_by_path.get(finding.path, {}).get(
+            finding.line, set()
+        )
+        if finding.rule in ignored:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort()
+    return LintReport(findings=kept, files=len(files), suppressed=suppressed)

@@ -29,6 +29,13 @@ HTTP front over the engine speaking the typed query protocol as JSON
 
     python -m repro serve --manifest deployments.json --port 8350 --admin
 
+The ``lint`` verb runs the repository's static concurrency/invariant
+checker (:mod:`repro.analysis`) over source paths — exit code 1 when it
+finds violations, which is how CI gates on it::
+
+    python -m repro lint src/
+    python -m repro lint src/repro/serving --format json
+
 Every command prints the regenerated table to stdout; ``--output`` also writes
 the underlying rows to CSV.
 """
@@ -77,6 +84,12 @@ SERVING_COMMANDS = (
     "build", "deploy", "swap-shard", "rollback-shard", "deployments", "query",
     "serve",
 )
+
+#: Static-analysis verbs: run the AST lint rules of :mod:`repro.analysis`
+#: over source paths.  A separate tuple (not folded into the above) because
+#: experiment and serving rosters are pinned by tests and drive
+#: registry-backed catalogues.
+ANALYSIS_COMMANDS = ("lint",)
 
 #: Methods the ``build`` verb can persist (everything flagged ``servable``:
 #: the single-task partitioners).  Import-time snapshot for reference and
@@ -130,8 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + SERVING_COMMANDS + ("list",),
+        choices=EXPERIMENTS + SERVING_COMMANDS + ANALYSIS_COMMANDS + ("list",),
         help="which experiment or serving verb to run ('list' prints the catalogue)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories the 'lint' verb analyses (default: src)",
     )
     parser.add_argument(
         "--cities", nargs="+", default=list(PAPER_CITIES), help="cities to evaluate"
@@ -221,6 +240,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="0-based tile address ('RxC', e.g. '0x1') the 'swap-shard' and "
         "'rollback-shard' verbs operate on",
     )
+    analysis = parser.add_argument_group("static analysis ('lint' verb)")
+    analysis.add_argument(
+        "--format",
+        dest="lint_format",
+        default=None,
+        choices=("text", "json"),
+        help="lint report format: human-readable text (default) or the JSON "
+        "document the CI static-analysis job archives",
+    )
     transport = parser.add_argument_group("network transport ('serve' verb)")
     transport.add_argument(
         "--host",
@@ -288,6 +316,15 @@ def _experiment_catalogue() -> str:
     }
     for name in SERVING_COMMANDS:
         lines.append(f"  {name:16s} {serving_descriptions[name]}")
+    lines.append("Analysis verbs:")
+    lines.append(
+        f"  {'lint':16s} Static concurrency/invariant checks over source paths"
+    )
+    lines.append("Lint rules (suppress with '# repro: ignore[rule] -- why'):")
+    from .analysis import LINT_RULES
+
+    for name, summary in LINT_RULES.summaries().items():
+        lines.append(f"   {name:28s} {summary}")
     lines.append("Partitioning methods (--method; from the registry):")
     for entry in PARTITIONERS:
         marker = "*" if entry.flag("servable") else " "
@@ -648,6 +685,26 @@ def _run_serve(args: argparse.Namespace) -> List[dict]:
     return []
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """Run the static checker; exit 0 clean, 1 on findings, 2 on bad input.
+
+    Imported lazily so the experiment paths never pay for it.  ``--output``
+    additionally writes the findings as CSV rows, like every other verb.
+    """
+    from .analysis import lint_paths
+
+    try:
+        report = lint_paths(args.paths or ["src"])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.lint_format == "json" else report.render_text())
+    if args.output and report.findings:
+        path = save_rows_csv([finding.to_dict() for finding in report.findings], args.output)
+        print(f"wrote {len(report.findings)} findings to {path}", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
 def run(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -658,6 +715,14 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment == "list":
         print(_experiment_catalogue())
         return 0
+
+    if args.experiment not in ANALYSIS_COMMANDS:
+        if args.paths:
+            parser.error("positional PATH arguments apply to the 'lint' verb only")
+        if args.lint_format:
+            parser.error("--format applies to the 'lint' verb only")
+    if args.experiment == "lint":
+        return _run_lint(args)
 
     if args.experiment in ("build", "deploy", "swap-shard") and not args.artifact:
         parser.error(f"'{args.experiment}' requires --artifact")

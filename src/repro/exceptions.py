@@ -56,6 +56,13 @@ class ServingError(ReproError):
     """A serving-engine operation addressed an unknown or invalid deployment."""
 
 
+class AnalysisError(ReproError):
+    """A static-analysis run could not be completed (missing paths, an
+    unknown rule in ``--select``/``--ignore``, or an unreadable file).
+    Findings are *not* errors — a lint run that completes and reports
+    violations exits with a status code instead."""
+
+
 class TransportError(ReproError):
     """A network transport failed below the protocol: connection refused or
     dropped, retries exhausted, or a response that is not the serving

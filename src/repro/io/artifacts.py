@@ -29,6 +29,7 @@ best-effort migration path.
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Tuple
@@ -222,7 +223,9 @@ def load_partition_artifact(path: str | Path) -> PartitionArtifact:
                 raise PartitionError(f"artifact arrays {arrays_path} missing {exc}") from exc
     except PartitionError:
         raise
-    except Exception as exc:  # truncated/overwritten npz: np.load raises ValueError/BadZipFile
+    except (ValueError, zipfile.BadZipFile, OSError) as exc:
+        # Truncated or mid-overwrite npz: np.load raises ValueError or
+        # BadZipFile on corrupt payloads, OSError on unreadable files.
         raise PartitionError(f"artifact arrays {arrays_path} are unreadable: {exc}") from exc
 
     if extents.shape != (n_regions, 4):

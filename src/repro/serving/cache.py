@@ -59,17 +59,17 @@ class ArtifactCache:
     ) -> None:
         self._config = config or ServingConfig()
         self._spec_validator = spec_validator
-        self._servers: "OrderedDict[str, Tuple[PartitionServer, Tuple[int, ...]]]" = (
+        self._servers: "OrderedDict[str, Tuple[PartitionServer, Tuple[int, ...]]]" = (  # guarded-by: self._mutex
             OrderedDict()
         )
         # RLock, not Lock: PartitionServer.from_artifact may re-enter the
         # interpreter arbitrarily, and a reentrant guard keeps any future
         # internal call back into the cache from deadlocking.
         self._mutex = threading.RLock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._reloads = 0
+        self._hits = 0  # guarded-by: self._mutex
+        self._misses = 0  # guarded-by: self._mutex
+        self._evictions = 0  # guarded-by: self._mutex
+        self._reloads = 0  # guarded-by: self._mutex
 
     @property
     def max_entries(self) -> int:
@@ -96,7 +96,7 @@ class ArtifactCache:
             if entry is not None:
                 server, fingerprint = entry
                 try:
-                    current = bundle_fingerprint(key)
+                    current = bundle_fingerprint(key)  # repro: ignore[blocking-under-lock] -- stat-only staleness probe; holding the mutex keeps the stamp paired with the resident entry
                 except PartitionError:
                     current = fingerprint  # bundle gone; resident copy still serves
                 if fingerprint == current:
@@ -109,8 +109,8 @@ class ArtifactCache:
             # On a reload, reuse the stamp taken above (stat'ing again could
             # pair a newer stamp with the content about to be loaded); the
             # pre-load stamp keeps the conservative direction either way.
-            fingerprint = current if current is not None else bundle_fingerprint(key)
-            server = PartitionServer.from_artifact(
+            fingerprint = current if current is not None else bundle_fingerprint(key)  # repro: ignore[blocking-under-lock] -- deliberate: misses load under the mutex so racing cold gets produce one load, not N
+            server = PartitionServer.from_artifact(  # repro: ignore[blocking-under-lock] -- deliberate: misses load under the mutex so racing cold gets produce one load, not N
                 key, config=self._config, spec_validator=self._spec_validator
             )
             self._servers[key] = (server, fingerprint)

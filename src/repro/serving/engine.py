@@ -120,7 +120,7 @@ class _Version:
     ) -> None:
         self.version = version
         self.source = source
-        self.server = server
+        self.server = server  # guarded-by(writes): self.load_lock
         self.shards = shards
         self.fingerprint = fingerprint
         self.n_regions = n_regions
@@ -145,17 +145,17 @@ class _Deployment:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.versions: "OrderedDict[int, _Version]" = OrderedDict()
-        self.active = 0
+        self.versions: "OrderedDict[int, _Version]" = OrderedDict()  # guarded-by(writes): self.lock
+        self.active = 0  # guarded-by(writes): self.lock
         self.lock = ReadWriteLock()
         self.counters = threading.Lock()
-        self.queries = 0
-        self.points = 0
-        self.located = 0
-        self.swaps = 0
-        self.rollbacks = 0
-        self.shard_swaps = 0
-        self.shard_rollbacks = 0
+        self.queries = 0  # guarded-by: self.counters
+        self.points = 0  # guarded-by: self.counters
+        self.located = 0  # guarded-by: self.counters
+        self.swaps = 0  # guarded-by: self.counters
+        self.rollbacks = 0  # guarded-by: self.counters
+        self.shard_swaps = 0  # guarded-by: self.counters
+        self.shard_rollbacks = 0  # guarded-by: self.counters
 
     @property
     def latest(self) -> int:
@@ -212,7 +212,7 @@ class ServingEngine:
         self._cache = cache if cache is not None else ArtifactCache(
             self._config, spec_validator
         )
-        self._deployments: Dict[str, _Deployment] = {}
+        self._deployments: Dict[str, _Deployment] = {}  # guarded-by(writes): self._lock
         # Guards the deployment *table* (create/remove/snapshot); each
         # deployment's version history has its own read/write lock, and
         # each version its own materialisation lock.
@@ -275,10 +275,10 @@ class ServingEngine:
                     # *before* it becomes reachable, so a concurrent reader
                     # can never resolve a versionless deployment.
                     deployment = _Deployment(name)
-                    deployment.versions[1] = _Version(
+                    deployment.versions[1] = _Version(  # repro: ignore[lock-guarded-attrs] -- not yet published: built under the table lock before any reader can reach it
                         1, source, server, shards, fingerprint, server.n_regions
                     )
-                    deployment.active = 1
+                    deployment.active = 1  # repro: ignore[lock-guarded-attrs] -- not yet published: built under the table lock before any reader can reach it
                     self._deployments[name] = deployment
                     version = 1
                     break
@@ -386,8 +386,8 @@ class ServingEngine:
                 donor_path = str(Path(artifact).resolve())
                 # Stamp before loading, like deploy: a donor rebuilt
                 # mid-swap must fail replay loudly, not serve mixed tiles.
-                fingerprint = bundle_fingerprint(donor_path)
-                donor = self._cache.get(donor_path)
+                fingerprint = bundle_fingerprint(donor_path)  # repro: ignore[blocking-under-lock] -- rare admin op; the patch log and served tiles must move together under the write lock
+                donor = self._cache.get(donor_path)  # repro: ignore[blocking-under-lock] -- rare admin op; the patch log and served tiles must move together under the write lock
                 labels = self._donor_tile(server, donor, donor_path, row, col)
                 patch: Dict[str, Any] = {
                     "op": "swap",
@@ -505,13 +505,13 @@ class ServingEngine:
                 if resolved.server is not None:
                     return resolved.server
                 if resolved.fingerprint is not None and \
-                        bundle_fingerprint(resolved.source) != resolved.fingerprint:
+                        bundle_fingerprint(resolved.source) != resolved.fingerprint:  # repro: ignore[blocking-under-lock] -- the load lock exists to serialise exactly this one-time materialisation
                     raise ServingError(
                         f"bundle {resolved.source} changed on disk since "
                         f"v{resolved.version} was deployed; deploy it again to "
                         "serve the new content under a new version"
                     )
-                server = self._cache.get(resolved.source)
+                server = self._cache.get(resolved.source)  # repro: ignore[blocking-under-lock] -- the load lock exists to serialise exactly this one-time materialisation
                 if resolved.shards is not None:
                     server = self._shard(server, resolved.shards)
                     # A restored sharded version is its base bundle *plus*
@@ -979,15 +979,15 @@ class ServingEngine:
                                 [int(f) for f in stamp] if stamp else None
                             )
                         restored_version.patches.append(entry)
-                    restored.versions[number] = restored_version
+                    restored.versions[number] = restored_version  # repro: ignore[lock-guarded-attrs] -- restore-time construction: the engine is not published until from_manifest returns
                 active = int(info["active"])
                 if active not in restored.versions:
                     raise ServingError(
                         f"deployment manifest {path}: {name!r} activates missing "
                         f"version {active}"
                     )
-                restored.active = active
-                engine._deployments[name] = restored
+                restored.active = active  # repro: ignore[lock-guarded-attrs] -- restore-time construction: the engine is not published until from_manifest returns
+                engine._deployments[name] = restored  # repro: ignore[lock-guarded-attrs] -- restore-time construction: the engine is not published until from_manifest returns
         except (KeyError, TypeError, ValueError) as exc:
             raise ServingError(f"malformed deployment manifest {path}: {exc}") from exc
         return engine

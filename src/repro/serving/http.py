@@ -303,7 +303,7 @@ class _Handler(BaseHTTPRequestHandler):
             handler(body) if with_body else handler()
         except BrokenPipeError:  # client went away mid-response
             pass
-        except Exception as exc:  # noqa: BLE001 - the error *is* the response
+        except Exception as exc:  # repro: ignore[exception-discipline] -- dispatch boundary: every failure, expected or not, must become a JSON error response instead of a dropped connection
             status = _status_for(exc)
             if status == 500:
                 logger.exception("unhandled error serving %s", self.path)

@@ -37,9 +37,9 @@ class ReadWriteLock:
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._readers = 0
-        self._writers_waiting = 0
-        self._writer_active = False
+        self._readers = 0  # guarded-by: self._cond
+        self._writers_waiting = 0  # guarded-by: self._cond
+        self._writer_active = False  # guarded-by: self._cond
 
     def acquire_read(self) -> None:
         with self._cond:
@@ -49,6 +49,13 @@ class ReadWriteLock:
 
     def release_read(self) -> None:
         with self._cond:
+            if self._readers <= 0:
+                # Mirror threading.Lock.release: misuse is a programming
+                # error and must not wedge future writers by driving the
+                # reader count negative.
+                raise RuntimeError(  # repro: ignore[exception-discipline] -- lock-misuse programming error, deliberately a builtin like threading.Lock.release
+                    "release_read() on a ReadWriteLock not held for reading"
+                )
             self._readers -= 1
             if not self._readers:
                 self._cond.notify_all()
@@ -65,6 +72,10 @@ class ReadWriteLock:
 
     def release_write(self) -> None:
         with self._cond:
+            if not self._writer_active:
+                raise RuntimeError(  # repro: ignore[exception-discipline] -- lock-misuse programming error, deliberately a builtin like threading.Lock.release
+                    "release_write() on a ReadWriteLock not held for writing"
+                )
             self._writer_active = False
             self._cond.notify_all()
 

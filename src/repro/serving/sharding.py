@@ -251,7 +251,7 @@ class TileGridIndex:
             boundaries = np.flatnonzero(np.diff(ids[order])) + 1
             futures = [
                 executor.submit(self._gather_bucket, bucket, offsets, out)
-                for bucket in np.split(order, boundaries)
+                for bucket in np.split(order, boundaries)  # repro: ignore[hot-path-loop] -- one submit per distinct tile in the batch (<= n_tiles), not per point
             ]
             for future in futures:
                 future.result()  # propagate any worker failure
@@ -319,9 +319,9 @@ class _Shard:
         self.col_start = col_start
         self.lock = ReadWriteLock()
         self.counter_lock = threading.Lock()
-        self.points_served = 0
-        self._history: List[np.ndarray] = [labels]
-        self._active = 0
+        self.points_served = 0  # guarded-by: self.counter_lock
+        self._history: List[np.ndarray] = [labels]  # guarded-by(writes): self.lock
+        self._active = 0  # guarded-by(writes): self.lock
 
     @property
     def labels(self) -> np.ndarray:
@@ -428,12 +428,12 @@ class ShardedDeployment:
         # builds) against each other; never held by the query path.
         self._admin_lock = threading.Lock()
         self._counter_lock = threading.Lock()
-        self._fused_points = 0
-        self._index = TileGridIndex(
+        self._fused_points = 0  # guarded-by: self._counter_lock
+        self._index = TileGridIndex(  # guarded-by(writes): self._admin_lock
             self._geometry, [shard.labels for shard in self._shards]
         )
-        self._fused: Optional[np.ndarray] = None
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._fused: Optional[np.ndarray] = None  # guarded-by(writes): self._admin_lock
+        self._executor: Optional[ThreadPoolExecutor] = None  # guarded-by(writes): self._admin_lock
 
     # -- introspection -------------------------------------------------------
 
@@ -462,7 +462,7 @@ class ShardedDeployment:
         """Total points answered, across every plan."""
         with self._counter_lock:
             total = self._fused_points
-        return total + int(sum(shard.points_served for shard in self._shards))
+        return total + int(sum(shard.points_served for shard in self._shards))  # repro: ignore[lock-guarded-attrs] -- racy read of monotonic ints is deliberate: stats may lag, never tear (CPython int loads are atomic)
 
     def describe(self) -> Dict[str, Any]:
         grid = self._grid
@@ -492,7 +492,7 @@ class ShardedDeployment:
         statistic of scatter dispatch, which is also what a distributed
         deployment would export.
         """
-        return np.array([shard.points_served for shard in self._shards], dtype=int)
+        return np.array([shard.points_served for shard in self._shards], dtype=int)  # repro: ignore[lock-guarded-attrs] -- racy read of monotonic ints is deliberate: stats may lag, never tear (CPython int loads are atomic)
 
     def shard_versions(self) -> List[List[int]]:
         """Per-tile serving version (1-based), as a ``shard_rows x shard_cols`` grid."""
@@ -590,7 +590,7 @@ class ShardedDeployment:
         return fused
 
     def _charge_shards(self, counts: np.ndarray) -> None:
-        for tile_index in np.flatnonzero(counts):
+        for tile_index in np.flatnonzero(counts):  # repro: ignore[hot-path-loop] -- bounded by n_tiles (a handful), not by batch size
             shard = self._shards[int(tile_index)]
             with shard.counter_lock:
                 shard.points_served += int(counts[tile_index])
@@ -726,9 +726,9 @@ class ShardedDeployment:
         index = TileGridIndex(
             self._geometry, [shard.labels for shard in self._shards]
         )
-        self._index = index
+        self._index = index  # repro: ignore[lock-guarded-attrs] -- caller holds _admin_lock (see docstring); checked lexically, not interprocedurally
         if self._fused is not None:
-            self._fused = self._build_fused(index)
+            self._fused = self._build_fused(index)  # repro: ignore[lock-guarded-attrs] -- caller holds _admin_lock (see docstring); checked lexically, not interprocedurally
 
     def swap_shard(self, row: int, col: int, labels: np.ndarray) -> Dict[str, Any]:
         """Atomically replace the labels of the tile at ``(row, col)``.

@@ -1,0 +1,28 @@
+"""Fixture: exception-discipline violations (and a passing conversion)."""
+
+
+def swallow_everything():
+    try:
+        return 1
+    except:  # BAD: bare except
+        return None
+
+
+def too_broad():
+    try:
+        return 1
+    except Exception:  # BAD: broad except without a pragma
+        return None
+
+
+def leaks_builtin():
+    raise ValueError("library failure")  # BAD when the raise scope covers this file
+
+
+def converts_internally(payload):
+    try:
+        if not payload:
+            raise ValueError("empty")  # OK: caught by the handler below
+        return payload
+    except (TypeError, ValueError):
+        return None

@@ -1,0 +1,19 @@
+"""Fixture: np.load inside a held read lock."""
+
+import numpy as np
+
+from repro.serving.locks import ReadWriteLock
+
+
+class Engine:
+    def __init__(self):
+        self._lock = ReadWriteLock()
+
+    def reload(self, path):
+        with self._lock.read():
+            return np.load(path)  # BAD: I/O while holding the lock
+
+    def reload_outside(self, path):
+        data = np.load(path)
+        with self._lock.read():
+            return data

@@ -1,0 +1,18 @@
+"""Fixture: two code paths acquire the same two locks in opposite orders."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def first():
+    with lock_a:
+        with lock_b:
+            return 1
+
+
+def second():
+    with lock_b:
+        with lock_a:  # BAD: opposite order of first()
+            return 2

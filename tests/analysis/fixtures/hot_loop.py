@@ -1,0 +1,19 @@
+"""Fixture: Python-level loops over ndarrays (hot-module rule)."""
+
+import numpy as np
+
+
+def total(values):
+    arr = np.asarray(values)
+    out = 0
+    for v in arr:  # BAD: per-element interpreter loop
+        out += v
+    for i in range(len(arr)):  # BAD: index loop over the array
+        out += arr[i]
+    for v in np.flatnonzero(arr):  # BAD: loop over a numpy call result
+        out += v
+    for v in arr.tolist():  # OK: explicit materialisation escape hatch
+        out += v
+    for v in [1, 2, 3]:  # OK: plain list
+        out += v
+    return out

@@ -1,0 +1,15 @@
+"""Fixture: violations suppressed by justified pragmas -> zero findings."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: self._lock
+
+    def peek(self):
+        return self.value  # repro: ignore[lock-guarded-attrs] -- racy monotonic read is fine here
+
+    def peek_alias(self):
+        return self.value  # repro: ignore[guarded-attrs] -- pragma via rule alias

@@ -1,0 +1,21 @@
+"""Fixture: __all__ inconsistencies and a silent deprecated shim."""
+
+__all__ = [
+    "present",
+    "missing",  # BAD: not defined anywhere in the module
+    "_private",  # BAD: underscore-prefixed export
+    "present",  # BAD: duplicate entry
+]
+
+
+def present():
+    return 1
+
+
+def _private():
+    return 2
+
+
+def old_api():
+    """Deprecated: use present() instead."""
+    return present()  # BAD: documents deprecation but never warns

@@ -1,0 +1,5 @@
+"""Fixture: a pragma naming a rule that does not exist."""
+
+
+def fine():
+    return 1  # repro: ignore[no-such-rule] -- typo'd rule name

@@ -1,0 +1,20 @@
+"""Fixture: a guarded attribute written outside its declared lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: self._lock
+
+    def bump_unlocked(self):
+        self.value += 1  # BAD: guarded write outside the lock
+
+    def bump_locked(self):
+        with self._lock:
+            self.value += 1
+
+    def peek_locked(self):
+        with self._lock:
+            return self.value

@@ -1,0 +1,179 @@
+"""Unit tests for ReadWriteLock semantics.
+
+PR 5/6 exercised the lock only indirectly through engine/shard stress
+tests; these pin the primitive's contract directly: shared readers,
+exclusive writers, writer preference (a waiting writer blocks *new*
+readers), release-underflow errors, and context managers that release on
+exception.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.locks import ReadWriteLock
+
+WAIT = 5.0  # generous thread-join timeout; failures surface as asserts
+
+
+def test_many_readers_share_the_lock():
+    lock = ReadWriteLock()
+    inside = threading.Barrier(4, timeout=WAIT)
+
+    def reader():
+        with lock.read():
+            # All four readers must be inside simultaneously to pass the
+            # barrier; a mutual-exclusion bug would deadlock (and trip the
+            # barrier timeout).
+            inside.wait()
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(WAIT)
+    assert not any(thread.is_alive() for thread in threads)
+
+
+def test_writer_is_exclusive():
+    lock = ReadWriteLock()
+    order = []
+
+    with lock.write():
+        acquired = threading.Event()
+
+        def late_reader():
+            with lock.read():
+                order.append("reader")
+            acquired.set()
+
+        thread = threading.Thread(target=late_reader)
+        thread.start()
+        # The reader must not get in while the writer holds the lock.
+        assert not acquired.wait(0.1)
+        order.append("writer-done")
+    assert acquired.wait(WAIT)
+    thread.join(WAIT)
+    assert order == ["writer-done", "reader"]
+
+
+def test_waiting_writer_blocks_new_readers():
+    lock = ReadWriteLock()
+    first_reader_in = threading.Event()
+    release_first_reader = threading.Event()
+    writer_done = threading.Event()
+    second_reader_done = threading.Event()
+    order = []
+
+    def first_reader():
+        with lock.read():
+            first_reader_in.set()
+            assert release_first_reader.wait(WAIT)
+
+    def writer():
+        with lock.write():
+            order.append("writer")
+        writer_done.set()
+
+    def second_reader():
+        with lock.read():
+            order.append("second-reader")
+        second_reader_done.set()
+
+    reader_thread = threading.Thread(target=first_reader)
+    reader_thread.start()
+    assert first_reader_in.wait(WAIT)
+
+    writer_thread = threading.Thread(target=writer)
+    writer_thread.start()
+    # Give the writer time to register as waiting (it cannot proceed while
+    # the first reader is inside).
+    time.sleep(0.05)
+
+    second_thread = threading.Thread(target=second_reader)
+    second_thread.start()
+    # Writer preference: the second reader must queue behind the waiting
+    # writer instead of slipping in alongside the first reader.
+    assert not second_reader_done.wait(0.1)
+    assert not writer_done.is_set()
+
+    release_first_reader.set()
+    assert writer_done.wait(WAIT)
+    assert second_reader_done.wait(WAIT)
+    for thread in (reader_thread, writer_thread, second_thread):
+        thread.join(WAIT)
+    assert order == ["writer", "second-reader"]
+
+
+def test_release_read_underflow_raises():
+    lock = ReadWriteLock()
+    with pytest.raises(RuntimeError, match="not held for reading"):
+        lock.release_read()
+    # The failed release must not have corrupted the state: the lock still
+    # works for both sides.
+    with lock.read():
+        pass
+    with lock.write():
+        pass
+
+
+def test_release_write_not_held_raises():
+    lock = ReadWriteLock()
+    with pytest.raises(RuntimeError, match="not held for writing"):
+        lock.release_write()
+    with lock.write():
+        pass
+
+
+def test_double_release_read_raises():
+    lock = ReadWriteLock()
+    lock.acquire_read()
+    lock.release_read()
+    with pytest.raises(RuntimeError):
+        lock.release_read()
+
+
+def test_release_write_after_context_raises():
+    lock = ReadWriteLock()
+    with lock.write():
+        pass
+    with pytest.raises(RuntimeError):
+        lock.release_write()
+
+
+def test_read_context_releases_on_exception():
+    lock = ReadWriteLock()
+    with pytest.raises(ValueError):
+        with lock.read():
+            raise ValueError("boom")
+    # A leaked reader would make this writer acquisition hang.
+    acquired = threading.Event()
+
+    def writer():
+        with lock.write():
+            acquired.set()
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    assert acquired.wait(WAIT)
+    thread.join(WAIT)
+
+
+def test_write_context_releases_on_exception():
+    lock = ReadWriteLock()
+    with pytest.raises(ValueError):
+        with lock.write():
+            raise ValueError("boom")
+    acquired = threading.Event()
+
+    def reader():
+        with lock.read():
+            acquired.set()
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    assert acquired.wait(WAIT)
+    thread.join(WAIT)
