@@ -239,6 +239,151 @@ def test_routing_dispatch_overhead(benchmark, output_dir):
     _flush_sections(output_dir)
 
 
+#: Acquire/release pairs per lock-microbenchmark timing.
+PAIR_OPS = 100_000
+
+#: Ceiling on sanitized-mode dispatch vs the uninstrumented engine at 10^6
+#: points.  The locate path performs a handful of lock operations per
+#: *batch*, so even a 50x per-operation instrumentation cost amortises to
+#: noise over a multi-millisecond request; a factor beyond this means the
+#: sanitizer leaked work into the per-point path.
+MAX_SANITIZED_DISPATCH_FACTOR = 1.5
+
+#: Runaway guard on the per-operation cost of an instrumented lock pair.
+#: The wrapper's bookkeeping (thread-local state, held-set update, order
+#: edge) is expected to cost tens of raw-pair equivalents; the factor is
+#: documented in the table, this bound only catches pathological
+#: regressions (e.g. accidental O(locks) scans per acquisition).
+MAX_LOCK_PAIR_FACTOR = 200.0
+
+
+def _time_lock_pairs(lock, repeats=3):
+    """Best-of per-pair seconds for ``PAIR_OPS`` acquire/release pairs."""
+    best = float("inf")
+    for _ in range(repeats):
+        acquire, release = lock.acquire, lock.release
+        start = time.perf_counter()
+        for _ in range(PAIR_OPS):
+            acquire()
+            release()
+        best = min(best, time.perf_counter() - start)
+    return best / PAIR_OPS
+
+
+@pytest.mark.benchmark(group="serving")
+def test_sanitizer_overhead(benchmark, output_dir):
+    """The REPRO_SANITIZE seam must be free when off and affordable when on.
+
+    Disabled, the lock factories hand back raw ``threading`` primitives
+    (the branch runs once, at construction), so engine dispatch must stay
+    within the same budget over a direct server call that the committed
+    routing table shows.  Enabled, every acquisition pays for bookkeeping —
+    the honest per-operation factor is measured on a bare lock and
+    documented alongside the amortised dispatch factor, which must stay
+    near 1x because the locate hot path takes locks per batch, not per
+    point.
+    """
+    from repro.analysis import sanitized
+    from repro.serving.locks import new_lock
+
+    partition = _build_partition()
+    server = PartitionServer(partition)
+    engine_off = ServingEngine()
+    engine_off.deploy("la", server)
+    bounds = partition.grid.bounds
+    rng = np.random.default_rng(31)
+    size = 1_000_000
+    xs = rng.uniform(bounds.min_x, bounds.max_x, size)
+    ys = rng.uniform(bounds.min_y, bounds.max_y, size)
+
+    measurements = {}
+
+    def run() -> None:
+        # Phase 1 — sanitizer off.  Timed before any arming so the class
+        # instrumentation cannot contaminate the baseline.
+        bests, answers = _best_of_each(
+            {
+                "direct": lambda: server.locate_points(xs, ys),
+                "engine_off": lambda: engine_off.locate_points("la", xs, ys),
+            }
+        )
+        assert np.array_equal(answers["direct"], answers["engine_off"]), (
+            "uninstrumented engine routing changed assignments"
+        )
+        raw_pair = _time_lock_pairs(new_lock("bench.raw"))
+
+        # Phase 2 — armed.  The engine is rebuilt under the sanitizer so
+        # its locks are the instrumented wrappers, and the run must come
+        # out clean on top of being fast enough.
+        with sanitized() as sink:
+            engine_on = ServingEngine()
+            engine_on.deploy("la", PartitionServer(partition))
+            bests_on, answers_on = _best_of_each(
+                {
+                    "engine_sanitized": (
+                        lambda: engine_on.locate_points("la", xs, ys)
+                    ),
+                }
+            )
+            wrapped_pair = _time_lock_pairs(new_lock("bench.wrapped"))
+        report = sink.report()
+        assert report.clean, "\n" + report.render_text()
+        assert np.array_equal(answers["direct"], answers_on["engine_sanitized"]), (
+            "sanitized engine routing changed assignments"
+        )
+
+        measurements.update(
+            direct=bests["direct"],
+            engine_off=bests["engine_off"],
+            engine_sanitized=bests_on["engine_sanitized"],
+            raw_pair=raw_pair,
+            wrapped_pair=wrapped_pair,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    off_overhead = measurements["engine_off"] / measurements["direct"] - 1.0
+    dispatch_factor = measurements["engine_sanitized"] / measurements["engine_off"]
+    pair_factor = measurements["wrapped_pair"] / measurements["raw_pair"]
+
+    assert off_overhead <= MAX_OVERHEAD, (
+        f"sanitizer-disabled dispatch costs {off_overhead * 100:.1f}% over a "
+        f"direct server call at 10^6 points (budget {MAX_OVERHEAD * 100:.0f}%:"
+        " the factory seam must stay out of the hot path)"
+    )
+    assert dispatch_factor <= MAX_SANITIZED_DISPATCH_FACTOR, (
+        f"sanitized dispatch is {dispatch_factor:.2f}x the uninstrumented "
+        f"engine at 10^6 points (budget {MAX_SANITIZED_DISPATCH_FACTOR}x: "
+        "per-batch lock bookkeeping must amortise away)"
+    )
+    assert pair_factor <= MAX_LOCK_PAIR_FACTOR, (
+        f"an instrumented acquire/release pair costs {pair_factor:.0f}x a "
+        f"raw one (runaway bound {MAX_LOCK_PAIR_FACTOR:.0f}x)"
+    )
+
+    _SECTIONS["3_sanitizer"] = format_table(
+        [
+            {
+                "points": size,
+                "direct_ms": measurements["direct"] * 1000.0,
+                "engine_off_ms": measurements["engine_off"] * 1000.0,
+                "off_overhead_pct": off_overhead * 100.0,
+                "engine_sanitized_ms": measurements["engine_sanitized"] * 1000.0,
+                "sanitized_factor_x": dispatch_factor,
+                "raw_lock_pair_ns": measurements["raw_pair"] * 1e9,
+                "sanitized_lock_pair_ns": measurements["wrapped_pair"] * 1e9,
+                "lock_pair_factor_x": pair_factor,
+            }
+        ],
+        title="Runtime-sanitizer overhead — dispatch with the seam disabled "
+        "vs a REPRO_SANITIZE-armed engine on the identical 10^6-point "
+        "batch, plus the honest per-operation cost of an instrumented "
+        f"acquire/release pair (interleaved best of {REPEATS}; pairs best "
+        f"of 3 x {PAIR_OPS})",
+    )
+    _flush_sections(output_dir)
+
+
 def _synthetic_labels(side: int, n_regions: int = 4096) -> np.ndarray:
     """A ``side x side`` int64 label grid, synthesised in row chunks so the
     10^8-cell tier never materialises a second full-size temporary."""

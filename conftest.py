@@ -8,8 +8,16 @@ It also registers the ``stress`` marker for the long-running concurrency
 suites (e.g. ``tests/serving/test_shard_concurrency.py``): stress tests
 are *skipped by default* so tier-1 stays fast, and run explicitly with
 ``pytest -m stress`` (CI's smoke job does).
+
+With ``REPRO_SANITIZE=1`` the session runs under the runtime concurrency
+sanitizer (:mod:`repro.analysis.sanitizer`): the serving stack's locks and
+``# guarded-by`` attributes are instrumented for the whole run, and at
+exit the report is written to ``sanitizer_report.json`` (path overridable
+via ``REPRO_SANITIZE_REPORT``).  Unsuppressed runtime findings fail the
+session even if every test passed.
 """
 
+import os
 import sys
 from pathlib import Path
 
@@ -19,6 +27,8 @@ _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+_SANITIZER = None
+
 
 def pytest_configure(config):
     config.addinivalue_line(
@@ -26,6 +36,36 @@ def pytest_configure(config):
         "stress: long-running concurrency stress tests; skipped unless "
         "selected with -m (e.g. `pytest -m stress`)",
     )
+    global _SANITIZER
+    from repro.analysis import sanitizer
+
+    if sanitizer.enabled_from_env() and _SANITIZER is None:
+        _SANITIZER = sanitizer.Sanitizer()
+        sanitizer.arm(_SANITIZER)
+        sys.stderr.write(
+            "repro sanitizer armed: instrumenting serving locks and "
+            "guarded attributes (REPRO_SANITIZE=1)\n"
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    global _SANITIZER
+    if _SANITIZER is None:
+        return
+    from repro.analysis import sanitizer
+
+    report = sanitizer.disarm(_SANITIZER)
+    _SANITIZER = None
+    target = os.environ.get("REPRO_SANITIZE_REPORT") or "sanitizer_report.json"
+    report.save(target)
+    sys.stderr.write(
+        f"\nrepro sanitizer: {len(report.findings)} finding(s), "
+        f"{report.suppressed} suppressed, {report.events_total} runtime "
+        f"event(s) observed -> {target}\n"
+    )
+    if not report.clean:
+        sys.stderr.write(report.render_text() + "\n")
+        session.exitstatus = 1
 
 
 def pytest_collection_modifyitems(config, items):

@@ -22,15 +22,27 @@ tests) as *static* guarantees:
 ``public-surface``
     ``__all__`` stays honest; deprecated shims emit ``DeprecationWarning``.
 
+The same invariants are also checked *dynamically*: the runtime sanitizer
+(:mod:`repro.analysis.sanitizer`, armed by ``REPRO_SANITIZE=1`` or
+programmatically) instruments the serving stack's locks and guarded
+attributes during test execution and reports violations under the
+``runtime-*`` rule names (``runtime-guarded-write``,
+``runtime-lock-order``, ``runtime-watchdog``, ``runtime-lock-leak``)
+through the same :class:`Finding` vocabulary.
+
 Violations are suppressed per-line with ``# repro: ignore[rule-name] --
 justification``; see :mod:`repro.analysis.pragmas` for the full comment
 grammar and :mod:`repro.analysis.runner` for per-path configuration.
+A runtime finding is suppressed by a pragma naming either the runtime
+rule or its static counterpart.
 """
 
 from .base import LINT_RULES, LintConfig, ModuleContext, Rule, register_rule
+from .events import RuntimeEvent, SanitizerReport, load_report
 from .findings import Finding
 from .pragmas import GuardComment, PragmaIndex
 from .runner import LintReport, iter_python_files, lint_paths
+from .sanitizer import Sanitizer, arm, disarm, enabled_from_env, sanitized
 
 __all__ = [
     "Finding",
@@ -41,7 +53,15 @@ __all__ = [
     "ModuleContext",
     "PragmaIndex",
     "Rule",
+    "RuntimeEvent",
+    "Sanitizer",
+    "SanitizerReport",
+    "arm",
+    "disarm",
+    "enabled_from_env",
     "iter_python_files",
     "lint_paths",
+    "load_report",
     "register_rule",
+    "sanitized",
 ]

@@ -1,0 +1,217 @@
+"""Runtime sanitizer events and their assembly into lint-shaped reports.
+
+The sanitizer (:mod:`repro.analysis.sanitizer`) records
+:class:`RuntimeEvent` objects as violations are *observed*: a guarded
+attribute written without its lock, a lock-acquisition cycle, a watchdog
+stall, a lock still held when its thread exits.  This module folds those
+events into the repo's existing :class:`~repro.analysis.findings.Finding`
+vocabulary so static and dynamic diagnostics share one report surface:
+the same text/JSON renderers, and the same per-line suppression grammar —
+a ``# repro: ignore[...]`` pragma naming either the runtime rule *or its
+static counterpart* (e.g. ``lock-guarded-attrs`` for
+``runtime-guarded-write``) suppresses the runtime finding on that line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import AnalysisError
+from .base import LINT_RULES
+from .findings import Finding, render_json, render_text
+from .pragmas import PragmaIndex
+
+__all__ = [
+    "RUNTIME_COUNTERPARTS",
+    "RuntimeEvent",
+    "SanitizerReport",
+    "assemble_report",
+    "load_report",
+]
+
+#: Runtime rule -> the static rule enforcing the same invariant lexically
+#: (``None`` when the check has no static analogue).  Suppression accepts
+#: either name, so the pragmas that already annotate the serving stack for
+#: the lexical rule carry over to its dynamic twin.
+RUNTIME_COUNTERPARTS: Dict[str, Optional[str]] = {
+    "runtime-guarded-write": "lock-guarded-attrs",
+    "runtime-lock-order": "lock-order",
+    "runtime-watchdog": None,
+    "runtime-lock-leak": None,
+}
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One observed violation, anchored to the source line that did it."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+
+@dataclass
+class SanitizerReport:
+    """Outcome of one armed run: surviving findings plus run statistics.
+
+    ``events_total`` counts every recorded occurrence (a racy write in a
+    loop fires per iteration); ``findings`` are deduplicated per site.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+    events_total: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render_text(self) -> str:
+        text = render_text(
+            self.findings, files=self.files, suppressed=self.suppressed
+        )
+        return text + f"\n{self.events_total} runtime events observed"
+
+    def to_json(self) -> str:
+        payload = json.loads(
+            render_json(
+                self.findings, files=self.files, suppressed=self.suppressed
+            )
+        )
+        payload["events_total"] = self.events_total
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def save(self, path: str) -> Path:
+        target = Path(path)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+
+def _canonical(name: str) -> str:
+    return LINT_RULES.canonical(name) if name in LINT_RULES else name
+
+
+def _suppressing_names(rule: str) -> Set[str]:
+    names = {rule}
+    counterpart = RUNTIME_COUNTERPARTS.get(rule)
+    if counterpart:
+        names.add(counterpart)
+    return names
+
+
+class _SourceCache:
+    """Per-file pragma index + source lines, loaded lazily at report time."""
+
+    def __init__(self) -> None:
+        self._loaded: Dict[str, Tuple[PragmaIndex, Tuple[str, ...]]] = {}
+
+    def lookup(self, path: str) -> Tuple[PragmaIndex, Tuple[str, ...]]:
+        cached = self._loaded.get(path)
+        if cached is not None:
+            return cached
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            source = ""
+        entry = (PragmaIndex.from_source(source), tuple(source.splitlines()))
+        self._loaded[path] = entry
+        return entry
+
+
+def assemble_report(
+    events: Sequence[RuntimeEvent],
+    counts: Optional[Dict[RuntimeEvent, int]] = None,
+    *,
+    events_total: Optional[int] = None,
+) -> SanitizerReport:
+    """Fold deduplicated events into a pragma-filtered report.
+
+    ``counts`` maps each event to how many times it fired (defaults to 1);
+    repeat counts are appended to the message rather than spawning
+    duplicate findings.
+    """
+
+    counts = counts or {}
+    sources = _SourceCache()
+    kept: List[Finding] = []
+    suppressed = 0
+    total = 0
+    for event in events:
+        occurrences = counts.get(event, 1)
+        total += occurrences
+        pragmas, lines = sources.lookup(event.path)
+        ignored = {_canonical(name) for name in pragmas.ignored_rules(event.line)}
+        if ignored & _suppressing_names(event.rule):
+            suppressed += 1
+            continue
+        message = event.message
+        if occurrences > 1:
+            message += f" [observed {occurrences}x]"
+        source_line = ""
+        if 1 <= event.line <= len(lines):
+            source_line = lines[event.line - 1].strip()
+        kept.append(
+            Finding(
+                path=event.path,
+                line=event.line,
+                rule=event.rule,
+                message=message,
+                source=source_line,
+            )
+        )
+    kept.sort()
+    return SanitizerReport(
+        findings=kept,
+        files=len({finding.path for finding in kept}),
+        suppressed=suppressed,
+        events_total=events_total if events_total is not None else total,
+    )
+
+
+def load_report(path: str) -> SanitizerReport:
+    """Parse a ``sanitizer_report.json`` written by :meth:`SanitizerReport.save`."""
+
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError) as exc:
+        raise AnalysisError(f"cannot read sanitizer report {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(
+            f"sanitizer report {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("findings", None), list
+    ):
+        raise AnalysisError(
+            f"sanitizer report {path} has no 'findings' list; was it written "
+            "by a REPRO_SANITIZE=1 run?"
+        )
+    findings: List[Finding] = []
+    for row in payload["findings"]:
+        if not isinstance(row, dict):
+            raise AnalysisError(f"sanitizer report {path} has a malformed finding")
+        try:
+            findings.append(
+                Finding(
+                    path=str(row["path"]),
+                    line=int(row["line"]),
+                    rule=str(row["rule"]),
+                    message=str(row["message"]),
+                    source=str(row.get("source", "")),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AnalysisError(
+                f"sanitizer report {path} has a malformed finding: {exc}"
+            ) from exc
+    return SanitizerReport(
+        findings=findings,
+        files=int(payload.get("files", len({f.path for f in findings}))),
+        suppressed=int(payload.get("suppressed", 0)),
+        events_total=int(payload.get("events_total", len(findings))),
+    )

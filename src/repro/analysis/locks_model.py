@@ -1,6 +1,6 @@
 """A lexical model of lock acquisition for the concurrency rules.
 
-The serving stack acquires locks exclusively through ``with`` statements:
+The serving stack acquires locks mostly through ``with`` statements:
 plain mutexes and conditions (``with self._mutex:``, ``with self._cond:``)
 and the reader/writer pair on :class:`~repro.serving.locks.ReadWriteLock`
 (``with lock.read():`` / ``with lock.write():``).  That discipline lets the
@@ -8,31 +8,62 @@ linter reason about held locks *lexically*: walking a function body while
 tracking the stack of enclosing ``with`` items recovers exactly which locks
 are held at every node, with no data-flow analysis.
 
+Manual pairing is modelled too: a statement-level ``lock.acquire()`` /
+``lock.acquire_read()`` / ``lock.acquire_write()`` adds to the held set for
+the statements that follow it in the same suite, and the matching
+``release*()`` call removes it again.  The ``try``/``finally`` idiom
+threads through naturally — a lock acquired before ``try`` is held inside
+the body and released by the ``finally`` suite — so code that cannot use
+``with`` (hand-over-hand handoffs, conditional acquisition) is still in
+scope for ``lock-guarded-attrs``, ``lock-order``, and
+``blocking-under-lock``.
+
 The model is deliberately name-based.  An expression counts as a lock when
 its terminal component looks lock-ish (contains ``lock``, ``mutex``, or
 ``cond``) or is one of the repo's known odd names (``counters``, the plain
-``threading.Lock`` guarding per-deployment counters).  False negatives from
-creative naming are acceptable; false positives have been vetted against
-the whole of ``src/``.
+``threading.Lock`` guarding per-deployment counters).  The distinctive
+``acquire_read``/``acquire_write`` method names count on any receiver.
+False negatives from creative naming are acceptable; false positives have
+been vetted against the whole of ``src/``.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Generator, Iterator, Optional, Sequence, Tuple
 
-__all__ = ["LockAcquisition", "lock_acquisition", "walk_with_locks"]
+__all__ = [
+    "LockAcquisition",
+    "lock_acquisition",
+    "manual_acquisition",
+    "manual_release",
+    "walk_with_locks",
+]
 
 _LOCKISH_MARKERS = ("lock", "mutex", "cond")
 _EXTRA_LOCK_NAMES = frozenset({"counters", "counter"})
 _READ_METHODS = frozenset({"read", "acquire_read"})
 _WRITE_METHODS = frozenset({"write", "acquire_write"})
+#: Statement-level call names that acquire, and the mode they grant.  The
+#: bare ``acquire`` needs a lock-ish receiver; the RW pair is distinctive
+#: enough to count on any receiver.
+_MANUAL_ACQUIRE_MODES = {
+    "acquire": "exclusive",
+    "acquire_read": "read",
+    "acquire_write": "write",
+}
+#: Release call names and the held mode each one balances.
+_MANUAL_RELEASE_MODES = {
+    "release": "exclusive",
+    "release_read": "read",
+    "release_write": "write",
+}
 
 
 @dataclass(frozen=True)
 class LockAcquisition:
-    """One ``with``-item that acquires a lock.
+    """One ``with``-item or manual call that acquires a lock.
 
     ``base`` is the unparsed expression for the lock object itself
     (``"self._lock"``), ``leaf`` its terminal name (``"_lock"``), and
@@ -86,20 +117,110 @@ def lock_acquisition(expr: ast.expr) -> Optional[LockAcquisition]:
     return LockAcquisition(base=base, leaf=leaf, mode=mode, line=expr.lineno)
 
 
+def _statement_method_call(
+    stmt: ast.stmt,
+) -> Optional[Tuple[ast.expr, str, int]]:
+    """``(receiver, method, line)`` for a bare ``obj.method(...)`` statement."""
+
+    if not isinstance(stmt, ast.Expr):
+        return None
+    call = stmt.value
+    if not isinstance(call, ast.Call) or not isinstance(call.func, ast.Attribute):
+        return None
+    return call.func.value, call.func.attr, call.lineno
+
+
+def manual_acquisition(stmt: ast.AST) -> Optional[LockAcquisition]:
+    """Interpret a statement as a manual lock acquisition.
+
+    Matches expression statements of the form ``lock.acquire()`` (lock-ish
+    receiver only), ``lock.acquire_read()``, or ``lock.acquire_write()``
+    (any receiver: the method name is distinctive).  Call results used in
+    larger expressions (``if lock.acquire(timeout=...):``) are *not*
+    acquisitions here — success is conditional, so assuming the lock held
+    would manufacture false positives.
+    """
+
+    if not isinstance(stmt, ast.stmt):
+        return None
+    parts = _statement_method_call(stmt)
+    if parts is None:
+        return None
+    receiver, method, line = parts
+    mode = _MANUAL_ACQUIRE_MODES.get(method)
+    if mode is None:
+        return None
+    leaf = _terminal_name(receiver)
+    if leaf is None:
+        return None
+    if method == "acquire" and not _is_lockish(leaf):
+        return None
+    return LockAcquisition(
+        base=ast.unparse(receiver), leaf=leaf, mode=mode, line=line
+    )
+
+
+def manual_release(stmt: ast.AST) -> Optional[Tuple[str, str]]:
+    """``(base, mode)`` for a statement-level ``release*()`` call."""
+
+    if not isinstance(stmt, ast.stmt):
+        return None
+    parts = _statement_method_call(stmt)
+    if parts is None:
+        return None
+    receiver, method, _line = parts
+    mode = _MANUAL_RELEASE_MODES.get(method)
+    if mode is None:
+        return None
+    leaf = _terminal_name(receiver)
+    if leaf is None:
+        return None
+    if method == "release" and not _is_lockish(leaf):
+        return None
+    return ast.unparse(receiver), mode
+
+
+def _drop_released(
+    held: Tuple[LockAcquisition, ...], released: Tuple[str, str]
+) -> Tuple[LockAcquisition, ...]:
+    """Remove the innermost held entry the release balances (if any)."""
+
+    base, mode = released
+    for index in range(len(held) - 1, -1, -1):
+        if held[index].base == base and held[index].mode == mode:
+            return held[:index] + held[index + 1:]
+    return held
+
+
+def _is_statement_list(value: object) -> bool:
+    return (
+        isinstance(value, list)
+        and bool(value)
+        and all(isinstance(item, ast.stmt) for item in value)
+    )
+
+
 def walk_with_locks(
     root: ast.AST,
 ) -> Iterator[Tuple[ast.AST, Tuple[LockAcquisition, ...]]]:
     """Yield ``(node, held_locks)`` for every node lexically under ``root``.
 
     ``held_locks`` is the tuple of enclosing lock acquisitions, outermost
-    first.  Nested function and lambda bodies restart with an empty stack:
-    a closure defined under a lock typically runs later, when the lock is
-    no longer held, so assuming otherwise would hide real races.
+    first.  ``with`` blocks scope their acquisitions to the block; manual
+    ``acquire*()``/``release*()`` statements thread through the suite that
+    contains them (a ``try`` body sees locks acquired just before it, its
+    ``finally`` suite balances them).  Acquisitions inside a conditional
+    branch do not escape it — whether they happened is unknowable
+    lexically.  Nested function and lambda bodies restart with an empty
+    stack: a closure defined under a lock typically runs later, when the
+    lock is no longer held, so assuming otherwise would hide real races.
     """
+
+    Pair = Tuple[ast.AST, Tuple[LockAcquisition, ...]]
 
     def visit(
         node: ast.AST, held: Tuple[LockAcquisition, ...]
-    ) -> Iterator[Tuple[ast.AST, Tuple[LockAcquisition, ...]]]:
+    ) -> Iterator[Pair]:
         yield node, held
         if isinstance(node, (ast.With, ast.AsyncWith)):
             inner = held
@@ -110,19 +231,63 @@ def walk_with_locks(
                     inner = inner + (acquired,)
                 if item.optional_vars is not None:
                     yield from visit(item.optional_vars, inner)
-            for statement in node.body:
-                yield from visit(statement, inner)
+            yield from visit_body(node.body, inner)
             return
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not root:
             for decorator in node.decorator_list:
                 yield from visit(decorator, held)
-            for statement in node.body:
-                yield from visit(statement, ())
+            yield from visit_body(node.body, ())
             return
         if isinstance(node, ast.Lambda) and node is not root:
             yield from visit(node.body, ())
             return
-        for child in ast.iter_child_nodes(node):
-            yield from visit(child, held)
+        for _name, value in ast.iter_fields(node):
+            if _is_statement_list(value):
+                yield from visit_body(value, held)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.AST):
+                        yield from visit(item, held)
+            elif isinstance(value, ast.AST):
+                yield from visit(value, held)
+
+    def visit_body(
+        statements: Sequence[ast.stmt], held: Tuple[LockAcquisition, ...]
+    ) -> Generator[Pair, None, Tuple[LockAcquisition, ...]]:
+        """Visit a suite, threading manual acquire/release through it;
+        returns the held set in effect after the suite."""
+
+        for statement in statements:
+            if isinstance(statement, ast.Try):
+                # The canonical pairing: acquire before ``try``, release in
+                # ``finally``.  The body runs with the outer held set; the
+                # ``finally`` suite's releases determine what survives.
+                yield statement, held
+                held_after_body = yield from visit_body(statement.body, held)
+                for handler in statement.handlers:
+                    yield handler, held
+                    if handler.type is not None:
+                        yield from visit(handler.type, held)
+                    yield from visit_body(handler.body, held)
+                if statement.orelse:
+                    held_after_body = yield from visit_body(
+                        statement.orelse, held_after_body
+                    )
+                if statement.finalbody:
+                    held = yield from visit_body(
+                        statement.finalbody, held_after_body
+                    )
+                else:
+                    held = held_after_body
+                continue
+            yield from visit(statement, held)
+            acquired = manual_acquisition(statement)
+            if acquired is not None:
+                held = held + (acquired,)
+                continue
+            released = manual_release(statement)
+            if released is not None:
+                held = _drop_released(held, released)
+        return held
 
     yield from visit(root, ())

@@ -21,7 +21,12 @@ from .base import (
     register_rule,
 )
 from .findings import Finding
-from .locks_model import LockAcquisition, lock_acquisition, walk_with_locks
+from .locks_model import (
+    LockAcquisition,
+    lock_acquisition,
+    manual_acquisition,
+    walk_with_locks,
+)
 from .pragmas import GUARD_MODES
 
 __all__ = [
@@ -31,6 +36,10 @@ __all__ = [
     "LockGuardedAttrs",
     "LockOrder",
     "PublicSurface",
+    "RuntimeGuardedWrite",
+    "RuntimeLockLeak",
+    "RuntimeLockOrder",
+    "RuntimeWatchdog",
 ]
 
 _SELF_ATTR_RE = re.compile(r"^self\.(\w+)$")
@@ -218,24 +227,38 @@ class LockOrder(Rule):
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         for func in iter_functions(module.tree):
             for node, held in walk_with_locks(func):
-                if not isinstance(node, (ast.With, ast.AsyncWith)):
-                    continue
-                acquired_here: List[LockAcquisition] = []
-                for item in node.items:
-                    acquired = lock_acquisition(item.context_expr)
-                    if acquired is None:
-                        continue
-                    for prior in tuple(held) + tuple(acquired_here):
-                        if prior.base == acquired.base:
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    acquired_here: List[LockAcquisition] = []
+                    for item in node.items:
+                        acquired = lock_acquisition(item.context_expr)
+                        if acquired is None:
                             continue
-                        edge = (prior.leaf, acquired.leaf)
-                        self._edges.setdefault(
-                            edge,
-                            (module.path, acquired.line, func.name),
-                        )
-                    acquired_here.append(acquired)
+                        self._record_edges(module, func, held + tuple(acquired_here), acquired)
+                        acquired_here.append(acquired)
+                    continue
+                # Manual acquisitions (``lock.acquire_read()`` before a
+                # ``try``/``finally``) feed the same graph: the walker hands
+                # us the held set in effect just before the statement.
+                acquired = manual_acquisition(node)
+                if acquired is not None:
+                    self._record_edges(module, func, held, acquired)
         return
         yield  # pragma: no cover - makes check a generator
+
+    def _record_edges(
+        self,
+        module: ModuleContext,
+        func: ast.AST,
+        held: Tuple[LockAcquisition, ...],
+        acquired: LockAcquisition,
+    ) -> None:
+        for prior in held:
+            if prior.base == acquired.base:
+                continue
+            self._edges.setdefault(
+                (prior.leaf, acquired.leaf),
+                (module.path, acquired.line, func.name),
+            )
 
     def finalize(self) -> Iterator[Finding]:
         graph: Dict[str, Set[str]] = {}
@@ -652,6 +675,7 @@ class HotPathLoop(Rule):
                     )
 
 
+
 # ---------------------------------------------------------------------------
 # public-surface
 # ---------------------------------------------------------------------------
@@ -802,3 +826,71 @@ class PublicSurface(Rule):
                     ):
                         return True
         return False
+
+
+# ---------------------------------------------------------------------------
+# runtime-* (dynamic rules of repro.analysis.sanitizer)
+# ---------------------------------------------------------------------------
+
+
+class _RuntimeRule(Rule):
+    """A rule enforced dynamically by :mod:`repro.analysis.sanitizer`.
+
+    Registering it here keeps the single rule namespace honest: pragmas
+    may name it (``# repro: ignore[runtime-guarded-write] -- why``),
+    ``--select``/``--ignore`` resolve it, and ``repro list`` documents it.
+    The AST pass itself has nothing to check, so ``check`` yields nothing;
+    findings under this name come from armed ``REPRO_SANITIZE=1`` runs.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+
+@register_rule(
+    "runtime-guarded-write",
+    aliases=("sanitizer-guarded-write",),
+    summary="runtime: `# guarded-by` attribute written without the lock held (REPRO_SANITIZE=1)",
+    runtime=True,
+    static_counterpart="lock-guarded-attrs",
+)
+class RuntimeGuardedWrite(_RuntimeRule):
+    """Dynamic twin of ``lock-guarded-attrs``: the writing *thread* must
+    actually hold the declared lock, however it was acquired."""
+
+
+@register_rule(
+    "runtime-lock-order",
+    aliases=("sanitizer-lock-order",),
+    summary="runtime: observed lock acquisitions form no cycle (REPRO_SANITIZE=1)",
+    runtime=True,
+    static_counterpart="lock-order",
+)
+class RuntimeLockOrder(_RuntimeRule):
+    """Dynamic twin of ``lock-order`` over *observed* acquisition edges,
+    including manual and cross-function acquisitions the lexical graph
+    cannot see."""
+
+
+@register_rule(
+    "runtime-watchdog",
+    aliases=("sanitizer-watchdog",),
+    summary="runtime: no acquisition blocks past REPRO_SANITIZE_STALL seconds (wait-for dump)",
+    runtime=True,
+    static_counterpart=None,
+)
+class RuntimeWatchdog(_RuntimeRule):
+    """Stall detector: a blocked acquisition past the deadline dumps the
+    wait-for graph.  No static counterpart."""
+
+
+@register_rule(
+    "runtime-lock-leak",
+    aliases=("sanitizer-lock-leak",),
+    summary="runtime: threads release every instrumented lock before exiting",
+    runtime=True,
+    static_counterpart=None,
+)
+class RuntimeLockLeak(_RuntimeRule):
+    """A thread that dies holding a lock wedges every future writer; the
+    sanitizer reports it at the acquire site.  No static counterpart."""

@@ -6,11 +6,17 @@ PragmaIndex`, instantiating one fresh rule object per run, filtering
 findings through pragmas (with alias resolution, so ``# repro:
 ignore[guarded-attrs]`` suppresses ``lock-guarded-attrs``), validating the
 pragmas themselves, and rendering the final :class:`LintReport`.
+
+:func:`apply_baseline` layers incremental adoption on top: the first
+``repro lint --baseline findings.json`` run records the tree's current
+findings, later runs fail only on findings *not* in that recording.
 """
 
 from __future__ import annotations
 
 import ast
+import json
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -20,7 +26,7 @@ from .base import LINT_RULES, LintConfig, ModuleContext, Rule
 from .findings import Finding, render_json, render_text
 from .pragmas import PragmaIndex
 
-__all__ = ["LintReport", "iter_python_files", "lint_paths"]
+__all__ = ["LintReport", "apply_baseline", "iter_python_files", "lint_paths"]
 
 #: Rule name attached to meta-findings about the pragmas themselves.
 PRAGMA_RULE = "lint-pragma"
@@ -28,25 +34,40 @@ PRAGMA_RULE = "lint-pragma"
 
 @dataclass
 class LintReport:
-    """Outcome of one lint run: surviving findings plus run statistics."""
+    """Outcome of one lint run: surviving findings plus run statistics.
+
+    ``baselined`` counts findings absorbed by a recorded baseline (see
+    :func:`apply_baseline`); they are excluded from ``findings`` just like
+    pragma-suppressed ones, but tallied separately so reports stay honest
+    about why the run passed.
+    """
 
     findings: List[Finding] = field(default_factory=list)
     files: int = 0
     suppressed: int = 0
+    baselined: int = 0
 
     @property
     def clean(self) -> bool:
         return not self.findings
 
     def render_text(self) -> str:
-        return render_text(
+        text = render_text(
             self.findings, files=self.files, suppressed=self.suppressed
         )
+        if self.baselined:
+            text += f" ({self.baselined} matched the recorded baseline)"
+        return text
 
     def to_json(self) -> str:
-        return render_json(
+        text = render_json(
             self.findings, files=self.files, suppressed=self.suppressed
         )
+        if not self.baselined:
+            return text
+        payload = json.loads(text)
+        payload["baselined"] = self.baselined
+        return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -185,3 +206,71 @@ def lint_paths(
             kept.append(finding)
     kept.sort()
     return LintReport(findings=kept, files=len(files), suppressed=suppressed)
+
+
+def _baseline_key(path: str, rule: str, source: str, line: int) -> Tuple[str, str, str]:
+    # Source-anchored, so unrelated edits that shift line numbers do not
+    # resurrect baselined findings; findings without a source excerpt fall
+    # back to their line number.
+    return (path, rule, source if source else f"line:{line}")
+
+
+def apply_baseline(
+    report: LintReport, baseline_path: str
+) -> Tuple[LintReport, bool]:
+    """Filter ``report`` down to findings absent from a recorded baseline.
+
+    A missing baseline file is *recorded*: the report is written there
+    verbatim (the same JSON document as ``--format json``) and the report
+    comes back unfiltered with ``created=True`` — callers treat that run
+    as passing, so adopting the checker on a tree with legacy findings is
+    one command.  On later runs each baselined key (path, rule, source
+    excerpt) absorbs as many findings as the baseline recorded; anything
+    beyond that count is new and keeps failing the run.
+    """
+
+    target = Path(baseline_path)
+    if not target.exists():
+        try:
+            target.write_text(report.to_json() + "\n", encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(
+                f"cannot record lint baseline {baseline_path}: {exc}"
+            ) from exc
+        return report, True
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        allowance = Counter(
+            _baseline_key(
+                str(row["path"]),
+                str(row["rule"]),
+                str(row.get("source", "")),
+                int(row.get("line", 0)),
+            )
+            for row in payload["findings"]
+        )
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise AnalysisError(
+            f"cannot read lint baseline {baseline_path}: {exc}"
+        ) from exc
+    except (KeyError, TypeError, ValueError) as exc:
+        raise AnalysisError(
+            f"lint baseline {baseline_path} is malformed (expected the JSON "
+            f"written by `repro lint --format json`): {exc!r}"
+        ) from exc
+    kept: List[Finding] = []
+    matched = 0
+    for finding in report.findings:
+        key = _baseline_key(finding.path, finding.rule, finding.source, finding.line)
+        if allowance[key] > 0:
+            allowance[key] -= 1
+            matched += 1
+        else:
+            kept.append(finding)
+    filtered = LintReport(
+        findings=kept,
+        files=report.files,
+        suppressed=report.suppressed,
+        baselined=matched,
+    )
+    return filtered, False

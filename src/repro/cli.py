@@ -35,6 +35,13 @@ finds violations, which is how CI gates on it::
 
     python -m repro lint src/
     python -m repro lint src/repro/serving --format json
+    python -m repro lint src/ --baseline lint_baseline.json
+
+The ``sanitize-report`` verb renders the ``sanitizer_report.json`` a
+``REPRO_SANITIZE=1`` test run leaves behind (see
+:mod:`repro.analysis.sanitizer`), with the same exit-code contract::
+
+    python -m repro sanitize-report sanitizer_report.json
 
 Every command prints the regenerated table to stdout; ``--output`` also writes
 the underlying rows to CSV.
@@ -85,11 +92,11 @@ SERVING_COMMANDS = (
     "serve",
 )
 
-#: Static-analysis verbs: run the AST lint rules of :mod:`repro.analysis`
-#: over source paths.  A separate tuple (not folded into the above) because
-#: experiment and serving rosters are pinned by tests and drive
-#: registry-backed catalogues.
-ANALYSIS_COMMANDS = ("lint",)
+#: Analysis verbs: run the AST lint rules of :mod:`repro.analysis` over
+#: source paths, or render a saved runtime-sanitizer report.  A separate
+#: tuple (not folded into the above) because experiment and serving
+#: rosters are pinned by tests and drive registry-backed catalogues.
+ANALYSIS_COMMANDS = ("lint", "sanitize-report")
 
 #: Methods the ``build`` verb can persist (everything flagged ``servable``:
 #: the single-task partitioners).  Import-time snapshot for reference and
@@ -150,7 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
         "paths",
         nargs="*",
         metavar="PATH",
-        help="files or directories the 'lint' verb analyses (default: src)",
+        help="files or directories the 'lint' verb analyses (default: src), "
+        "or the report file 'sanitize-report' renders (default: "
+        "sanitizer_report.json)",
     )
     parser.add_argument(
         "--cities", nargs="+", default=list(PAPER_CITIES), help="cities to evaluate"
@@ -249,6 +258,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint report format: human-readable text (default) or the JSON "
         "document the CI static-analysis job archives",
     )
+    analysis.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="'lint' only: record current findings to FILE on first run, "
+        "then fail only on findings not in that recording (incremental "
+        "adoption on a tree with legacy findings)",
+    )
     transport = parser.add_argument_group("network transport ('serve' verb)")
     transport.add_argument(
         "--host",
@@ -319,6 +336,10 @@ def _experiment_catalogue() -> str:
     lines.append("Analysis verbs:")
     lines.append(
         f"  {'lint':16s} Static concurrency/invariant checks over source paths"
+    )
+    lines.append(
+        f"  {'sanitize-report':16s} Render the report a REPRO_SANITIZE=1 "
+        "test run wrote"
     )
     lines.append("Lint rules (suppress with '# repro: ignore[rule] -- why'):")
     from .analysis import LINT_RULES
@@ -690,11 +711,17 @@ def _run_lint(args: argparse.Namespace) -> int:
 
     Imported lazily so the experiment paths never pay for it.  ``--output``
     additionally writes the findings as CSV rows, like every other verb.
+    With ``--baseline FILE`` the first run records the tree's findings and
+    passes; later runs fail only on findings not in the recording.
     """
     from .analysis import lint_paths
+    from .analysis.runner import apply_baseline
 
     try:
         report = lint_paths(args.paths or ["src"])
+        recorded = False
+        if args.baseline:
+            report, recorded = apply_baseline(report, args.baseline)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -702,6 +729,35 @@ def _run_lint(args: argparse.Namespace) -> int:
     if args.output and report.findings:
         path = save_rows_csv([finding.to_dict() for finding in report.findings], args.output)
         print(f"wrote {len(report.findings)} findings to {path}", file=sys.stderr)
+    if recorded:
+        print(
+            f"recorded {len(report.findings)} finding(s) as the lint "
+            f"baseline at {args.baseline}; future runs fail only on new ones",
+            file=sys.stderr,
+        )
+        return 0
+    return 0 if report.clean else 1
+
+
+def _run_sanitize_report(args: argparse.Namespace) -> int:
+    """Render a saved runtime-sanitizer report with lint's exit contract.
+
+    The report is the ``sanitizer_report.json`` a ``REPRO_SANITIZE=1`` test
+    session wrote at exit (path overridable via ``REPRO_SANITIZE_REPORT``);
+    this verb re-renders it for humans or CI without re-running the tests.
+    """
+    from .analysis import load_report
+
+    paths = args.paths or ["sanitizer_report.json"]
+    if len(paths) > 1:
+        print("error: 'sanitize-report' renders exactly one report file", file=sys.stderr)
+        return 2
+    try:
+        report = load_report(paths[0])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.lint_format == "json" else report.render_text())
     return 0 if report.clean else 1
 
 
@@ -718,11 +774,21 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment not in ANALYSIS_COMMANDS:
         if args.paths:
-            parser.error("positional PATH arguments apply to the 'lint' verb only")
+            parser.error(
+                "positional PATH arguments apply to the analysis verbs "
+                "('lint', 'sanitize-report') only"
+            )
         if args.lint_format:
-            parser.error("--format applies to the 'lint' verb only")
+            parser.error(
+                "--format applies to the analysis verbs "
+                "('lint', 'sanitize-report') only"
+            )
+    if args.baseline and args.experiment != "lint":
+        parser.error("--baseline applies to the 'lint' verb only")
     if args.experiment == "lint":
         return _run_lint(args)
+    if args.experiment == "sanitize-report":
+        return _run_sanitize_report(args)
 
     if args.experiment in ("build", "deploy", "swap-shard") and not args.artifact:
         parser.error(f"'{args.experiment}' requires --artifact")

@@ -24,7 +24,6 @@ the same lock).
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
@@ -32,6 +31,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 from ..config import ServingConfig
 from ..exceptions import PartitionError
 from ..io.artifacts import bundle_fingerprint
+from .locks import new_rlock
 from .server import PartitionServer
 
 
@@ -65,7 +65,7 @@ class ArtifactCache:
         # RLock, not Lock: PartitionServer.from_artifact may re-enter the
         # interpreter arbitrarily, and a reentrant guard keeps any future
         # internal call back into the cache from deadlocking.
-        self._mutex = threading.RLock()
+        self._mutex = new_rlock("cache.mutex")
         self._hits = 0  # guarded-by: self._mutex
         self._misses = 0  # guarded-by: self._mutex
         self._evictions = 0  # guarded-by: self._mutex

@@ -49,7 +49,6 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
@@ -65,7 +64,7 @@ from ..validation import check_version, did_you_mean
 from .cache import ArtifactCache
 # Re-exported: ReadWriteLock lived here through PR 5 and
 # `repro.serving.engine.ReadWriteLock` stays importable.
-from .locks import ReadWriteLock
+from .locks import ReadWriteLock, new_lock, new_rwlock
 from .protocol import LATEST, LocateRequest, QueryResult, RangeRequest
 from .server import PartitionServer
 from .sharding import ShardedDeployment
@@ -130,7 +129,7 @@ class _Version:
         # unmaterialised version; per-version (not engine-wide) so the
         # engine itself adds no cross-deployment serialisation on top of
         # the cache's.
-        self.load_lock = threading.Lock()
+        self.load_lock = new_lock("version.load_lock")
 
 
 class _Deployment:
@@ -147,8 +146,8 @@ class _Deployment:
         self.name = name
         self.versions: "OrderedDict[int, _Version]" = OrderedDict()  # guarded-by(writes): self.lock
         self.active = 0  # guarded-by(writes): self.lock
-        self.lock = ReadWriteLock()
-        self.counters = threading.Lock()
+        self.lock = new_rwlock("deployment.lock")
+        self.counters = new_lock("deployment.counters")
         self.queries = 0  # guarded-by: self.counters
         self.points = 0  # guarded-by: self.counters
         self.located = 0  # guarded-by: self.counters
@@ -216,7 +215,7 @@ class ServingEngine:
         # Guards the deployment *table* (create/remove/snapshot); each
         # deployment's version history has its own read/write lock, and
         # each version its own materialisation lock.
-        self._lock = threading.Lock()
+        self._lock = new_lock("engine.table_lock")
 
     # -- deployment lifecycle -------------------------------------------------
 

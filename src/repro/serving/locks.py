@@ -6,15 +6,84 @@
 primitive — the engine imports sharding, so the lock had to live below
 both.  :mod:`repro.serving.engine` re-exports it unchanged, and
 ``repro.serving.ReadWriteLock`` remains the public name.
+
+This module is also the instrumentation seam of the runtime concurrency
+sanitizer (:mod:`repro.analysis.sanitizer`).  Serving code constructs its
+locks through the ``new_lock`` / ``new_rlock`` / ``new_condition`` /
+``new_rwlock`` factories below instead of calling :mod:`threading`
+directly.  With the sanitizer disarmed (the default) each factory returns
+the raw primitive — the only cost is one ``is None`` check *at
+construction time*, so the query hot path is byte-for-byte what it was
+before the seam existed.  When the sanitizer arms (``REPRO_SANITIZE=1``
+or programmatically) it installs a factory via :func:`set_lock_factory`
+and every subsequently-built lock is a recording wrapper.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator, Optional
 
-__all__ = ["ReadWriteLock"]
+__all__ = [
+    "ReadWriteLock",
+    "new_condition",
+    "new_lock",
+    "new_rlock",
+    "new_rwlock",
+    "set_lock_factory",
+]
+
+#: When armed, a callable ``factory(kind, label)`` with ``kind`` one of
+#: ``"lock"``, ``"rlock"``, ``"condition"``, ``"rwlock"``; ``None`` means
+#: the factories below return raw primitives.
+_LOCK_FACTORY: Optional[Callable[[str, str], object]] = None
+
+
+def set_lock_factory(factory: Optional[Callable[[str, str], object]]) -> None:
+    """Install (or, with ``None``, remove) the sanitizer's lock factory.
+
+    Called by :mod:`repro.analysis.sanitizer` on arm/disarm; nothing else
+    should touch this.  Locks built while a factory was installed keep
+    their wrapper after removal — they simply stop recording.
+    """
+
+    global _LOCK_FACTORY
+    _LOCK_FACTORY = factory
+
+
+def new_lock(label: str) -> object:
+    """A ``threading.Lock`` (or its sanitizer wrapper when armed)."""
+
+    if _LOCK_FACTORY is None:
+        return threading.Lock()
+    return _LOCK_FACTORY("lock", label)
+
+
+def new_rlock(label: str) -> object:
+    """A ``threading.RLock`` (or its sanitizer wrapper when armed)."""
+
+    if _LOCK_FACTORY is None:
+        return threading.RLock()
+    return _LOCK_FACTORY("rlock", label)
+
+
+def new_condition(label: str) -> object:
+    """A ``threading.Condition`` (or its sanitizer wrapper when armed)."""
+
+    if _LOCK_FACTORY is None:
+        return threading.Condition()
+    return _LOCK_FACTORY("condition", label)
+
+
+def new_rwlock(label: str) -> "ReadWriteLock":
+    """A :class:`ReadWriteLock` (or its sanitizer subclass when armed)."""
+
+    if _LOCK_FACTORY is None:
+        return ReadWriteLock()
+    lock = _LOCK_FACTORY("rwlock", label)
+    assert isinstance(lock, ReadWriteLock)
+    return lock
 
 
 class ReadWriteLock:

@@ -74,7 +74,6 @@ per-node memory win only materialises when tiles live on separate nodes.
 from __future__ import annotations
 
 import os
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -84,7 +83,7 @@ from ..config import ServingConfig
 from ..exceptions import GridError, ServingError
 from ..spatial.geometry import BoundingBox
 from ..spatial.partition import Partition
-from .locks import ReadWriteLock
+from .locks import ReadWriteLock, new_lock, new_rwlock
 from .server import PartitionServer, region_counts_from_assignment
 
 __all__ = [
@@ -317,8 +316,8 @@ class _Shard:
         self.col = col
         self.row_start = row_start
         self.col_start = col_start
-        self.lock = ReadWriteLock()
-        self.counter_lock = threading.Lock()
+        self.lock = new_rwlock("shard.lock")
+        self.counter_lock = new_lock("shard.counter_lock")
         self.points_served = 0  # guarded-by: self.counter_lock
         self._history: List[np.ndarray] = [labels]  # guarded-by(writes): self.lock
         self._active = 0  # guarded-by(writes): self.lock
@@ -426,8 +425,8 @@ class ShardedDeployment:
             )
         # Orders tile mutation + index republish (and lazy singleton
         # builds) against each other; never held by the query path.
-        self._admin_lock = threading.Lock()
-        self._counter_lock = threading.Lock()
+        self._admin_lock = new_lock("sharded.admin_lock")
+        self._counter_lock = new_lock("sharded.counter_lock")
         self._fused_points = 0  # guarded-by: self._counter_lock
         self._index = TileGridIndex(  # guarded-by(writes): self._admin_lock
             self._geometry, [shard.labels for shard in self._shards]

@@ -1,0 +1,76 @@
+"""Runtime-sanitizer fixture: a guarded class violated on demand.
+
+Imported (not just linted) by ``tests/analysis/test_sanitizer.py``; the
+sanitizer instruments this module so the injection tests can trigger each
+violation class deliberately.  Lock labels are unique to this fixture so
+its edges never collide with the serving stack's graph.
+"""
+
+import threading
+
+from repro.serving.locks import new_lock, new_rwlock
+
+
+class GuardedBox:
+    """Two guarded fields: a mutex-guarded value, an RW-guarded tally."""
+
+    def __init__(self):
+        self.lock = new_lock("fixture.box_lock")
+        self.rw = new_rwlock("fixture.box_rw")
+        self.value = 0  # guarded-by: self.lock
+        self.tally = 0  # guarded-by(writes): self.rw
+
+    def set_safely(self, value):
+        with self.lock:
+            self.value = value
+
+    def set_unsafely(self, value):
+        self.value = value
+
+    def set_under_read(self, value):
+        with self.rw.read():
+            self.tally = value
+
+    def set_under_write(self, value):
+        with self.rw.write():
+            self.tally = value
+
+    def set_suppressed(self, value):
+        self.value = value  # repro: ignore[lock-guarded-attrs] -- deliberate injection fixture: static-counterpart pragma must silence the runtime finding too
+
+    def set_suppressed_runtime(self, value):
+        self.value = value  # repro: ignore[runtime-guarded-write] -- deliberate injection fixture: runtime rule named directly
+
+
+def hold_forever(lock, started, release):
+    """Acquire ``lock`` and park until ``release`` is set."""
+
+    with lock:
+        started.set()
+        release.wait()
+
+
+def acquire_in_order(first, second, started=None, go=None, timeout=2.0):
+    """Acquire ``first`` then ``second`` (with a timeout so a deliberate
+    deadlock unwinds); the opposite-order twin runs in another thread."""
+
+    with first:
+        if started is not None:
+            started.set()
+        if go is not None:
+            go.wait()
+        if second.acquire(timeout=timeout):
+            second.release()
+
+
+def leak_lock(lock, acquired):
+    """Acquire ``lock`` and exit the thread without releasing it."""
+
+    lock.acquire()
+    acquired.set()
+
+
+def run_in_thread(target, *args, name=None):
+    thread = threading.Thread(target=target, args=args, name=name)
+    thread.start()
+    return thread

@@ -1,0 +1,31 @@
+"""Opposite-order *manual* acquisitions: the lock-order graph must see
+edges from statement-level ``acquire()`` calls, not just ``with`` blocks."""
+
+import threading
+
+alpha_lock = threading.Lock()
+beta_lock = threading.Lock()
+
+
+def alpha_then_beta():
+    alpha_lock.acquire()
+    try:
+        beta_lock.acquire()
+        try:
+            pass
+        finally:
+            beta_lock.release()
+    finally:
+        alpha_lock.release()
+
+
+def beta_then_alpha():
+    beta_lock.acquire()
+    try:
+        alpha_lock.acquire()
+        try:
+            pass
+        finally:
+            alpha_lock.release()
+    finally:
+        beta_lock.release()

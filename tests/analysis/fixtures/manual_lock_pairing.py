@@ -1,0 +1,41 @@
+"""Manual ``acquire()``/``release()`` pairing in try/finally: the lexical
+model threads these through the suite, so guarded writes under a manually
+acquired lock are clean and writes after the release are findings."""
+
+import threading
+
+from repro.serving.locks import ReadWriteLock
+
+
+class ManualBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rwlock = ReadWriteLock()
+        self.value = 0  # guarded-by: self._lock
+        self.tally = 0  # guarded-by(writes): self._rwlock
+
+    def bump_manual(self):
+        self._lock.acquire()
+        try:
+            self.value += 1
+        finally:
+            self._lock.release()
+
+    def bump_after_release(self):
+        self._lock.acquire()
+        self._lock.release()
+        self.value += 1  # BAD: the lock was already released
+
+    def tally_manual_write(self):
+        self._rwlock.acquire_write()
+        try:
+            self.tally += 1
+        finally:
+            self._rwlock.release_write()
+
+    def tally_under_manual_read(self):
+        self._rwlock.acquire_read()
+        try:
+            self.tally += 1  # BAD: read mode does not license writes
+        finally:
+            self._rwlock.release_read()

@@ -1,0 +1,130 @@
+"""Unit tests for the lexical lock model's manual-pairing extension:
+statement-level ``acquire*()``/``release*()`` calls thread held state
+through the suite that contains them."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.locks_model import (
+    manual_acquisition,
+    manual_release,
+    walk_with_locks,
+)
+
+
+def held_at_returns(source):
+    """Map each ``return <int>`` marker to the held lock bases there."""
+    tree = ast.parse(source)
+    markers = {}
+    for node, held in walk_with_locks(tree):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Constant):
+            markers[node.value.value] = [
+                (acq.base, acq.mode) for acq in held
+            ]
+    return markers
+
+
+def test_try_finally_pairing_threads_through_the_suite():
+    markers = held_at_returns(
+        "def f(self):\n"
+        "    self._lock.acquire()\n"
+        "    try:\n"
+        "        return 1\n"
+        "    finally:\n"
+        "        self._lock.release()\n"
+        "    return 2\n"
+    )
+    assert markers[1] == [("self._lock", "exclusive")]
+    assert markers[2] == []
+
+
+def test_rw_manual_modes():
+    markers = held_at_returns(
+        "def f(rw):\n"
+        "    rw.acquire_read()\n"
+        "    try:\n"
+        "        return 1\n"
+        "    finally:\n"
+        "        rw.release_read()\n"
+        "    rw.acquire_write()\n"
+        "    return 2\n"
+    )
+    assert markers[1] == [("rw", "read")]
+    assert markers[2] == [("rw", "write")]
+
+
+def test_sequential_acquire_release_scopes_the_held_region():
+    markers = held_at_returns(
+        "def f(self):\n"
+        "    return 1\n"
+        "    self._mutex.acquire()\n"
+        "    return 2\n"
+        "    self._mutex.release()\n"
+        "    return 3\n"
+    )
+    assert markers == {1: [], 2: [("self._mutex", "exclusive")], 3: []}
+
+
+def test_conditional_acquisition_does_not_escape_the_branch():
+    markers = held_at_returns(
+        "def f(self, flag):\n"
+        "    if flag:\n"
+        "        self._lock.acquire()\n"
+        "        return 1\n"
+        "    return 2\n"
+    )
+    assert markers[1] == [("self._lock", "exclusive")]
+    assert markers[2] == []
+
+
+def test_manual_acquire_nests_inside_with_blocks():
+    markers = held_at_returns(
+        "def f(self):\n"
+        "    with self._mutex:\n"
+        "        self._other_lock.acquire()\n"
+        "        try:\n"
+        "            return 1\n"
+        "        finally:\n"
+        "            self._other_lock.release()\n"
+        "    return 2\n"
+    )
+    assert markers[1] == [
+        ("self._mutex", "exclusive"),
+        ("self._other_lock", "exclusive"),
+    ]
+    assert markers[2] == []
+
+
+def test_bare_acquire_needs_a_lockish_receiver():
+    stmt = ast.parse("session.acquire()").body[0]
+    assert manual_acquisition(stmt) is None
+    stmt = ast.parse("session.acquire_write()").body[0]
+    acq = manual_acquisition(stmt)
+    assert acq is not None and acq.mode == "write"
+
+
+def test_conditional_acquire_result_is_not_an_acquisition():
+    stmt = ast.parse("if lock.acquire(timeout=1):\n    pass").body[0]
+    assert manual_acquisition(stmt) is None
+
+
+def test_manual_release_shapes():
+    assert manual_release(ast.parse("self._lock.release()").body[0]) == (
+        "self._lock",
+        "exclusive",
+    )
+    assert manual_release(ast.parse("rw.release_read()").body[0]) == (
+        "rw",
+        "read",
+    )
+    assert manual_release(ast.parse("session.release()").body[0]) is None
+
+
+def test_unbalanced_release_is_harmless():
+    markers = held_at_returns(
+        "def f(self):\n"
+        "    self._lock.release()\n"
+        "    return 1\n"
+    )
+    assert markers[1] == []

@@ -124,3 +124,20 @@ def test_unknown_pragma_rule_is_reported():
     report = lint_fixture("unknown_pragma.py")
     assert [f.rule for f in report.findings] == ["lint-pragma"]
     assert "no-such-rule" in report.findings[0].message
+
+
+def test_manual_try_finally_pairing_understood():
+    """Writes under a manually acquired lock are clean; writes after the
+    release (or under read mode) are the only findings."""
+    report = lint_fixture("manual_lock_pairing.py")
+    assert [f.rule for f in report.findings] == ["lock-guarded-attrs"] * 2
+    after_release, under_read = report.findings
+    assert after_release.source == "self.value += 1  # BAD: the lock was already released"
+    assert under_read.source == "self.tally += 1  # BAD: read mode does not license writes"
+
+
+def test_manual_opposite_order_acquisitions_form_a_cycle():
+    report = lint_fixture("manual_lock_order.py")
+    assert [f.rule for f in report.findings] == ["lock-order"]
+    (finding,) = report.findings
+    assert "alpha_lock" in finding.message and "beta_lock" in finding.message

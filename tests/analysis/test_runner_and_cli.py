@@ -36,7 +36,7 @@ def test_src_tree_lints_clean():
 # -- registry ----------------------------------------------------------------
 
 
-def test_all_six_rules_registered_in_order():
+def test_all_rules_registered_in_order():
     assert LINT_RULES.names() == (
         "lock-guarded-attrs",
         "lock-order",
@@ -44,6 +44,10 @@ def test_all_six_rules_registered_in_order():
         "exception-discipline",
         "hot-path-loop",
         "public-surface",
+        "runtime-guarded-write",
+        "runtime-lock-order",
+        "runtime-watchdog",
+        "runtime-lock-leak",
     )
 
 
@@ -141,7 +145,7 @@ def test_text_report_mentions_rule_and_location():
 
 
 def test_analysis_commands_tuple():
-    assert ANALYSIS_COMMANDS == ("lint",)
+    assert ANALYSIS_COMMANDS == ("lint", "sanitize-report")
 
 
 def test_cli_lint_clean_exits_zero(capsys):
@@ -175,10 +179,13 @@ def test_cli_lint_output_writes_csv(tmp_path, capsys):
 def test_cli_rejects_lint_flags_on_other_verbs(capsys):
     with pytest.raises(SystemExit):
         run(["ence", "--format", "json"])
-    assert "--format applies to the 'lint' verb only" in capsys.readouterr().err
+    assert "--format applies to the analysis verbs" in capsys.readouterr().err
     with pytest.raises(SystemExit):
         run(["deployments", str(FIXTURES)])
-    assert "'lint' verb only" in capsys.readouterr().err
+    assert "analysis verbs" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        run(["sanitize-report", "--baseline", "x.json"])
+    assert "--baseline applies to the 'lint' verb only" in capsys.readouterr().err
 
 
 def test_cli_catalogue_lists_lint(capsys):
@@ -186,3 +193,99 @@ def test_cli_catalogue_lists_lint(capsys):
     out = capsys.readouterr().out
     assert "lint" in out
     assert "lock-guarded-attrs" in out
+    assert "sanitize-report" in out
+    assert "runtime-guarded-write" in out
+
+
+# -- lint --baseline ---------------------------------------------------------
+
+
+def test_baseline_first_run_records_and_passes(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code = run(
+        ["lint", str(FIXTURES / "public_surface.py"), "--baseline", str(baseline)]
+    )
+    assert code == 0
+    assert baseline.exists()
+    payload = json.loads(baseline.read_text())
+    assert payload["findings"]
+    assert "recorded" in capsys.readouterr().err
+
+
+def test_baseline_second_run_passes_on_same_findings(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    target = str(FIXTURES / "public_surface.py")
+    assert run(["lint", target, "--baseline", str(baseline)]) == 0
+    assert run(["lint", target, "--baseline", str(baseline)]) == 0
+
+
+def test_baseline_fails_only_on_new_findings(tmp_path, capsys):
+    from repro.analysis.runner import apply_baseline
+
+    baseline = tmp_path / "baseline.json"
+    old = lint_paths([str(FIXTURES / "public_surface.py")])
+    _, created = apply_baseline(old, str(baseline))
+    assert created
+    combined = lint_paths(
+        [str(FIXTURES / "public_surface.py"), str(FIXTURES / "cyclic_lock_order.py")],
+        LintConfig(raise_scope=()),
+    )
+    filtered, created = apply_baseline(combined, str(baseline))
+    assert not created
+    assert filtered.baselined == len(old.findings)
+    assert [f.rule for f in filtered.findings] == ["lock-order"]
+    assert "matched the recorded baseline" in filtered.render_text()
+
+
+def test_baseline_malformed_file_exits_two(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("not json")
+    code = run(
+        ["lint", str(FIXTURES / "public_surface.py"), "--baseline", str(baseline)]
+    )
+    assert code == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+# -- sanitize-report verb ----------------------------------------------------
+
+
+def _saved_report(tmp_path, findings=()):
+    from repro.analysis import SanitizerReport
+    from repro.analysis.findings import Finding
+
+    report = SanitizerReport(
+        findings=[Finding(**row) for row in findings],
+        files=len({row["path"] for row in findings}),
+        events_total=len(findings),
+    )
+    return report.save(str(tmp_path / "sanitizer_report.json"))
+
+
+def test_cli_sanitize_report_clean_exits_zero(tmp_path, capsys):
+    path = _saved_report(tmp_path)
+    assert run(["sanitize-report", str(path)]) == 0
+    assert "0 runtime events" in capsys.readouterr().out
+
+
+def test_cli_sanitize_report_findings_exit_one(tmp_path, capsys):
+    path = _saved_report(
+        tmp_path,
+        findings=[
+            {
+                "path": "src/repro/serving/engine.py",
+                "line": 3,
+                "rule": "runtime-guarded-write",
+                "message": "thread `w` wrote guarded attribute",
+            }
+        ],
+    )
+    assert run(["sanitize-report", str(path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"][0]["rule"] == "runtime-guarded-write"
+    assert payload["events_total"] == 1
+
+
+def test_cli_sanitize_report_missing_file_exits_two(tmp_path, capsys):
+    assert run(["sanitize-report", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err

@@ -20,6 +20,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 import pytest
 
+from repro.analysis import sanitized
 from repro.config import ServingConfig
 from repro.exceptions import ServingError
 from repro.io.artifacts import save_partition_artifact
@@ -52,58 +53,76 @@ def query_points():
     return rng.uniform(-0.05, 1.05, 400), rng.uniform(-0.05, 1.05, 400)
 
 
+def _run_engine_swap_race(xs, ys, n_readers=N_READERS, n_swaps=N_SWAPS):
+    """The 8-reader x 24-swap oracle race, reusable so the sanitized rerun
+    drives the identical workload: every response bit-exact against the
+    single-threaded oracle for the version it reports."""
+    partitions = _partitions(3)
+    servers = [PartitionServer(p) for p in partitions]
+
+    # The swap schedule is deterministic: version v serves
+    # partitions[(v - 1) % 3].  Oracle computed single-threaded up front.
+    oracle = {
+        version: servers[(version - 1) % 3].locate_points(xs, ys)
+        for version in range(1, n_swaps + 2)
+    }
+
+    engine = ServingEngine()
+    engine.deploy("city", servers[0])
+
+    stop = threading.Event()
+    failures = []
+    observed_versions = set()
+
+    def reader():
+        request = LocateRequest(deployment="city", xs=tuple(xs), ys=tuple(ys))
+        while not stop.is_set():
+            result = engine.locate(request)
+            observed_versions.add(result.version)
+            if result.version not in oracle:
+                failures.append(f"unknown version {result.version}")
+                return
+            if not np.array_equal(result.regions, oracle[result.version]):
+                failures.append(f"torn read at version {result.version}")
+                return
+
+    threads = [threading.Thread(target=reader) for _ in range(n_readers)]
+    for thread in threads:
+        thread.start()
+    try:
+        for swap in range(n_swaps):
+            # Brief pause between swaps so readers interleave with every
+            # version, not just the last one — the point is the race.
+            time.sleep(0.005)
+            engine.deploy("city", servers[(swap + 1) % 3])
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+    assert not failures, failures[:5]
+    # The race is real: readers saw more than one version fly by.
+    assert len(observed_versions) > 1
+    assert max(observed_versions) <= n_swaps + 1
+    stats = engine.stats["deployments"]["city"]
+    assert stats["swaps"] == n_swaps
+
+
 class TestReadersRacingHotSwaps:
     def test_no_torn_reads_against_single_threaded_oracle(self, query_points):
         """8 reader threads x 24 hot-swaps: every response bit-exact."""
         xs, ys = query_points
-        partitions = _partitions(3)
-        servers = [PartitionServer(p) for p in partitions]
+        _run_engine_swap_race(xs, ys)
 
-        # The swap schedule is deterministic: version v serves
-        # partitions[(v - 1) % 3].  Oracle computed single-threaded up front.
-        oracle = {
-            version: servers[(version - 1) % 3].locate_points(xs, ys)
-            for version in range(1, N_SWAPS + 2)
-        }
-
-        engine = ServingEngine()
-        engine.deploy("city", servers[0])
-
-        stop = threading.Event()
-        failures = []
-        observed_versions = set()
-
-        def reader():
-            request = LocateRequest(deployment="city", xs=tuple(xs), ys=tuple(ys))
-            while not stop.is_set():
-                result = engine.locate(request)
-                observed_versions.add(result.version)
-                if result.version not in oracle:
-                    failures.append(f"unknown version {result.version}")
-                    return
-                if not np.array_equal(result.regions, oracle[result.version]):
-                    failures.append(f"torn read at version {result.version}")
-                    return
-
-        threads = [threading.Thread(target=reader) for _ in range(N_READERS)]
-        for thread in threads:
-            thread.start()
-        try:
-            for swap in range(N_SWAPS):
-                # Brief pause between swaps so readers interleave with every
-                # version, not just the last one — the point is the race.
-                time.sleep(0.005)
-                engine.deploy("city", servers[(swap + 1) % 3])
-        finally:
-            stop.set()
-            for thread in threads:
-                thread.join(timeout=30)
-        assert not failures, failures[:5]
-        # The race is real: readers saw more than one version fly by.
-        assert len(observed_versions) > 1
-        assert max(observed_versions) <= N_SWAPS + 1
-        stats = engine.stats["deployments"]["city"]
-        assert stats["swaps"] == N_SWAPS
+    def test_oracle_race_runs_clean_under_the_sanitizer(self, query_points):
+        """The identical 8x24 race, instrumented: the runtime sanitizer
+        observes every lock acquisition and guarded write the race performs
+        and must report nothing — the dynamic twin of the static rules'
+        `repro lint src` gate."""
+        xs, ys = query_points
+        with sanitized() as sink:
+            _run_engine_swap_race(xs, ys)
+        report = sink.report()
+        assert report.clean, "\n" + report.render_text()
 
     def test_pinned_queries_survive_swaps(self, query_points):
         """A reader pinned to v1 must keep answering v1 under swaps."""

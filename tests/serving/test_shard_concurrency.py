@@ -26,6 +26,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 import pytest
 
+from repro.analysis import sanitized
 from repro.config import ServingConfig
 from repro.serving import ShardedDeployment
 from repro.spatial.grid import Grid
@@ -195,6 +196,14 @@ class TestShardSwapSmoke:
     def test_counters_exact_under_pool(self):
         _run_counter_hammer(n_threads=4, batches_per_thread=5, n_points=200)
 
+    def test_sanitized_smoke_race_runs_clean(self):
+        """Small sanitized rerun of the tile-swap race for tier-1: the
+        instrumented shard locks must produce zero runtime findings."""
+        with sanitized() as sink:
+            _run_swap_race(n_readers=2, n_ops=6, pause=0.002)
+        report = sink.report()
+        assert report.clean, "\n" + report.render_text()
+
     def test_parallel_dispatch_deterministic(self):
         partition = uniform_partition(Grid(16, 16), 4, 4)
         sharded = ShardedDeployment(
@@ -220,6 +229,16 @@ class TestShardSwapStress:
 
     def test_counters_survive_sustained_hammering(self):
         _run_counter_hammer(n_threads=8, batches_per_thread=25, n_points=1000)
+
+    def test_sanitized_rerun_of_the_full_oracle_race(self):
+        """8 readers x 24 tile ops under the runtime sanitizer: the oracle
+        still holds AND the instrumented locks/guarded attributes produce
+        zero findings (the dynamic half of the concurrency contract)."""
+        with sanitized() as sink:
+            _run_swap_race(n_readers=N_READERS, n_ops=N_OPS)
+            _run_counter_hammer(n_threads=8, batches_per_thread=10, n_points=500)
+        report = sink.report()
+        assert report.clean, "\n" + report.render_text()
 
     def test_determinism_under_concurrent_dispatch(self):
         """Many threads dispatching the same batch concurrently on the
