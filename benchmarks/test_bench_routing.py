@@ -384,6 +384,92 @@ def test_sanitizer_overhead(benchmark, output_dir):
     _flush_sections(output_dir)
 
 
+#: Ceiling on concurrently-live batch-sized buffers (8 MB each at 10^6
+#: points) during one engine dispatch, measured by tracemalloc peak.  The
+#: audited path holds ~3.1 (two coordinate temporaries plus the result,
+#: with the boolean masks adding the fraction); one reintroduced
+#: whole-batch copy — an ``astype`` without ``copy=False``, a defensive
+#: ``.copy()`` — adds a full +1.0 and breaks this budget.
+MAX_LIVE_BATCH_BUFFERS = 4.0
+
+#: Ceiling on buffers still referenced after the call: the int64
+#: assignment itself (1.0) plus slack for small bookkeeping.
+MAX_RETAINED_BATCH_BUFFERS = 1.25
+
+
+@pytest.mark.benchmark(group="serving")
+def test_dispatch_allocation_budget(benchmark, output_dir):
+    """One 10^6-point dispatch must stay within a fixed allocation budget.
+
+    The wall-clock benchmarks above catch *slow*; this catches *fat*.
+    tracemalloc traces every numpy buffer (numpy allocates through the
+    Python memory hooks), so the peak traced memory over one
+    ``engine.locate_points`` call, expressed in batch-sized buffers, is an
+    exact count of how many whole-batch arrays the locate path keeps live
+    at once — the number the hot-path-copy lint rule bounds statically.
+    """
+    import gc
+    import tracemalloc
+
+    partition = _build_partition()
+    server = PartitionServer(partition)
+    engine = ServingEngine()
+    engine.deploy("la", server)
+    bounds = partition.grid.bounds
+    rng = np.random.default_rng(41)
+    size = 1_000_000
+    xs = rng.uniform(bounds.min_x, bounds.max_x, size)
+    ys = rng.uniform(bounds.min_y, bounds.max_y, size)
+    batch_bytes = size * 8.0
+
+    measurements = {}
+
+    def run() -> None:
+        engine.locate_points("la", xs, ys)  # warm caches and lazy imports
+        gc.collect()
+        tracemalloc.start()
+        try:
+            baseline, _ = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            assignment = engine.locate_points("la", xs, ys)
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert assignment.size == size
+        measurements["live"] = (peak - baseline) / batch_bytes
+        measurements["retained"] = (current - baseline) / batch_bytes
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert measurements["live"] <= MAX_LIVE_BATCH_BUFFERS, (
+        f"dispatch held {measurements['live']:.2f} batch-sized buffers live "
+        f"at peak (budget {MAX_LIVE_BATCH_BUFFERS}); a whole-batch copy "
+        "crept back into the locate path"
+    )
+    assert measurements["retained"] <= MAX_RETAINED_BATCH_BUFFERS, (
+        f"dispatch retained {measurements['retained']:.2f} batch-sized "
+        f"buffers after returning (budget {MAX_RETAINED_BATCH_BUFFERS}); "
+        "something beyond the assignment survived the call"
+    )
+
+    _SECTIONS["4_alloc"] = format_table(
+        [
+            {
+                "points": size,
+                "batch_buffer_mb": batch_bytes / 1e6,
+                "peak_live_buffers": measurements["live"],
+                "live_budget": MAX_LIVE_BATCH_BUFFERS,
+                "retained_buffers": measurements["retained"],
+                "retained_budget": MAX_RETAINED_BATCH_BUFFERS,
+            }
+        ],
+        title="Dispatch allocation budget — tracemalloc peak over one "
+        "10^6-point engine dispatch, in batch-sized (8 MB) buffers; the "
+        "budget pins the audited copy-free locate path",
+    )
+    _flush_sections(output_dir)
+
+
 def _synthetic_labels(side: int, n_regions: int = 4096) -> np.ndarray:
     """A ``side x side`` int64 label grid, synthesised in row chunks so the
     10^8-cell tier never materialises a second full-size temporary."""

@@ -9,11 +9,13 @@ suites (e.g. ``tests/serving/test_shard_concurrency.py``): stress tests
 are *skipped by default* so tier-1 stays fast, and run explicitly with
 ``pytest -m stress`` (CI's smoke job does).
 
-With ``REPRO_SANITIZE=1`` the session runs under the runtime concurrency
-sanitizer (:mod:`repro.analysis.sanitizer`): the serving stack's locks and
-``# guarded-by`` attributes are instrumented for the whole run, and at
-exit the report is written to ``sanitizer_report.json`` (path overridable
-via ``REPRO_SANITIZE_REPORT``).  Unsuppressed runtime findings fail the
+With ``REPRO_SANITIZE=1`` the session runs under the runtime sanitizer
+(:mod:`repro.analysis.sanitizer`): the serving stack's locks and
+``# guarded-by`` attributes are instrumented for the whole run, hot-path
+functions carrying ``# array:`` / ``# returns:`` contracts get their
+dtype/shape/contiguity validated at every call boundary, and at exit the
+report is written to ``sanitizer_report.json`` (path overridable via
+``REPRO_SANITIZE_REPORT``).  Unsuppressed runtime findings fail the
 session even if every test passed.
 """
 
@@ -43,8 +45,8 @@ def pytest_configure(config):
         _SANITIZER = sanitizer.Sanitizer()
         sanitizer.arm(_SANITIZER)
         sys.stderr.write(
-            "repro sanitizer armed: instrumenting serving locks and "
-            "guarded attributes (REPRO_SANITIZE=1)\n"
+            "repro sanitizer armed: instrumenting serving locks, guarded "
+            "attributes, and array contracts (REPRO_SANITIZE=1)\n"
         )
 
 

@@ -1,8 +1,7 @@
 """Static analysis for the repro serving stack: ``repro lint``.
 
-An AST-walker lint framework plus six repo-specific rules that enforce the
-concurrency and API invariants PRs 5–6 introduced dynamically (stress
-tests) as *static* guarantees:
+An AST-walker lint framework plus repo-specific rules that enforce the
+concurrency, API, and numeric invariants the serving stack relies on:
 
 ``lock-guarded-attrs``
     Attributes declared ``# guarded-by: self._lock`` are only touched
@@ -21,14 +20,29 @@ tests) as *static* guarantees:
     No Python-level loops over ndarrays in hot modules.
 ``public-surface``
     ``__all__`` stays honest; deprecated shims emit ``DeprecationWarning``.
+``array-contract``
+    ``# array: name dtype[shape]`` / ``# returns: dtype[shape]`` contract
+    comments on hot-path functions and fields are well-formed and not
+    contradicted by the lexical numpy dataflow
+    (:mod:`repro.analysis.arrays_model`).
+``hot-path-copy``
+    No copy-producing idioms (``astype`` without ``copy=False``,
+    ``tolist``, ``np.append``, in-loop concatenation, strided
+    ``tobytes``) on the array-hot modules.
+``dtype-churn``
+    No silent dtype changes (object fallback, provable narrowing casts)
+    on the array-hot modules.
+``hot-path-alloc``
+    No per-iteration buffer allocations inside loops on the array-hot
+    modules.
 
 The same invariants are also checked *dynamically*: the runtime sanitizer
 (:mod:`repro.analysis.sanitizer`, armed by ``REPRO_SANITIZE=1`` or
-programmatically) instruments the serving stack's locks and guarded
-attributes during test execution and reports violations under the
-``runtime-*`` rule names (``runtime-guarded-write``,
-``runtime-lock-order``, ``runtime-watchdog``, ``runtime-lock-leak``)
-through the same :class:`Finding` vocabulary.
+programmatically) instruments the serving stack's locks, guarded
+attributes, and array contracts during test execution and reports
+violations under the ``runtime-*`` rule names (``runtime-guarded-write``,
+``runtime-lock-order``, ``runtime-watchdog``, ``runtime-lock-leak``,
+``runtime-array-contract``) through the same :class:`Finding` vocabulary.
 
 Violations are suppressed per-line with ``# repro: ignore[rule-name] --
 justification``; see :mod:`repro.analysis.pragmas` for the full comment
@@ -40,11 +54,12 @@ rule or its static counterpart.
 from .base import LINT_RULES, LintConfig, ModuleContext, Rule, register_rule
 from .events import RuntimeEvent, SanitizerReport, load_report
 from .findings import Finding
-from .pragmas import GuardComment, PragmaIndex
+from .pragmas import ArrayContract, GuardComment, PragmaIndex
 from .runner import LintReport, iter_python_files, lint_paths
 from .sanitizer import Sanitizer, arm, disarm, enabled_from_env, sanitized
 
 __all__ = [
+    "ArrayContract",
     "Finding",
     "GuardComment",
     "LINT_RULES",

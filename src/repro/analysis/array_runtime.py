@@ -1,0 +1,259 @@
+"""Runtime array-contract validation: the dynamic twin of ``array-contract``.
+
+When the sanitizer arms (``REPRO_SANITIZE=1`` or ``with sanitized():``),
+every function carrying an ``# array:`` / ``# returns:`` contract in the
+instrumented modules is wrapped with a validator that checks the *live*
+arrays at each call boundary:
+
+* dtype against the declared canonical dtype;
+* rank against the declared dimension list;
+* symbolic dimensions for consistency within one call (two arguments both
+  declared ``[n]`` must agree, and must match a ``# returns: ...[n]``);
+* integer dimensions exactly;
+* C-contiguity when the contract says ``contiguous``.
+
+Violations are recorded as ``runtime-array-contract`` findings anchored at
+the function's ``def`` line and flow through the sanitizer's normal
+report/pragma machinery — ``RUNTIME_COUNTERPARTS`` pairs the rule with
+``array-contract``, so one ``# repro: ignore[array-contract]`` pragma on
+that line suppresses both twins.
+
+Only :class:`numpy.ndarray` values are validated; lists, tuples and
+scalars pass through untouched (coercion happens inside the function, and
+the static rule checks that coercion instead).  When nothing is armed the
+wrappers are not even installed, so the cost is exactly zero.
+
+This module deliberately takes the active sink as a *callable*
+(``sink_provider``) instead of importing :mod:`.sanitizer`, which imports
+us — the same inversion ``serving/locks.py`` uses for its lock factory.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import inspect
+from dataclasses import dataclass
+from pathlib import Path
+from types import FunctionType, ModuleType
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .arrays_model import canonical_dtype, extract_contracts
+from .pragmas import ArrayContract, PragmaIndex
+
+__all__ = [
+    "DEFAULT_CONTRACT_MODULES",
+    "RUNTIME_RULE",
+    "instrument_contracts",
+    "remove_contract_patches",
+]
+
+RUNTIME_RULE = "runtime-array-contract"
+
+#: Modules whose contracts are validated whenever the sanitizer arms —
+#: the annotated serving/spatial/core stack.  ``arm()`` adds whatever
+#: modules it was given on top (so test fixtures passed via
+#: ``sanitized(extra_modules=...)`` are contract-checked too).
+DEFAULT_CONTRACT_MODULES: Tuple[str, ...] = (
+    "repro.serving.backends",
+    "repro.serving.server",
+    "repro.serving.engine",
+    "repro.serving.sharding",
+    "repro.serving.http",
+    "repro.serving.client",
+    "repro.spatial.grid",
+    "repro.core.split_engine",
+)
+
+
+@dataclass
+class _FunctionPatch:
+    """Undo record for one wrapped function."""
+
+    owner: Union[ModuleType, type]
+    name: str
+    original: object
+
+
+#: (id(owner), attr) -> patch, so nested armed scopes never double-wrap.
+_PATCHED_FUNCS: Dict[Tuple[int, str], _FunctionPatch] = {}
+
+
+def _normalise_path(filename: str) -> str:
+    path = Path(filename)
+    try:
+        return path.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _format_contract(contract: ArrayContract) -> str:
+    text = contract.dtype
+    if contract.shape is not None:
+        text += "[" + ", ".join(contract.shape) + "]"
+    if contract.contiguous:
+        text += " contiguous"
+    return text
+
+
+def _violations(
+    value: object, contract: ArrayContract, dims: Dict[str, int]
+) -> List[str]:
+    """Why ``value`` breaks ``contract`` (empty when it doesn't).
+
+    ``dims`` accumulates the sizes bound to symbolic dimension names over
+    one call, giving cross-argument consistency for free.
+    """
+    if not isinstance(value, np.ndarray):
+        return []
+    problems: List[str] = []
+    declared = canonical_dtype(contract.dtype)
+    if declared is not None and value.dtype.name != declared:
+        problems.append(f"got dtype {value.dtype.name}")
+    if contract.shape is not None:
+        if value.ndim != len(contract.shape):
+            problems.append(f"got rank {value.ndim}")
+        else:
+            for position, spec in enumerate(contract.shape):
+                actual = int(value.shape[position])
+                if spec == "*":
+                    continue
+                if spec.isdigit():
+                    if actual != int(spec):
+                        problems.append(f"dimension {position} is {actual}, not {spec}")
+                    continue
+                expected = dims.setdefault(spec, actual)
+                if actual != expected:
+                    problems.append(
+                        f"dimension `{spec}` is {actual} here but {expected} "
+                        "elsewhere in the call"
+                    )
+    if contract.contiguous and not value.flags["C_CONTIGUOUS"]:
+        problems.append("not C-contiguous")
+    return problems
+
+
+def _make_wrapper(
+    original: FunctionType,
+    qualname: str,
+    args: Dict[str, ArrayContract],
+    returns: Optional[ArrayContract],
+    path: str,
+    line: int,
+    sink_provider: Callable[[], Optional[object]],
+) -> FunctionType:
+    signature = inspect.signature(original)
+
+    @functools.wraps(original)
+    def wrapper(*call_args, **call_kwargs):
+        sink = sink_provider()
+        if sink is None:
+            return original(*call_args, **call_kwargs)
+        dims: Dict[str, int] = {}
+        try:
+            bound = signature.bind_partial(*call_args, **call_kwargs)
+        except TypeError:
+            bound = None  # the original call will raise the real error
+        if bound is not None:
+            for name, contract in args.items():
+                if name not in bound.arguments:
+                    continue
+                for problem in _violations(bound.arguments[name], contract, dims):
+                    sink.record(
+                        RUNTIME_RULE,
+                        path,
+                        line,
+                        f"{qualname}(): argument `{name}` breaks "
+                        f"`{_format_contract(contract)}`: {problem}",
+                    )
+        result = original(*call_args, **call_kwargs)
+        if returns is not None:
+            for problem in _violations(result, returns, dims):
+                sink.record(
+                    RUNTIME_RULE,
+                    path,
+                    line,
+                    f"{qualname}(): return value breaks "
+                    f"`{_format_contract(returns)}`: {problem}",
+                )
+        return result
+
+    return wrapper
+
+
+def _resolve_owner(
+    module: ModuleType, qualname: str
+) -> Optional[Tuple[Union[ModuleType, type], str]]:
+    """(owner, attribute) holding the function named ``qualname``, or None
+    when it is not reachable by attribute access (nested functions)."""
+    parts = qualname.split(".")
+    owner: object = module
+    for part in parts[:-1]:
+        owner = getattr(owner, part, None)
+        if not isinstance(owner, type):
+            return None
+    if not isinstance(owner, (ModuleType, type)):
+        return None
+    return owner, parts[-1]
+
+
+def instrument_contracts(
+    modules: Sequence[Union[str, ModuleType]],
+    sink_provider: Callable[[], Optional[object]],
+) -> List[_FunctionPatch]:
+    """Wrap every contract-annotated function of ``modules`` with the
+    runtime validator; returns the patches added by this call (functions
+    another armed scope already wrapped are skipped)."""
+    import importlib
+
+    added: List[_FunctionPatch] = []
+    for entry in modules:
+        module = entry if isinstance(entry, ModuleType) else importlib.import_module(entry)
+        filename = getattr(module, "__file__", None)
+        if not filename:
+            continue
+        try:
+            source = Path(filename).read_text()
+            tree = ast.parse(source)
+        except (OSError, SyntaxError):
+            continue
+        contracts = extract_contracts(tree, PragmaIndex.from_source(source))
+        path = _normalise_path(filename)
+        for entry_fc in contracts.contracted_functions():
+            resolved = _resolve_owner(module, entry_fc.qualname)
+            if resolved is None:
+                continue
+            owner, attr = resolved
+            key = (id(owner), attr)
+            if key in _PATCHED_FUNCS:
+                continue
+            if isinstance(owner, type):
+                original = owner.__dict__.get(attr)
+            else:
+                original = getattr(owner, attr, None)
+            if not isinstance(original, FunctionType):
+                continue  # properties, staticmethods, descriptors: skip
+            wrapper = _make_wrapper(
+                original,
+                entry_fc.qualname,
+                dict(entry_fc.args),
+                entry_fc.returns,
+                path,
+                entry_fc.node.lineno,
+                sink_provider,
+            )
+            setattr(owner, attr, wrapper)
+            patch = _FunctionPatch(owner=owner, name=attr, original=original)
+            _PATCHED_FUNCS[key] = patch
+            added.append(patch)
+    return added
+
+
+def remove_contract_patches(patches: Sequence[_FunctionPatch]) -> None:
+    """Restore the originals of ``patches`` (reverse of
+    :func:`instrument_contracts`)."""
+    for patch in patches:
+        setattr(patch.owner, patch.name, patch.original)
+        _PATCHED_FUNCS.pop((id(patch.owner), patch.name), None)

@@ -1,0 +1,514 @@
+"""Lexical numpy dataflow: dtype/shape/provenance inference over ASTs.
+
+This is the third pillar of ``repro.analysis`` (after the lock model and
+the runtime sanitizer): a deliberately *lexical* model of how numpy values
+flow through a module.  It does not execute anything and does not chase
+imports — it recognises the numpy idioms this repo's hot paths are built
+from (constructors, ``astype``, ``asarray``, ``frombuffer``, concatenation)
+and tracks the resulting dtype and rank through straight-line assignments.
+
+Three consumers build on it:
+
+* :func:`extract_contracts` resolves the ``# array:`` / ``# returns:``
+  comments parsed by :class:`~repro.analysis.pragmas.PragmaIndex` into
+  per-function and per-field contracts (and surfaces malformed ones);
+* the static rules in :mod:`repro.analysis.array_rules` compare declared
+  contracts against inferred dataflow and spot copy/churn idioms;
+* the runtime validator in :mod:`repro.analysis.array_runtime` checks the
+  same contracts against live arrays at call boundaries.
+
+Like the lock model, the inference is best-effort by design: ``None``
+always means "unknown — say nothing", never "wrong".  Rules only fire when
+the model is certain, which is what keeps ``repro lint src`` a merge gate
+rather than a noise source.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from .pragmas import ArrayContract, PragmaIndex
+
+__all__ = [
+    "ArrayValue",
+    "FieldContract",
+    "FunctionContracts",
+    "ModuleContracts",
+    "canonical_dtype",
+    "extract_contracts",
+    "infer_expr",
+    "is_narrowing",
+    "iter_statements",
+    "numpy_call_name",
+    "resolve_dtype_node",
+    "seed_environment",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+# ---------------------------------------------------------------------------
+# Dtype canonicalisation
+# ---------------------------------------------------------------------------
+
+#: Every dtype spelling the model understands, mapped to the canonical
+#: numpy name (``np.dtype(x).name``).  Python builtins follow the numpy
+#: defaults on a 64-bit platform (``int`` -> int64, ``float`` -> float64).
+_DTYPE_SPELLINGS: Dict[str, str] = {
+    "float64": "float64", "f8": "float64", "double": "float64",
+    "float": "float64", "float_": "float64",
+    "float32": "float32", "f4": "float32", "single": "float32",
+    "float16": "float16", "f2": "float16",
+    "int64": "int64", "i8": "int64", "int": "int64",
+    "int_": "int64", "long": "int64", "intp": "int64",
+    "int32": "int32", "i4": "int32",
+    "int16": "int16", "i2": "int16",
+    "int8": "int8", "i1": "int8",
+    "uint64": "uint64", "u8": "uint64",
+    "uint32": "uint32", "u4": "uint32",
+    "uint16": "uint16", "u2": "uint16",
+    "uint8": "uint8", "u1": "uint8",
+    "bool": "bool", "bool_": "bool",
+    "object": "object", "object_": "object", "o": "object",
+    "complex128": "complex128", "complex": "complex128", "c16": "complex128",
+}
+
+#: (family, byte width) per canonical dtype, for narrowing detection.
+_DTYPE_WIDTHS: Dict[str, Tuple[str, int]] = {
+    "float64": ("float", 8), "float32": ("float", 4), "float16": ("float", 2),
+    "int64": ("int", 8), "int32": ("int", 4), "int16": ("int", 2),
+    "int8": ("int", 1),
+    "uint64": ("uint", 8), "uint32": ("uint", 4), "uint16": ("uint", 2),
+    "uint8": ("uint", 1),
+}
+
+
+def canonical_dtype(spelling: Optional[str]) -> Optional[str]:
+    """Canonical numpy dtype name for ``spelling``, or None if unknown.
+
+    Accepts numpy names, char codes, byte-order-prefixed strings
+    (``"<f8"``) and the Python builtins numpy coerces (``float`` ->
+    float64, ``int`` -> int64 on this platform).
+    """
+    if not spelling:
+        return None
+    return _DTYPE_SPELLINGS.get(spelling.strip().lstrip("<>=|").lower())
+
+
+def is_narrowing(source: str, target: str) -> bool:
+    """True when converting ``source`` -> ``target`` loses precision or
+    range within one numeric family (int64 -> int32, float64 -> float32)."""
+    src = _DTYPE_WIDTHS.get(source)
+    dst = _DTYPE_WIDTHS.get(target)
+    if src is None or dst is None:
+        return False
+    return src[0] == dst[0] and dst[1] < src[1]
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+
+def numpy_call_name(call: ast.Call) -> Optional[str]:
+    """Dotted name of a ``np.*`` / ``numpy.*`` call (``"zeros"``,
+    ``"add.at"``), or None when the callee is not rooted at numpy."""
+    parts: List[str] = []
+    node = call.func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id in ("np", "numpy") and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_dtype_node(node: Optional[ast.expr]) -> Optional[str]:
+    """Canonical dtype named by a ``dtype=`` argument expression."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return canonical_dtype(node.value)
+    if isinstance(node, ast.Name):
+        return canonical_dtype(node.id)
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id in ("np", "numpy"):
+            return canonical_dtype(node.attr)
+    return None
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _shape_rank(node: Optional[ast.expr]) -> Optional[int]:
+    """Rank implied by a constructor's shape argument, when literal."""
+    if node is None:
+        return None
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return len(node.elts)
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return 1
+    if isinstance(node, ast.Attribute) and node.attr == "shape":
+        return None
+    return None
+
+
+def iter_statements(node: ast.AST) -> Iterator[ast.stmt]:
+    """All statements under ``node`` in source order, without descending
+    into nested function or class definitions."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(child, ast.stmt):
+            yield child
+            yield from iter_statements(child)
+        elif isinstance(child, (ast.ExceptHandler,)) or hasattr(child, "body"):
+            yield from iter_statements(child)
+
+
+# ---------------------------------------------------------------------------
+# Value model + expression inference
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayValue:
+    """What the model knows about one numpy value.  ``None`` fields mean
+    "unknown"; ``writable=False`` marks read-only views (frombuffer)."""
+
+    dtype: Optional[str] = None
+    rank: Optional[int] = None
+    writable: bool = True
+    provenance: str = ""
+
+
+#: numpy constructors whose result dtype defaults to float64 when no
+#: ``dtype=`` is given.
+_FLOAT_DEFAULT_CONSTRUCTORS = ("zeros", "ones", "empty", "linspace")
+
+#: methods that preserve the receiver's dtype.
+_DTYPE_PRESERVING_METHODS = (
+    "copy", "ravel", "reshape", "flatten", "cumsum", "view",
+    "transpose", "squeeze", "clip", "round", "take", "repeat",
+)
+
+#: numpy functions that merge their first (sequence) argument's dtype.
+_CONCAT_FUNCTIONS = ("concatenate", "stack", "vstack", "hstack", "column_stack")
+
+
+def _infer_constant(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool):
+            return "bool"
+        if isinstance(node.value, int):
+            return "int64"
+        if isinstance(node.value, float):
+            return "float64"
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _infer_constant(node.operand)
+    return None
+
+
+def infer_expr(
+    expr: ast.expr, env: Optional[Dict[str, ArrayValue]] = None
+) -> Optional[ArrayValue]:
+    """Best-effort :class:`ArrayValue` of ``expr`` under ``env`` (a
+    name -> value map), or None when the model cannot tell."""
+    env = env or {}
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id)
+    if isinstance(expr, ast.IfExp):
+        body = infer_expr(expr.body, env)
+        orelse = infer_expr(expr.orelse, env)
+        if body is not None and orelse is not None:
+            if body.dtype == orelse.dtype:
+                return body
+            return None
+        return body if body is not None else orelse
+    if isinstance(expr, ast.Subscript):
+        receiver = infer_expr(expr.value, env)
+        if receiver is not None:
+            return ArrayValue(dtype=receiver.dtype, provenance="subscript")
+        return None
+    if not isinstance(expr, ast.Call):
+        return None
+    return _infer_call(expr, env)
+
+
+def _infer_call(call: ast.Call, env: Dict[str, ArrayValue]) -> Optional[ArrayValue]:
+    name = numpy_call_name(call)
+    if name is not None:
+        return _infer_numpy_call(name, call, env)
+    # Method calls: x.astype(...), x.copy(), ...
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        receiver = infer_expr(func.value, env)
+        if func.attr == "astype":
+            dtype_node = call.args[0] if call.args else _keyword(call, "dtype")
+            dtype = resolve_dtype_node(dtype_node)
+            return ArrayValue(
+                dtype=dtype,
+                rank=receiver.rank if receiver else None,
+                provenance="astype",
+            )
+        if func.attr in _DTYPE_PRESERVING_METHODS and receiver is not None:
+            rank = receiver.rank
+            if func.attr in ("ravel", "flatten"):
+                rank = 1
+            elif func.attr == "reshape":
+                rank = _shape_rank(call.args[0] if call.args else None) or None
+            return ArrayValue(dtype=receiver.dtype, rank=rank, provenance=func.attr)
+    return None
+
+
+def _infer_numpy_call(
+    name: str, call: ast.Call, env: Dict[str, ArrayValue]
+) -> Optional[ArrayValue]:
+    dtype_kw = resolve_dtype_node(_keyword(call, "dtype"))
+    if name in _FLOAT_DEFAULT_CONSTRUCTORS:
+        rank = _shape_rank(call.args[0] if call.args else None)
+        return ArrayValue(dtype=dtype_kw or "float64", rank=rank, provenance=name)
+    if name == "full":
+        rank = _shape_rank(call.args[0] if call.args else None)
+        fill = _infer_constant(call.args[1]) if len(call.args) > 1 else None
+        return ArrayValue(dtype=dtype_kw or fill, rank=rank, provenance=name)
+    if name == "frombuffer":
+        return ArrayValue(
+            dtype=dtype_kw or "float64", rank=1, writable=False, provenance=name
+        )
+    if name == "arange":
+        kinds = [_infer_constant(arg) for arg in call.args]
+        inferred = None
+        if kinds and all(k is not None for k in kinds):
+            inferred = "float64" if "float64" in kinds else "int64"
+        return ArrayValue(dtype=dtype_kw or inferred, rank=1, provenance=name)
+    if name in ("array", "asarray", "ascontiguousarray", "asfortranarray"):
+        source = infer_expr(call.args[0], env) if call.args else None
+        return ArrayValue(
+            dtype=dtype_kw or (source.dtype if source else None),
+            rank=source.rank if source else None,
+            provenance=name,
+        )
+    if name in ("zeros_like", "ones_like", "empty_like", "full_like"):
+        source = infer_expr(call.args[0], env) if call.args else None
+        return ArrayValue(
+            dtype=dtype_kw or (source.dtype if source else None),
+            rank=source.rank if source else None,
+            provenance=name,
+        )
+    if name in _CONCAT_FUNCTIONS:
+        pieces = call.args[0] if call.args else None
+        if isinstance(pieces, (ast.Tuple, ast.List)) and pieces.elts:
+            first = infer_expr(pieces.elts[0], env)
+            if first is not None:
+                return ArrayValue(dtype=dtype_kw or first.dtype, provenance=name)
+        return ArrayValue(dtype=dtype_kw, provenance=name)
+    if name == "searchsorted":
+        return ArrayValue(dtype="int64", provenance=name)
+    if name in ("count_nonzero", "flatnonzero"):
+        return ArrayValue(dtype="int64", rank=1, provenance=name)
+    if name == "bincount":
+        return ArrayValue(dtype="int64", rank=1, provenance=name)
+    return None
+
+
+def seed_environment(contracts: "FunctionContracts") -> Dict[str, ArrayValue]:
+    """Initial name -> value map for a function: its argument contracts."""
+    env: Dict[str, ArrayValue] = {}
+    for name, contract in contracts.args.items():
+        env[name] = ArrayValue(
+            dtype=canonical_dtype(contract.dtype),
+            rank=len(contract.shape) if contract.shape is not None else None,
+            provenance="contract",
+        )
+    return env
+
+
+# ---------------------------------------------------------------------------
+# Contract extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionContracts:
+    """The ``# array:`` / ``# returns:`` contracts of one function."""
+
+    node: FunctionNode
+    qualname: str
+    args: Dict[str, ArrayContract] = field(default_factory=dict)
+    returns: Optional[ArrayContract] = None
+
+
+@dataclass(frozen=True)
+class FieldContract:
+    """A contract attached to a ``self.<attr> = ...`` assignment line."""
+
+    contract: ArrayContract
+    attr: str
+    qualname: str
+
+
+@dataclass
+class ModuleContracts:
+    """Every resolved contract of one module, plus what failed to resolve.
+
+    ``problems`` carries ``(contract, reason)`` pairs — unknown dtype
+    spellings, contracts that attach nowhere, argument contracts naming no
+    parameter — which the ``array-contract`` rule reports verbatim, the
+    same way ``lint-pragma`` reports unknown rule names.
+    """
+
+    functions: List[FunctionContracts] = field(default_factory=list)
+    fields: List[FieldContract] = field(default_factory=list)
+    problems: List[Tuple[ArrayContract, str]] = field(default_factory=list)
+
+    def contracted_functions(self) -> List[FunctionContracts]:
+        return [fc for fc in self.functions if fc.args or fc.returns is not None]
+
+
+def _function_parameters(node: FunctionNode) -> List[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _collect_functions(tree: ast.Module) -> List[Tuple[FunctionNode, str]]:
+    found: List[Tuple[FunctionNode, str]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                found.append((child, qualname))
+                visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return found
+
+
+def _field_assignments(tree: ast.Module) -> Dict[int, str]:
+    """line -> attribute name for every ``self.<attr> = ...`` statement."""
+    fields: Dict[int, str] = {}
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                fields.setdefault(node.lineno, target.attr)
+    return fields
+
+
+def extract_contracts(tree: ast.Module, pragmas: PragmaIndex) -> ModuleContracts:
+    """Resolve the module's contract comments against its AST.
+
+    An ``# array: name dtype[shape]`` comment attaches to the field
+    assigned on its line when there is one, otherwise to the innermost
+    function whose span contains the line (where ``name`` must be a
+    parameter).  ``# returns:`` always attaches to the enclosing function.
+    """
+    result = ModuleContracts()
+    functions = _collect_functions(tree)
+    fields = _field_assignments(tree)
+    by_node: Dict[int, FunctionContracts] = {}
+
+    def enclosing(line: int) -> Optional[Tuple[FunctionNode, str]]:
+        best: Optional[Tuple[FunctionNode, str]] = None
+        for node, qualname in functions:
+            end = node.end_lineno or node.lineno
+            if node.lineno <= line <= end:
+                if best is None or node.lineno > best[0].lineno:
+                    best = (node, qualname)
+        return best
+
+    def function_entry(node: FunctionNode, qualname: str) -> FunctionContracts:
+        entry = by_node.get(id(node))
+        if entry is None:
+            entry = FunctionContracts(node=node, qualname=qualname)
+            by_node[id(node)] = entry
+            result.functions.append(entry)
+        return entry
+
+    for contract in pragmas.contracts:
+        if canonical_dtype(contract.dtype) is None:
+            result.problems.append(
+                (contract, f"unknown dtype `{contract.dtype}`")
+            )
+            continue
+        home = enclosing(contract.line)
+        if contract.kind == "returns":
+            if contract.name is not None:
+                result.problems.append(
+                    (contract, "`# returns:` does not take a name")
+                )
+                continue
+            if home is None:
+                result.problems.append(
+                    (contract, "`# returns:` outside any function")
+                )
+                continue
+            entry = function_entry(*home)
+            if entry.returns is not None:
+                result.problems.append(
+                    (contract, f"duplicate `# returns:` on {entry.qualname}()")
+                )
+                continue
+            entry.returns = contract
+            continue
+        # kind == "array"
+        attr = fields.get(contract.line)
+        if attr is not None:
+            name = contract.name or attr
+            if name != attr:
+                result.problems.append(
+                    (contract, f"contract names `{name}` but the line assigns `self.{attr}`")
+                )
+                continue
+            qualname = home[1] if home is not None else "<module>"
+            result.fields.append(
+                FieldContract(contract=contract, attr=attr, qualname=qualname)
+            )
+            continue
+        if home is None:
+            result.problems.append(
+                (contract, "not attached to a function or a `self.<attr>` assignment")
+            )
+            continue
+        if contract.name is None:
+            result.problems.append(
+                (contract, "`# array:` needs a name: `# array: xs float64[n]`")
+            )
+            continue
+        node, qualname = home
+        if contract.name not in _function_parameters(node):
+            result.problems.append(
+                (contract, f"{qualname}() has no parameter `{contract.name}`")
+            )
+            continue
+        entry = function_entry(node, qualname)
+        if contract.name in entry.args:
+            result.problems.append(
+                (contract, f"duplicate contract for `{contract.name}` on {qualname}()")
+            )
+            continue
+        entry.args[contract.name] = contract
+    return result

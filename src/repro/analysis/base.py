@@ -22,6 +22,7 @@ from .findings import Finding
 from .pragmas import PragmaIndex
 
 __all__ = [
+    "DEFAULT_ARRAY_HOT_PATHS",
     "LINT_RULES",
     "LintConfig",
     "ModuleContext",
@@ -36,6 +37,22 @@ DEFAULT_HOT_PATHS: Tuple[str, ...] = (
     "*/serving/backends.py",
     "*/serving/sharding.py",
     "*/spatial/queries.py",
+)
+
+#: Modules whose numpy code is held to the copy/allocation discipline of
+#: the array rules (``hot-path-copy``, ``hot-path-alloc``, ``dtype-churn``).
+#: Wider than :data:`DEFAULT_HOT_PATHS` (which bans Python-level loops and
+#: would be too strict for the engine/protocol layers): this set is every
+#: module a locate batch flows through, build artifact to wire.
+DEFAULT_ARRAY_HOT_PATHS: Tuple[str, ...] = (
+    "*/serving/backends.py",
+    "*/serving/server.py",
+    "*/serving/engine.py",
+    "*/serving/sharding.py",
+    "*/serving/http.py",
+    "*/serving/client.py",
+    "*/spatial/grid.py",
+    "*/core/split_engine.py",
 )
 
 #: Packages whose raised exceptions must descend from ``ReproError``.  The
@@ -54,6 +71,7 @@ class LintConfig:
     """Per-run knobs: rule selection and per-path scoping."""
 
     hot_paths: Tuple[str, ...] = DEFAULT_HOT_PATHS
+    array_hot_paths: Tuple[str, ...] = DEFAULT_ARRAY_HOT_PATHS
     raise_scope: Tuple[str, ...] = DEFAULT_RAISE_SCOPE
     select: Optional[Tuple[str, ...]] = None
     ignore: Tuple[str, ...] = ()
@@ -76,6 +94,10 @@ class LintConfig:
     def is_hot(self, path: str) -> bool:
         posix = path.replace("\\", "/")
         return any(fnmatch(posix, pattern) for pattern in self.hot_paths)
+
+    def is_array_hot(self, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        return any(fnmatch(posix, pattern) for pattern in self.array_hot_paths)
 
     def in_raise_scope(self, path: str) -> bool:
         posix = path.replace("\\", "/")

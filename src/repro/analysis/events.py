@@ -41,6 +41,7 @@ RUNTIME_COUNTERPARTS: Dict[str, Optional[str]] = {
     "runtime-lock-order": "lock-order",
     "runtime-watchdog": None,
     "runtime-lock-leak": None,
+    "runtime-array-contract": "array-contract",
 }
 
 

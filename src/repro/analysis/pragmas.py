@@ -13,6 +13,17 @@ Two comment forms carry meaning for ``repro lint``:
     guards writes only, for fields where racy reads are deliberately
     tolerated (e.g. monotonic counters).
 
+``# array: xs float64[n]`` / ``# returns: int64[n]``
+    Declares the numpy dtype (and optionally the symbolic shape) of a
+    function argument, a field assigned on that line, or the function's
+    return value.  Placed inside a function body (conventionally right
+    after the docstring) the contract attaches to that function; placed on
+    a ``self.<attr> = ...`` line it attaches to the field.  A trailing
+    ``contiguous`` flag additionally requires C-contiguous layout:
+    ``# array: buf float64[n] contiguous``.  Contracts drive the
+    ``array-contract`` lint rule and the runtime validator
+    (``runtime-array-contract``).
+
 Comments are extracted with :mod:`tokenize` so ``#`` inside string literals
 never parses as a directive; if tokenisation fails (e.g. the file is being
 linted despite a syntax error) we fall back to a per-line scan.
@@ -26,11 +37,21 @@ import tokenize
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-__all__ = ["GuardComment", "PragmaIndex"]
+__all__ = ["ArrayContract", "GuardComment", "PragmaIndex"]
 
 _PRAGMA_RE = re.compile(r"#\s*repro:\s*ignore\[(?P<rules>[^\]]*)\]")
 _GUARD_RE = re.compile(
     r"#\s*guarded-by(?:\((?P<mode>[a-z]+)\))?\s*:\s*(?P<expr>[A-Za-z_][\w.]*)"
+)
+# Anchored to the whole comment so prose like "# returns: the count" can
+# never parse as a contract; only the exact grammar is recognised.
+_ARRAY_RE = re.compile(
+    r"#\s*(?P<kind>array|returns)\s*:"
+    r"(?:\s+(?P<name>[A-Za-z_]\w*))?"
+    r"\s+(?P<dtype>[A-Za-z_]\w*)"
+    r"(?:\[(?P<shape>[^\]]*)\])?"
+    r"(?P<contiguous>\s+contiguous)?"
+    r"\s*$"
 )
 
 GUARD_MODES = ("all", "writes")
@@ -43,6 +64,25 @@ class GuardComment:
     line: int
     expr: str
     mode: str = "all"
+
+
+@dataclass(frozen=True)
+class ArrayContract:
+    """An ``# array:`` / ``# returns:`` declaration found on ``line``.
+
+    ``kind`` is ``"array"`` (an argument or field contract, with ``name``)
+    or ``"returns"`` (the function's return value, ``name`` is ``None``).
+    ``shape`` is the declared dimension list — symbolic names, integer
+    literals, or ``*`` wildcards — or ``None`` when only the dtype was
+    declared.  ``contiguous`` requires C-contiguous layout at runtime.
+    """
+
+    line: int
+    kind: str
+    name: str | None
+    dtype: str
+    shape: Tuple[str, ...] | None = None
+    contiguous: bool = False
 
 
 def _iter_comments(source: str) -> List[Tuple[int, str]]:
@@ -70,6 +110,7 @@ class PragmaIndex:
 
     ignores: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
     guards: List[GuardComment] = field(default_factory=list)
+    contracts: List[ArrayContract] = field(default_factory=list)
 
     @classmethod
     def from_source(cls, source: str) -> "PragmaIndex":
@@ -91,6 +132,24 @@ class PragmaIndex:
                         line=lineno,
                         expr=guard.group("expr"),
                         mode=guard.group("mode") or "all",
+                    )
+                )
+            contract = _ARRAY_RE.match(comment)
+            if contract is not None:
+                shape_text = contract.group("shape")
+                shape = (
+                    tuple(dim.strip() for dim in shape_text.split(",") if dim.strip())
+                    if shape_text is not None
+                    else None
+                )
+                index.contracts.append(
+                    ArrayContract(
+                        line=lineno,
+                        kind=contract.group("kind"),
+                        name=contract.group("name"),
+                        dtype=contract.group("dtype"),
+                        shape=shape,
+                        contiguous=contract.group("contiguous") is not None,
                     )
                 )
         return index

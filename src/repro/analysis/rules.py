@@ -1,9 +1,11 @@
-"""The six repo-specific lint rules.
+"""The repo-specific lint rules (concurrency, hygiene, and their runtime twins).
 
 Each rule encodes one invariant the serving stack relies on.  They are
 registered on :data:`~repro.analysis.base.LINT_RULES` and discovered lazily
 when the registry is first queried, mirroring how partitioners and serving
-backends register themselves.
+backends register themselves.  The array-contract rules live in
+:mod:`repro.analysis.array_rules` and are pulled in at the bottom of this
+module so one import populates the whole registry in a stable order.
 """
 
 from __future__ import annotations
@@ -30,12 +32,17 @@ from .locks_model import (
 from .pragmas import GUARD_MODES
 
 __all__ = [
+    "ArrayContractRule",
     "BlockingUnderLock",
+    "DtypeChurn",
     "ExceptionDiscipline",
+    "HotPathAlloc",
+    "HotPathCopy",
     "HotPathLoop",
     "LockGuardedAttrs",
     "LockOrder",
     "PublicSurface",
+    "RuntimeArrayContract",
     "RuntimeGuardedWrite",
     "RuntimeLockLeak",
     "RuntimeLockOrder",
@@ -894,3 +901,14 @@ class RuntimeWatchdog(_RuntimeRule):
 class RuntimeLockLeak(_RuntimeRule):
     """A thread that dies holding a lock wedges every future writer; the
     sanitizer reports it at the acquire site.  No static counterpart."""
+
+
+# Array-contract rules register last so the registry order stays stable
+# for existing pragmas/baselines; the import is at the bottom on purpose.
+from .array_rules import (  # noqa: E402
+    ArrayContractRule,
+    DtypeChurn,
+    HotPathAlloc,
+    HotPathCopy,
+    RuntimeArrayContract,
+)

@@ -108,6 +108,7 @@ def _build_rules(config: LintConfig) -> List[Rule]:
     ignore = _resolve_rule_names(config.ignore, option="--ignore")
     effective = LintConfig(
         hot_paths=config.hot_paths,
+        array_hot_paths=config.array_hot_paths,
         raise_scope=config.raise_scope,
         select=select,
         ignore=ignore,

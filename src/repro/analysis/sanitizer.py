@@ -30,6 +30,11 @@ workload:
   (who waits for which lock, held by whom) as a finding.
 * **Lock leaks.**  A thread that exits still holding an instrumented
   lock is reported at disarm time, anchored at the acquire site.
+* **Array-contract validation.**  Functions annotated with ``# array:`` /
+  ``# returns:`` contracts are wrapped by
+  :mod:`repro.analysis.array_runtime` to check live dtype, shape, and
+  contiguity at every call boundary, reported as
+  ``runtime-array-contract`` findings.
 
 Events funnel into :mod:`repro.analysis.events` and come out as ordinary
 :class:`~repro.analysis.findings.Finding` objects under the
@@ -63,6 +68,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 from ..exceptions import AnalysisError
 from ..serving import locks as serving_locks
 from ..serving.locks import ReadWriteLock
+from . import array_runtime
 from .events import RuntimeEvent, SanitizerReport, assemble_report
 from .pragmas import GUARD_MODES, PragmaIndex
 
@@ -862,6 +868,7 @@ class Sanitizer:
         self._adjacency: Dict[str, Set[str]] = {}
         self._cycles_seen: Set[frozenset] = set()
         self._owned_patches: List[_ClassPatch] = []
+        self._owned_contract_patches: List[array_runtime._FunctionPatch] = []
         self._owned_factory = False
         if stall_timeout is None:
             try:
@@ -972,6 +979,12 @@ def arm(
     # Source parsing happens outside the registry mutex (it reads files);
     # patching itself is idempotent per class.
     sink._owned_patches = _instrument_modules(modules)
+    # Array-contract validation covers the annotated serving/spatial stack
+    # plus whatever modules this scope asked for (so fixture modules passed
+    # through ``sanitized(extra_modules=...)`` are contract-checked too).
+    sink._owned_contract_patches = array_runtime.instrument_contracts(
+        tuple(modules) + array_runtime.DEFAULT_CONTRACT_MODULES, _sink
+    )
     return sink
 
 
@@ -996,6 +1009,8 @@ def disarm(sanitizer: Optional[Sanitizer] = None) -> SanitizerReport:
         for patch in sink._owned_patches:
             _unpatch_class(patch)
         sink._owned_patches = []
+        array_runtime.remove_contract_patches(sink._owned_contract_patches)
+        sink._owned_contract_patches = []
         if not _SINKS:
             serving_locks.set_lock_factory(None)
             _stop_watchdog()

@@ -36,6 +36,7 @@ finds violations, which is how CI gates on it::
     python -m repro lint src/
     python -m repro lint src/repro/serving --format json
     python -m repro lint src/ --baseline lint_baseline.json
+    python -m repro lint --explain hot-path-copy
 
 The ``sanitize-report`` verb renders the ``sanitizer_report.json`` a
 ``REPRO_SANITIZE=1`` test run leaves behind (see
@@ -265,6 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="'lint' only: record current findings to FILE on first run, "
         "then fail only on findings not in that recording (incremental "
         "adoption on a tree with legacy findings)",
+    )
+    analysis.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="'lint' only: print what RULE checks (its doc, an example "
+        "finding, and the suppression pragma) instead of linting; accepts "
+        "canonical names and aliases",
     )
     transport = parser.add_argument_group("network transport ('serve' verb)")
     transport.add_argument(
@@ -706,6 +715,55 @@ def _run_serve(args: argparse.Namespace) -> List[dict]:
     return []
 
 
+def _run_explain(rule_name: str) -> int:
+    """Print one lint rule's documentation card; exit 2 on unknown names.
+
+    The card is the onboarding answer to "the linter flagged me — why?":
+    the rule's summary, its class docstring, an example finding (from the
+    rule's ``example`` registration metadata), and the exact pragma that
+    suppresses it with a justification.
+    """
+    import inspect
+
+    from .analysis import LINT_RULES
+
+    try:
+        entry = LINT_RULES.resolve(rule_name)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    lines = [entry.name]
+    if entry.aliases:
+        lines.append(f"aliases: {', '.join(entry.aliases)}")
+    if entry.summary:
+        lines.append(f"summary: {entry.summary}")
+    doc = inspect.getdoc(entry.obj)
+    if doc:
+        lines.extend(["", doc])
+    example = entry.flag("example", "")
+    if example:
+        lines.extend(["", "example finding:", f"  {example}"])
+    counterpart = entry.flag("static_counterpart", "")
+    if entry.flag("runtime"):
+        lines.extend(
+            [
+                "",
+                "This is a runtime rule: it reports what the armed sanitizer "
+                "(REPRO_SANITIZE=1) observed during execution, not what the "
+                "static pass proved.",
+            ]
+        )
+        if counterpart:
+            lines.append(f"static counterpart: {counterpart}")
+    pragma_names = " / ".join(
+        f"# repro: ignore[{name}] -- <justification>"
+        for name in ([counterpart, entry.name] if counterpart else [entry.name])
+    )
+    lines.extend(["", f"suppress with: {pragma_names}"])
+    print("\n".join(lines))
+    return 0
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """Run the static checker; exit 0 clean, 1 on findings, 2 on bad input.
 
@@ -713,10 +771,14 @@ def _run_lint(args: argparse.Namespace) -> int:
     additionally writes the findings as CSV rows, like every other verb.
     With ``--baseline FILE`` the first run records the tree's findings and
     passes; later runs fail only on findings not in the recording.
+    ``--explain RULE`` prints the rule's documentation card instead of
+    linting anything.
     """
     from .analysis import lint_paths
     from .analysis.runner import apply_baseline
 
+    if args.explain:
+        return _run_explain(args.explain)
     try:
         report = lint_paths(args.paths or ["src"])
         recorded = False
@@ -785,6 +847,8 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
             )
     if args.baseline and args.experiment != "lint":
         parser.error("--baseline applies to the 'lint' verb only")
+    if args.explain and args.experiment != "lint":
+        parser.error("--explain applies to the 'lint' verb only")
     if args.experiment == "lint":
         return _run_lint(args)
     if args.experiment == "sanitize-report":

@@ -173,12 +173,12 @@ class PrefixSumEngine(SplitEngine):
         cells = np.stack(
             [
                 sums_per_cell(grid, cell_rows, cell_cols, residuals),
-                counts_per_cell(grid, cell_rows, cell_cols).astype(float),
+                counts_per_cell(grid, cell_rows, cell_cols).astype(float, copy=False),
             ]
         )
         tables = np.zeros((2, grid.rows + 1, grid.cols + 1), dtype=float)
         tables[:, 1:, 1:] = cells.cumsum(axis=1).cumsum(axis=2)
-        self._tables = tables
+        self._tables = tables  # array: _tables float64[s, u, v]
 
     def line_sums(self, region: GridRegion, axis: int) -> Tuple[np.ndarray, np.ndarray]:
         self._check_grid(region)

@@ -85,6 +85,9 @@ class DenseGridLocator(LocatorBackend):
         self._labels = partition.label_grid
 
     def locate_cells(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        # array: rows int64
+        # array: cols int64
+        # returns: int64
         return self._labels[rows, cols]
 
     def memory_bytes(self) -> int:
@@ -128,7 +131,7 @@ class SparseBandLocator(LocatorBackend):
         for region in partition.regions:
             boundaries.add(region.row_start)
             boundaries.add(region.row_stop)
-        self._row_bounds = np.array(sorted(boundaries), dtype=np.int64)
+        self._row_bounds = np.array(sorted(boundaries), dtype=np.int64)  # array: _row_bounds int64[bands]
 
         segments: List[Tuple[int, int, int]] = []
         band_of_row = {int(row): band for band, row in enumerate(self._row_bounds[:-1])}
@@ -140,11 +143,12 @@ class SparseBandLocator(LocatorBackend):
                 segments.append((start, band * self._cols + region.col_stop, index))
                 band += 1
         segments.sort()
-        self._starts = np.array([s[0] for s in segments], dtype=np.int64)
-        self._stops = np.array([s[1] for s in segments], dtype=np.int64)
-        self._labels = np.array([s[2] for s in segments], dtype=np.int64)
+        self._starts = np.array([s[0] for s in segments], dtype=np.int64)  # array: _starts int64[segments]
+        self._stops = np.array([s[1] for s in segments], dtype=np.int64)  # array: _stops int64[segments]
+        self._labels = np.array([s[2] for s in segments], dtype=np.int64)  # array: _labels int64[segments]
 
     def locate_cells(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        # returns: int64
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
         bands = np.searchsorted(self._row_bounds, rows, side="right") - 1

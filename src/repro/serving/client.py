@@ -275,6 +275,7 @@ class ServingClient:
         marshal than JSON number lists at benchmark batch sizes.  Use
         :meth:`locate` for the list form.
         """
+        # returns: int64[n]
         xs = np.asarray(xs, dtype=float)
         ys = np.asarray(ys, dtype=float)
         if xs.shape != ys.shape or xs.ndim != 1:
@@ -310,7 +311,10 @@ class ServingClient:
                 raise TransportError(
                     f"malformed dense locate response: {exc}"
                 ) from exc
-            pieces.append(piece.astype(int))
+            # The decoded piece is already little-endian int64; the final
+            # concatenate below produces a fresh writable native array, so
+            # copying each read-only frombuffer view here was pure overhead.
+            pieces.append(piece)
         return np.concatenate(pieces) if pieces else np.empty(0, dtype=int)
 
     # -- admin ----------------------------------------------------------------

@@ -109,7 +109,16 @@ def encode_b64_array(values: np.ndarray, dtype: str) -> str:
 
 
 def decode_b64_array(text: Any, dtype: str, field: str) -> np.ndarray:
-    """Decode a dense-encoding field back to an array, failing typed."""
+    """Decode a dense-encoding field back to an array, failing typed.
+
+    The result is a zero-copy *read-only* ``np.frombuffer`` view over the
+    decoded bytes.  That is deliberate: the locate hot path only ever
+    reads the coordinates (``asarray`` downstream is a no-op at matching
+    dtype), so a defensive ``.copy()`` here would be the single largest
+    allocation on the dense path.  Callers that need a writable result
+    materialise one at the end (the client's final ``np.concatenate``
+    always allocates fresh) instead of copying every chunk on entry.
+    """
     if not isinstance(text, str):
         raise ConfigurationError(f"{field} must be a base64 string")
     try:

@@ -45,6 +45,8 @@ def region_counts_from_assignment(assignment: np.ndarray, n_regions: int) -> np.
     :class:`~repro.serving.sharding.ShardedDeployment` — so the aggregation
     semantics cannot drift between them.
     """
+    # array: assignment int64
+    # returns: int64[k]
     counts = np.zeros(n_regions, dtype=int)
     located = assignment >= 0
     np.add.at(counts, assignment[located], 1)
@@ -184,6 +186,7 @@ class PartitionServer:
         ``-1``.  In strict mode, off-map coordinates raise
         :class:`~repro.exceptions.GridError`, matching ``Grid.locate_many``.
         """
+        # returns: int64
         xs = np.asarray(xs, dtype=float)
         ys = np.asarray(ys, dtype=float)
         if self._resolve_strict(strict):

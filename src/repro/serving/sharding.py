@@ -108,7 +108,7 @@ def _axis_tables(n_cells: int, n_tiles: int) -> Tuple[np.ndarray, np.ndarray, np
     searchsorted calls alone cost more than a monolithic server's whole
     answer).
     """
-    edges = np.linspace(0, n_cells, n_tiles + 1).astype(np.int64)
+    edges = np.linspace(0, n_cells, n_tiles + 1).astype(np.int64, copy=False)
     sizes = np.diff(edges)
     tile_of = np.repeat(np.arange(n_tiles, dtype=np.int64), sizes)
     local_of = np.arange(n_cells, dtype=np.int64) - np.repeat(edges[:-1], sizes)
@@ -142,8 +142,8 @@ class TileGeometry:
         id_dtype = np.int16 if self.n_tiles <= np.iinfo(np.int16).max else np.int64
         # tile_id = row_term[row] + col_term[col]; the row term pre-folds
         # the `* shard_cols`, so bucketing is two gathers and one add.
-        self.row_term = (row_tile * self.shard_cols).astype(id_dtype)
-        self.col_term = col_tile.astype(id_dtype)
+        self.row_term = (row_tile * self.shard_cols).astype(id_dtype, copy=False)
+        self.col_term = col_tile.astype(id_dtype, copy=False)
         heights = np.diff(self.row_edges)
         widths = np.diff(self.col_edges)
         self.tile_heights = np.repeat(heights, self.shard_cols)
@@ -207,7 +207,7 @@ class TileGridIndex:
                 )
             base = int(geometry.tile_base[index])
             flat[base:base + tile.size] = tile.reshape(-1)
-        self.tiles_flat = flat
+        self.tiles_flat = flat  # array: tiles_flat int64[cells] contiguous
 
     def tile_view(self, index: int) -> np.ndarray:
         """Tile ``index`` as a 2-D view into the flat index (no copy)."""
@@ -238,6 +238,10 @@ class TileGridIndex:
         row-major) is computed vectorised and is what the deployment's
         per-shard load counters consume.
         """
+        # array: rows int64[n]
+        # array: cols int64[n]
+        # array: out int64[n]
+        # returns: int64[t]
         geometry = self.geometry
         if rows.size == 0:
             return np.zeros(geometry.n_tiles, dtype=np.int64)
@@ -254,7 +258,11 @@ class TileGridIndex:
             ]
             for future in futures:
                 future.result()  # propagate any worker failure
-        return np.bincount(ids, minlength=geometry.n_tiles).astype(np.int64)
+        # bincount already yields int64 here, so copy=False makes this a
+        # free view instead of a per-batch copy.
+        return np.bincount(ids, minlength=geometry.n_tiles).astype(
+            np.int64, copy=False
+        )
 
     def _gather_bucket(
         self, bucket: np.ndarray, offsets: np.ndarray, out: np.ndarray
@@ -268,6 +276,9 @@ class TileGridIndex:
         executor: Optional[ThreadPoolExecutor] = None,
     ) -> np.ndarray:
         """:meth:`gather_into` a fresh int64 result array (counts dropped)."""
+        # array: rows int64[n]
+        # array: cols int64[n]
+        # returns: int64[n]
         out = np.empty(rows.shape, dtype=np.int64)
         self.gather_into(rows, cols, out, executor=executor)
         return out
@@ -581,6 +592,7 @@ class ShardedDeployment:
         scaffold and no masked scatter, which is precisely why it
         undercuts the monolithic server's non-strict path.
         """
+        # returns: int64[u, v] contiguous
         grid = self._grid
         fused = np.full((grid.rows + 1, grid.cols + 1), -1, dtype=np.int64)
         for tile_index in range(self._geometry.n_tiles):
@@ -611,6 +623,7 @@ class ShardedDeployment:
         bits out of every ``plan`` (see the module docstring for what the
         plans trade).
         """
+        # returns: int64
         xs = np.asarray(xs, dtype=float)
         ys = np.asarray(ys, dtype=float)
         if xs.shape != ys.shape:

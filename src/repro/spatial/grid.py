@@ -146,10 +146,12 @@ class Grid:
         )
         if bool(np.all(inside)):
             cols = np.minimum(
-                ((xs - self._bounds.min_x) / self.cell_width).astype(int), self._cols - 1
+                ((xs - self._bounds.min_x) / self.cell_width).astype(int, copy=False),
+                self._cols - 1,
             )
             rows = np.minimum(
-                ((ys - self._bounds.min_y) / self.cell_height).astype(int), self._rows - 1
+                ((ys - self._bounds.min_y) / self.cell_height).astype(int, copy=False),
+                self._rows - 1,
             )
             return rows, cols
         if strict:
@@ -157,11 +159,11 @@ class Grid:
         rows = np.full(xs.shape, -1, dtype=int)
         cols = np.full(xs.shape, -1, dtype=int)
         cols[inside] = np.minimum(
-            ((xs[inside] - self._bounds.min_x) / self.cell_width).astype(int),
+            ((xs[inside] - self._bounds.min_x) / self.cell_width).astype(int, copy=False),
             self._cols - 1,
         )
         rows[inside] = np.minimum(
-            ((ys[inside] - self._bounds.min_y) / self.cell_height).astype(int),
+            ((ys[inside] - self._bounds.min_y) / self.cell_height).astype(int, copy=False),
             self._rows - 1,
         )
         return rows, cols
@@ -226,6 +228,7 @@ def counts_per_cell(grid: Grid, rows: Sequence[int], cols: Sequence[int]) -> np.
     numpy.ndarray
         A ``grid.rows x grid.cols`` integer matrix of record counts.
     """
+    # returns: int64[u, v]
     rows, cols = _validated_cell_coords(grid, rows, cols)
     counts = np.zeros(grid.shape, dtype=int)
     np.add.at(counts, (rows, cols), 1)
@@ -254,6 +257,7 @@ def sums_per_cell(
     numpy.ndarray
         A ``grid.rows x grid.cols`` float matrix of per-cell sums.
     """
+    # returns: float64[u, v]
     rows, cols = _validated_cell_coords(grid, rows, cols)
     values = np.asarray(values, dtype=float)
     if values.shape != rows.shape:

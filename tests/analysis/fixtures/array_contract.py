@@ -1,0 +1,35 @@
+"""Fixture: deliberate array-contract violations next to a clean twin."""
+
+import numpy as np
+
+
+def clean(xs):
+    # array: xs float64[n]
+    # returns: float64[n]
+    return np.asarray(xs, dtype=np.float64)
+
+
+def reassigns_contracted_arg(xs):
+    # array: xs float64[n]
+    xs = xs.astype(np.int32, copy=False)  # BAD: int32 contradicts the contract
+    return xs
+
+
+def wrong_return_dtype(n):
+    # returns: int64[n]
+    return np.zeros(n)  # BAD: zeros defaults to float64
+
+
+def no_such_parameter(xs):
+    # array: ys float64[n]
+    return xs
+
+
+def unknown_dtype(xs):
+    # array: xs floaty[n]
+    return xs
+
+
+class Holder:
+    def __init__(self, n):
+        self._buf = np.zeros(n, dtype=np.float32)  # array: _buf float64[n]

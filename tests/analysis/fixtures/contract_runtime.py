@@ -1,0 +1,30 @@
+"""Fixture: contract-annotated functions the runtime validator wraps.
+
+The test loads this module and calls each function with deliberately
+contract-breaking live arrays while the sanitizer is armed via
+``sanitized(extra_modules=[...])``.
+"""
+
+import numpy as np
+
+
+def wants_float64(xs):
+    # array: xs float64[n]
+    # returns: float64[n]
+    return np.asarray(xs, dtype=np.float64)
+
+
+def paired(xs, ys):
+    # array: xs float64[n]
+    # array: ys float64[n]
+    return float(np.asarray(xs).sum()) + float(np.asarray(ys).sum())
+
+
+def wants_contiguous(table):
+    # array: table float64[r, c] contiguous
+    return float(np.asarray(table, dtype=np.float64).sum())
+
+
+def tolerated(xs):  # repro: ignore[array-contract] -- fixture: fed the wrong dtype on purpose to pin suppression
+    # array: xs float64[n]
+    return xs

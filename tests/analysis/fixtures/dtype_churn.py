@@ -1,0 +1,25 @@
+"""Fixture: object fallback and a contract-proven narrowing cast."""
+
+import numpy as np
+
+
+def narrows(idx):
+    # array: idx int64[n]
+    small = idx.astype(np.int32, copy=False)  # BAD: provable int64 -> int32
+    return small
+
+
+def falls_back(values):
+    mixed = np.asarray(values, dtype=object)  # BAD: object arithmetic
+    return mixed
+
+
+def widens(idx):
+    # array: idx int64[n]
+    wide = idx.astype(np.float64, copy=False)  # fine: cross-family, not narrowing
+    return wide
+
+
+def unknown_source(values):
+    small = values.astype(np.int32, copy=False)  # fine: source dtype unprovable
+    return small

@@ -1,0 +1,21 @@
+"""Fixture: a per-iteration buffer allocation next to the hoisted twin."""
+
+import numpy as np
+
+
+def allocates_per_iteration(batches, width):
+    total = 0.0
+    for batch in batches:
+        scratch = np.zeros(width)  # BAD: fresh buffer every iteration
+        scratch[: len(batch)] = batch
+        total += float(scratch.sum())
+    return total
+
+
+def hoisted(batches, width):
+    scratch = np.empty(width)
+    total = 0.0
+    for batch in batches:
+        scratch[: len(batch)] = batch
+        total += float(scratch[: len(batch)].sum())
+    return total

@@ -1,0 +1,21 @@
+"""Fixture: one of each copy idiom hot-path-copy flags, plus clean twins."""
+
+import numpy as np
+
+
+def copies(values, pieces):
+    converted = values.astype(np.float32)  # BAD: no copy=False
+    appended = np.append(values, 1.0)  # BAD: whole-array copy per call
+    out = np.empty(0)
+    for piece in pieces:
+        out = np.concatenate([out, piece])  # BAD: quadratic accumulation
+    listed = values.tolist()  # BAD: Python list on the hot path
+    raw = values[::2].tobytes()  # BAD: strided slice stages a copy
+    return converted, appended, out, listed, raw
+
+
+def clean(values, pieces):
+    converted = values.astype(np.float32, copy=False)
+    collected = list(pieces)
+    joined = np.concatenate(collected) if collected else values
+    return converted, joined, values[1:].tobytes()

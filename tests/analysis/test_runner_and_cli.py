@@ -48,6 +48,11 @@ def test_all_rules_registered_in_order():
         "runtime-lock-order",
         "runtime-watchdog",
         "runtime-lock-leak",
+        "array-contract",
+        "hot-path-copy",
+        "dtype-churn",
+        "hot-path-alloc",
+        "runtime-array-contract",
     )
 
 
@@ -195,6 +200,43 @@ def test_cli_catalogue_lists_lint(capsys):
     assert "lock-guarded-attrs" in out
     assert "sanitize-report" in out
     assert "runtime-guarded-write" in out
+
+
+# -- lint --explain ----------------------------------------------------------
+
+
+def test_cli_explain_prints_rule_card(capsys):
+    assert run(["lint", "--explain", "hot-path-copy"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("hot-path-copy\n")
+    assert "aliases: array-copy" in out
+    assert "example finding:" in out
+    assert "suppress with: # repro: ignore[hot-path-copy] -- <justification>" in out
+
+
+def test_cli_explain_resolves_aliases(capsys):
+    assert run(["lint", "--explain", "array-alloc"]) == 0
+    assert capsys.readouterr().out.startswith("hot-path-alloc\n")
+
+
+def test_cli_explain_runtime_rule_names_counterpart(capsys):
+    assert run(["lint", "--explain", "runtime-array-contract"]) == 0
+    out = capsys.readouterr().out
+    assert "static counterpart: array-contract" in out
+    assert "# repro: ignore[array-contract]" in out
+
+
+def test_cli_explain_unknown_rule_exits_two(capsys):
+    assert run(["lint", "--explain", "hot-path-cpy"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown lint rule" in err
+    assert "hot-path-copy" in err  # did-you-mean suggestion
+
+
+def test_cli_explain_scoped_to_lint_verb(capsys):
+    with pytest.raises(SystemExit):
+        run(["deployments", "--explain", "lock-order"])
+    assert "--explain applies to the 'lint' verb only" in capsys.readouterr().err
 
 
 # -- lint --baseline ---------------------------------------------------------
