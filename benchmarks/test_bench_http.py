@@ -16,7 +16,14 @@ grid):
 * **Sustained multi-client throughput** — `N_CLIENTS` threads, each with
   its own connection, hammering 10^5-point `locate_points` batches.
   Asserted: aggregate throughput within 3x of single-threaded in-process
-  protocol dispatch (the PR's acceptance bound).
+  protocol dispatch (the PR 6 acceptance bound).
+* **Binary wire dispatch** — the same 10^5-point `locate_points` batch
+  over the length-prefixed binary framing (PR 10), against the in-process
+  wire server (``wire_port=0``) and against ``workers=N_WORKERS``
+  shared-memory worker processes.  Asserted: binary + workers throughput
+  at least :data:`MIN_BINARY_SPEEDUP` x single-threaded in-process
+  protocol dispatch — raw float64 framing must beat the tuple-conversion
+  tax `engine.locate` pays on a protocol request.
 * **Hot-swap under load** — per-request latency of a busy client while an
   admin client hot-swaps the deployment 20 times; reports idle-vs-swapping
   p50/p95, and asserts the readers observed only whole versions (the
@@ -64,6 +71,13 @@ REPEATS = 3
 #: Acceptance bound: sustained wire throughput within 3x of in-process
 #: protocol dispatch.
 MAX_SLOWDOWN = 3.0
+
+#: Worker processes for the binary-wire measurements.
+N_WORKERS = 2
+
+#: Acceptance bound (PR 10): binary wire + workers throughput at least
+#: this multiple of single-threaded in-process protocol dispatch.
+MIN_BINARY_SPEEDUP = 1.0
 
 
 def _build_partition():
@@ -178,6 +192,82 @@ def test_http_serving_throughput_and_hot_swap(benchmark, output_dir, tmp_path):
                 }
             )
 
+        # -- binary wire: in-process server, then shared-memory workers ----
+        expected = np.asarray(inproc_result.regions)
+        with ServingHTTPServer(engine, port=0, wire_port=0).serve_background() as server:
+            host, port = server.server_address[:2]
+            with ServingClient(
+                host=host, port=port, batch_size=BATCH, transport="binary"
+            ) as client:
+                binary_best, binary_result = _best_of(
+                    lambda: client.locate_points("la", xs, ys)
+                )
+        assert np.array_equal(binary_result, expected), (
+            "binary wire dispatch changed assignments"
+        )
+
+        with ServingHTTPServer(
+            engine, port=0, workers=N_WORKERS
+        ).serve_background() as server:
+            host, port = server.server_address[:2]
+            with ServingClient(
+                host=host, port=port, batch_size=BATCH, transport="binary"
+            ) as client:
+                workers_best, workers_result = _best_of(
+                    lambda: client.locate_points("la", xs, ys)
+                )
+
+            barrier = threading.Barrier(N_CLIENTS + 1)
+
+            def hammer_binary():
+                with ServingClient(
+                    host=host, port=port, batch_size=BATCH, transport="binary"
+                ) as client:
+                    barrier.wait()
+                    for _ in range(REQUESTS_PER_CLIENT):
+                        client.locate_points("la", xs, ys)
+
+            threads = [
+                threading.Thread(target=hammer_binary) for _ in range(N_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            sustained_start = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            workers_sustained = time.perf_counter() - sustained_start
+        assert np.array_equal(workers_result, expected), (
+            "worker-pool binary dispatch changed assignments"
+        )
+
+        results["binary_rate"] = BATCH / binary_best
+        results["workers_rate"] = BATCH / workers_best
+        rows.append(
+            {
+                "mode": "binary wire 1 client (in-process)",
+                "points": BATCH,
+                "best_ms": binary_best * 1000.0,
+                "mlookups_s": results["binary_rate"] / 1e6,
+            }
+        )
+        rows.append(
+            {
+                "mode": f"binary wire 1 client ({N_WORKERS} workers)",
+                "points": BATCH,
+                "best_ms": workers_best * 1000.0,
+                "mlookups_s": results["workers_rate"] / 1e6,
+            }
+        )
+        rows.append(
+            {
+                "mode": f"binary wire {N_CLIENTS} clients ({N_WORKERS} workers)",
+                "points": total_points,
+                "best_ms": workers_sustained * 1000.0,
+                "mlookups_s": total_points / workers_sustained / 1e6,
+            }
+        )
+
         # -- hot-swap under load (admin server, disk bundles) --------------
         bundle_a = save_partition_artifact(partition, tmp_path / "a", {"v": "a"})
         bundle_b = save_partition_artifact(partition, tmp_path / "b", {"v": "b"})
@@ -247,4 +337,11 @@ def test_http_serving_throughput_and_hot_swap(benchmark, output_dir, tmp_path):
     assert slowdown <= MAX_SLOWDOWN, (
         f"sustained HTTP throughput is {slowdown:.2f}x slower than in-process "
         f"engine dispatch at {BATCH:,}-point batches (budget {MAX_SLOWDOWN:.0f}x)"
+    )
+
+    speedup = results["workers_rate"] / results["inproc_rate"]
+    assert speedup >= MIN_BINARY_SPEEDUP, (
+        f"binary wire + {N_WORKERS} workers is only {speedup:.2f}x in-process "
+        f"protocol dispatch at {BATCH:,}-point batches "
+        f"(acceptance floor {MIN_BINARY_SPEEDUP:.1f}x)"
     )

@@ -51,6 +51,9 @@ DEFAULT_ARRAY_HOT_PATHS: Tuple[str, ...] = (
     "*/serving/sharding.py",
     "*/serving/http.py",
     "*/serving/client.py",
+    "*/serving/codecs.py",
+    "*/serving/wire.py",
+    "*/serving/workers.py",
     "*/spatial/grid.py",
     "*/core/split_engine.py",
 )

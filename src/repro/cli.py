@@ -79,6 +79,7 @@ from .logging_utils import configure_logging
 from .registry import BACKENDS, MODELS, PARTITIONERS
 from .serving import ServingEngine
 from .serving.http import DEFAULT_PORT as DEFAULT_HTTP_PORT
+from .serving.wire import DEFAULT_WIRE_PORT
 from .viz import render_partition_ascii
 
 EXPERIMENTS = (
@@ -301,6 +302,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve from a bounded pool of N worker threads instead of one "
         "thread per connection",
+    )
+    transport.add_argument(
+        "--wire",
+        choices=("binary", "off"),
+        default=None,
+        help="additionally serve the length-prefixed binary wire protocol "
+        "next to HTTP (clients negotiate it via GET /v1/capabilities and "
+        "fall back to JSON automatically); defaults to 'binary' when "
+        "--workers is given, 'off' otherwise",
+    )
+    transport.add_argument(
+        "--wire-port",
+        type=int,
+        default=None,
+        help="TCP port for the binary wire listener "
+        f"(default {DEFAULT_WIRE_PORT}; 0 picks an ephemeral port, printed "
+        "at startup); only meaningful with --wire binary or --workers",
+    )
+    transport.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fork N worker processes that answer the binary wire protocol "
+        "from shared-memory label grids (admin hot-swaps republish to them); "
+        "0 (default) serves the wire protocol, if enabled, from in-process "
+        "threads",
     )
     return parser
 
@@ -677,6 +704,7 @@ def _run_serve(args: argparse.Namespace) -> List[dict]:
     from .serving import serve_engine
 
     engine = _engine_for(args, require_manifest=True, allow_overrides=not args.admin)
+    wire_enabled = args.wire == "binary" or args.workers > 0
     server = serve_engine(
         engine,
         host=args.host,
@@ -684,6 +712,12 @@ def _run_serve(args: argparse.Namespace) -> List[dict]:
         admin=args.admin,
         threads=args.threads,
         manifest_path=args.manifest if args.admin else None,
+        wire_port=(
+            (DEFAULT_WIRE_PORT if args.wire_port is None else args.wire_port)
+            if wire_enabled
+            else None
+        ),
+        workers=args.workers,
     )
     for row in _deployment_rows(engine):
         print(
@@ -695,6 +729,16 @@ def _run_serve(args: argparse.Namespace) -> List[dict]:
         + ("(admin endpoints enabled)" if args.admin else "(read-only)")
         + (f", {args.threads} worker threads" if args.threads else "")
     )
+    if wire_enabled:
+        wire_host, wire_port = server.wire_address
+        print(
+            f"binary wire protocol on {wire_host}:{wire_port} "
+            + (
+                f"({args.workers} shared-memory worker processes)"
+                if args.workers
+                else "(in-process)"
+            )
+        )
     if args.admin and args.host not in ("127.0.0.1", "localhost", "::1"):
         # The admin plane is unauthenticated by design (loopback / trusted
         # networks); binding it wide open deserves a loud note.
@@ -897,6 +941,17 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("'serve' requires --manifest")
         if args.threads is not None and args.threads < 1:
             parser.error(f"--threads must be >= 1, got {args.threads}")
+        if args.workers < 0:
+            parser.error(f"--workers must be >= 0, got {args.workers}")
+        if args.wire == "off" and args.workers > 0:
+            # Workers exist to answer the wire protocol; a pool with its
+            # only transport disabled is a contradiction, not a default.
+            parser.error(
+                "--wire off cannot be combined with --workers: worker "
+                "processes serve the binary wire protocol"
+            )
+        if args.wire_port is not None and args.wire == "off":
+            parser.error("--wire-port is meaningless with --wire off")
         if args.admin and (args.backend or args.strict or args.no_strict):
             # Admin hot-swaps re-save the manifest; a per-invocation flag
             # must not silently rewrite the persisted serving config.
@@ -906,11 +961,14 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
                 "config it was created with"
             )
     elif args.admin or args.threads is not None \
+            or args.wire is not None or args.wire_port is not None \
+            or args.workers != 0 \
             or args.host != "127.0.0.1" or args.port != DEFAULT_HTTP_PORT:
         # Silently ignoring a transport flag would let `query --port N`
         # run in-process while the user believes they hit the service.
         parser.error(
-            "--host/--port/--admin/--threads apply to the 'serve' verb only"
+            "--host/--port/--admin/--threads/--wire/--wire-port/--workers "
+            "apply to the 'serve' verb only"
         )
     if args.experiment == "query":
         if not args.points:

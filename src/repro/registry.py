@@ -50,10 +50,12 @@ __all__ = [
     "MODELS",
     "TASKS",
     "BACKENDS",
+    "CODECS",
     "register_partitioner",
     "register_model",
     "register_task",
     "register_backend",
+    "register_codec",
 ]
 
 
@@ -312,6 +314,10 @@ TASKS = Registry("label task", populate_from="repro.datasets.labels")
 #: :mod:`repro.serving.backends`).
 BACKENDS = Registry("locator backend", populate_from="repro.serving.backends")
 
+#: Wire codecs for the serving transports (populated by importing
+#: :mod:`repro.serving.codecs`).
+CODECS = Registry("serving codec", populate_from="repro.serving.codecs")
+
 
 def register_partitioner(
     name: str,
@@ -383,6 +389,25 @@ def register_backend(
     return BACKENDS.decorator(
         name, aliases=aliases, summary=summary, paper_ref=paper_ref, **metadata
     )
+
+
+def register_codec(
+    name: str,
+    *,
+    aliases: Tuple[str, ...] = (),
+    summary: str = "",
+    **metadata: Any,
+) -> Callable[[Any], Any]:
+    """Class decorator registering a serving wire codec in :data:`CODECS`.
+
+    A codec is a stateless class encoding locate batches for a transport
+    (see :class:`repro.serving.codecs.Codec`): ``json+b64`` is the JSON
+    envelope with dense base64 arrays every server since PR 5 speaks;
+    ``binary`` is the length-prefixed raw-buffer framing.  Registered
+    names (and aliases) are what ``ServingClient(transport=...)`` and the
+    wire handshake's capability negotiation accept.
+    """
+    return CODECS.decorator(name, aliases=aliases, summary=summary, **metadata)
 
 
 def register_task(

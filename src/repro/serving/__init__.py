@@ -14,7 +14,20 @@ Its unit of work is "answer queries against stored partitions", not
   such transport: :class:`ServingHTTPServer`, a stdlib-only threaded HTTP
   service speaking the protocol as JSON (CLI verb ``serve``), and
   :class:`ServingClient`, its connection-reusing, batching, retrying
-  typed client.
+  typed client (``transport="auto"`` negotiates the binary wire upgrade
+  via ``GET /v1/capabilities``).
+* :mod:`~repro.serving.codecs` — the pluggable dense-payload codec layer
+  (``json+b64`` and ``binary``, registered in
+  :data:`repro.registry.CODECS`), shared verbatim by the HTTP dense
+  encoding and the wire protocol so the two cannot drift.
+* :mod:`~repro.serving.wire` — the length-prefixed binary framing over
+  persistent sockets (:class:`WireServer` / :class:`WireConnection`),
+  raw little-endian float64/int64 on the hot path, JSON frames for the
+  control plane, capability negotiation on connect.
+* :mod:`~repro.serving.workers` — ``serve --workers N``:
+  :class:`WorkerPool` forks wire workers off one shared listening
+  socket, all answering from read-only shared-memory label grids;
+  hot-swap republishes a segment and bumps a version, never copies.
 * :class:`~repro.serving.server.PartitionServer` — fully vectorised batch
   point-location and range queries over one partition (``-1`` for off-map
   points in the default non-strict mode).
@@ -37,11 +50,14 @@ Pair with :mod:`repro.io.artifacts` (the on-disk bundle format) and the
 from .backends import DenseGridLocator, LocatorBackend, SparseBandLocator
 from .cache import ArtifactCache
 from .client import ServingClient
+from .codecs import BinaryCodec, Codec, JsonB64Codec, codec_names, resolve_codec
 from .engine import ServingEngine
 from .http import ServingHTTPServer, serve_engine
 from .locks import ReadWriteLock
 from .protocol import (
     LATEST,
+    PROTOCOL_VERSION,
+    Envelope,
     LocateRequest,
     QueryResult,
     RangeRequest,
@@ -50,6 +66,8 @@ from .protocol import (
 )
 from .server import PartitionServer
 from .sharding import ShardedDeployment, TileGridIndex, build_tile_index
+from .wire import DEFAULT_WIRE_PORT, WireConnection, WireServer
+from .workers import WorkerPool
 
 __all__ = [
     "ServingEngine",
@@ -63,12 +81,23 @@ __all__ = [
     "QueryResult",
     "ShardSwapRequest",
     "ShardRollbackRequest",
+    "Envelope",
+    "PROTOCOL_VERSION",
     "LATEST",
     "LocatorBackend",
     "DenseGridLocator",
     "SparseBandLocator",
+    "Codec",
+    "JsonB64Codec",
+    "BinaryCodec",
+    "codec_names",
+    "resolve_codec",
     "ServingHTTPServer",
     "ServingClient",
     "serve_engine",
+    "WireServer",
+    "WireConnection",
+    "DEFAULT_WIRE_PORT",
+    "WorkerPool",
     "ReadWriteLock",
 ]

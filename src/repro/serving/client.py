@@ -23,13 +23,26 @@ callers never see it:
   middle of a split batch cannot produce a half-old/half-new assignment;
 * **typed transport errors** — anything below the protocol (refused
   connection, dropped socket, non-JSON response) raises
-  :class:`~repro.exceptions.TransportError`.
+  :class:`~repro.exceptions.TransportError`;
+* **transport negotiation** — ``transport="auto"`` (the default) probes
+  ``GET /v1/capabilities`` once and upgrades :meth:`locate_points` to the
+  length-prefixed binary wire protocol of :mod:`repro.serving.wire` when
+  the server advertises it, falling back to JSON over HTTP silently when
+  it does not (an old server without the endpoint answers 404, which is
+  the "JSON only" signal).  ``transport="binary"`` demands the upgrade
+  and fails typed when the server cannot; ``transport="json+b64"`` (or a
+  :class:`~repro.serving.codecs.Codec` instance) pins the JSON dense
+  encoding and never probes.  The capabilities probe rides the same
+  retry/backoff machinery as every read, and the wire handshake is
+  retried with the same policy — a connection blip during negotiation
+  degrades exactly like one during a query.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import logging
 import socket
 import threading
 import time
@@ -37,32 +50,32 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .. import exceptions
 from ..exceptions import ReproError, ServingError, TransportError
-from .http import DEFAULT_PORT, decode_b64_array, encode_b64_array
+from .codecs import Codec, JsonB64Codec, decode_b64_array, resolve_codec
+from .http import DEFAULT_PORT
 from .protocol import LocateRequest, QueryResult, RangeRequest
+from .wire import WireConnection, error_to_exception
 
 __all__ = ["ServingClient"]
+
+logger = logging.getLogger(__name__)
 
 #: Default maximum points per locate request; batches above it are split.
 #: 50k points is ~2 MB of JSON per direction — large enough to amortise
 #: the HTTP round-trip, small enough to keep per-request latency bounded.
 DEFAULT_BATCH_SIZE = 50_000
 
+#: The stateless codec behind the HTTP dense encoding — the same class
+#: the server negotiates as ``json+b64`` on the wire plane, so client
+#: and server bodies cannot drift.
+_DENSE_CODEC = JsonB64Codec()
 
-def _exception_for(error: Dict[str, Any]) -> ReproError:
-    """The typed exception a server-side JSON error body maps back to.
 
-    The server sends the engine exception's class name; anything that is
-    not a known :class:`ReproError` subclass (old server, foreign proxy)
-    degrades to :class:`ServingError` rather than being swallowed.
-    """
-    name = error.get("type", "")
-    message = error.get("message", "serving request failed")
-    exc_type = getattr(exceptions, str(name), None)
-    if isinstance(exc_type, type) and issubclass(exc_type, ReproError):
-        return exc_type(message)
-    return ServingError(f"{name}: {message}" if name else message)
+#: The typed exception a server-side JSON error body maps back to.  Both
+#: transports carry the same ``{"type", "message"}`` error body, so the
+#: mapping lives once in :mod:`repro.serving.wire`; this name remains as
+#: the historical import point.
+_exception_for = error_to_exception
 
 
 class ServingClient:
@@ -84,6 +97,18 @@ class ServingClient:
     batch_size:
         Largest point count per locate request;
         :meth:`locate_points` splits bigger batches transparently.
+    transport:
+        ``"auto"`` (default) negotiates the best transport the server
+        offers — the binary wire protocol when advertised by
+        ``GET /v1/capabilities``, JSON over HTTP otherwise (including
+        against servers that predate the endpoint entirely).
+        ``"binary"`` requires the wire upgrade and raises
+        :class:`~repro.exceptions.TransportError` when the server cannot
+        provide it; ``"json+b64"`` (aliases ``"json"``, ``"dense"``, or a
+        :class:`~repro.serving.codecs.Codec` instance) pins the JSON
+        dense encoding over HTTP without probing.  Only the dense batch
+        path (:meth:`locate_points`) rides the wire; typed requests and
+        admin verbs always use HTTP.
 
     The client is usable as a context manager; :meth:`close` drops every
     thread's persistent connection.
@@ -97,6 +122,7 @@ class ServingClient:
         retries: int = 2,
         backoff: float = 0.1,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        transport: Union[str, Codec] = "auto",
     ) -> None:
         if retries < 0:
             raise TransportError(f"retries must be >= 0, got {retries}")
@@ -108,9 +134,20 @@ class ServingClient:
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.batch_size = int(batch_size)
+        if isinstance(transport, str) and transport == "auto":
+            self._requested = "auto"
+        else:
+            # Canonicalise names/aliases (and accept Codec instances) up
+            # front so a typo fails at construction, not first query.
+            self._requested = resolve_codec(transport).name
         self._local = threading.local()
         self._connections: List[http.client.HTTPConnection] = []
         self._connections_lock = threading.Lock()
+        self._wire_connections: List[WireConnection] = []
+        self._negotiate_lock = threading.Lock()
+        self._negotiated = False  # guarded-by: self._negotiate_lock
+        self._wire_endpoint: Optional[Tuple[str, int]] = None
+        self._codec_name = "json+b64"
 
     # -- transport ------------------------------------------------------------
 
@@ -140,7 +177,7 @@ class ServingClient:
         path: str,
         payload: Optional[Dict[str, Any]] = None,
         retry: bool = True,
-        raw_body: Optional[str] = None,
+        raw_body: Optional[Union[str, bytes]] = None,
     ) -> Dict[str, Any]:
         """One HTTP exchange -> parsed JSON, with retries below the protocol.
 
@@ -208,11 +245,14 @@ class ServingClient:
         return f"http://{self.host}:{self.port}"
 
     def close(self) -> None:
-        """Close every thread's persistent connection."""
+        """Close every thread's persistent connection (HTTP and wire)."""
         with self._connections_lock:
             connections, self._connections = self._connections, []
+            wire_connections, self._wire_connections = self._wire_connections, []
         for connection in connections:
             connection.close()
+        for wire_connection in wire_connections:
+            wire_connection.close()
         self._local = threading.local()
 
     def __enter__(self) -> "ServingClient":
@@ -237,6 +277,135 @@ class ServingClient:
     def deployments(self) -> List[Dict[str, Any]]:
         """The service's deployment table (one row per name)."""
         return self._request("GET", "/v1/deployments")["deployments"]
+
+    # -- transport negotiation ------------------------------------------------
+
+    def capabilities(self) -> Optional[Dict[str, Any]]:
+        """``GET /v1/capabilities``, or ``None`` from a server without it.
+
+        The probe rides :meth:`_request`, so it is retried with the same
+        backoff as every read; only the *negative* answer — the server
+        routed the request and said "unknown endpoint" — means "old
+        server, JSON only".  A refused connection still raises
+        :class:`~repro.exceptions.TransportError`, because falling back
+        to JSON against a dead server would just fail slower.
+        """
+        try:
+            return self._request("GET", "/v1/capabilities")
+        except ServingError:
+            return None
+
+    @property
+    def transport(self) -> str:
+        """The negotiated transport: ``"binary"`` or ``"json+b64"``.
+
+        Before the first dense query (or an explicit
+        :meth:`capabilities` round) an ``"auto"`` client reports what it
+        would use if the server offered nothing: ``"json+b64"``.
+        """
+        return self._codec_name
+
+    def _ensure_negotiated(self) -> None:
+        """Resolve ``transport="auto"``/``"binary"`` against the server, once.
+
+        Thread-safe and idempotent; every dense query funnels through
+        here, so the capabilities probe happens at most once per client,
+        not per batch.
+        """
+        if self._negotiated:  # repro: ignore[lock-guarded-attrs] -- double-checked fast path: a stale False only re-enters the lock; bool loads never tear
+            return
+        with self._negotiate_lock:
+            if self._negotiated:
+                return
+            if self._requested == "json+b64":
+                self._negotiated = True  # pinned: nothing to probe
+                return
+            capabilities = self.capabilities() or {}
+            wire = capabilities.get("wire")
+            offered = capabilities.get("codecs", [])
+            if wire and "binary" in offered:
+                self._wire_endpoint = (
+                    str(wire.get("host") or self.host),
+                    int(wire["port"]),
+                )
+                self._codec_name = "binary"
+            elif self._requested == "binary":
+                raise TransportError(
+                    "transport='binary' was requested but the server at "
+                    f"{self.url} does not offer a binary wire endpoint "
+                    "(it predates the wire protocol or runs without one); "
+                    "use transport='auto' to fall back to JSON over HTTP"
+                )
+            self._negotiated = True
+
+    def _wire_connection(self) -> WireConnection:
+        """This thread's persistent wire connection, dialling on demand.
+
+        The hello handshake happens inside
+        :meth:`~repro.serving.wire.WireConnection.connect`; the caller's
+        retry loop covers it, so a blip during negotiation is retried
+        exactly like one during a query.
+        """
+        connection = getattr(self._local, "wire", None)
+        if connection is None:
+            assert self._wire_endpoint is not None
+            connection = WireConnection(
+                self._wire_endpoint[0],
+                self._wire_endpoint[1],
+                timeout=self.timeout,
+                codecs=("binary",),
+            )
+            connection.connect()
+            self._local.wire = connection
+            with self._connections_lock:
+                self._wire_connections.append(connection)
+        return connection
+
+    def _drop_wire_connection(self) -> None:
+        connection = getattr(self._local, "wire", None)
+        if connection is not None:
+            connection.close()
+            self._local.wire = None
+            with self._connections_lock:
+                if connection in self._wire_connections:
+                    self._wire_connections.remove(connection)
+
+    def _locate_chunk_wire(
+        self,
+        deployment: str,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        strict: Optional[bool],
+        version: Optional[Union[int, str]],
+    ) -> Tuple[int, np.ndarray]:
+        """One locate chunk over the binary wire, with transport retries.
+
+        Connection-level failures (including a worker killed mid-batch:
+        the client sees a reset socket) drop the thread's connection and
+        redial — the kernel hands the fresh connection to a live worker,
+        making a worker crash invisible above this line.  Engine-side
+        typed errors cross the wire once and are never retried, exactly
+        like the HTTP path.
+        """
+        attempts = self.retries + 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                connection = self._wire_connection()
+                return connection.locate(
+                    deployment, xs, ys, strict=strict, version=version
+                )
+            except (TransportError, OSError) as exc:
+                self._drop_wire_connection()
+                last_error = exc
+                continue
+        raise TransportError(
+            f"binary wire locate against "
+            f"{self._wire_endpoint[0]}:{self._wire_endpoint[1]} failed after "
+            f"{attempts} attempt(s): {last_error}"
+        ) from last_error
 
     # -- queries --------------------------------------------------------------
 
@@ -270,9 +439,10 @@ class ServingClient:
         version that answered it, so a hot-swap mid-batch cannot split the
         result across two partitions.
 
-        Coordinates cross the wire in the server's dense encoding (base64
-        float64 inside the JSON envelope) — bit-exact and ~50x cheaper to
-        marshal than JSON number lists at benchmark batch sizes.  Use
+        Coordinates cross the wire in the negotiated encoding: raw
+        little-endian float64/int64 frames on the binary wire transport,
+        base64 inside the JSON envelope over HTTP — both bit-exact, the
+        binary form skipping base64 and JSON entirely.  Use
         :meth:`locate` for the list form.
         """
         # returns: int64[n]
@@ -283,22 +453,37 @@ class ServingClient:
                 f"locate_points needs two equal-length 1-D coordinate arrays, "
                 f"got shapes {xs.shape} and {ys.shape}"
             )
+        self._ensure_negotiated()
+        if self._wire_endpoint is not None:
+            try:
+                return self._locate_points_wire(
+                    deployment, xs, ys, strict, version
+                )
+            except TransportError as exc:
+                if self._requested == "binary":
+                    raise
+                # auto: the advertised wire endpoint is unreachable (e.g.
+                # every worker is down while HTTP lives on).  Degrade to
+                # JSON for this client rather than failing a query the
+                # HTTP plane can still answer.
+                logger.warning(
+                    "binary wire transport failed (%s); falling back to "
+                    "JSON over HTTP", exc,
+                )
+                self._wire_endpoint = None
+                self._codec_name = "json+b64"
         pieces: List[np.ndarray] = []
         pinned = version
         for start in range(0, len(xs), self.batch_size) or (0,):
-            # Assembled by hand rather than json.dumps: the base64 alphabet
-            # never needs escaping, and the escaping scan over megabytes of
-            # it is measurable at benchmark batch sizes.
-            body = (
-                '{"deployment":' + json.dumps(deployment)
-                + ',"xs_b64":"'
-                + encode_b64_array(xs[start:start + self.batch_size], "<f8")
-                + '","ys_b64":"'
-                + encode_b64_array(ys[start:start + self.batch_size], "<f8")
-                + '"'
-                + ("" if strict is None else ',"strict":' + json.dumps(strict))
-                + ("" if pinned is None else ',"version":' + json.dumps(pinned))
-                + "}"
+            # The codec assembles the body by hand rather than json.dumps:
+            # the base64 alphabet never needs escaping, and the escaping
+            # scan over megabytes of it is measurable at benchmark sizes.
+            body = _DENSE_CODEC.encode_request(
+                deployment,
+                xs[start:start + self.batch_size],
+                ys[start:start + self.batch_size],
+                strict=strict,
+                version=pinned,
             )
             answer = self._request("POST", "/v1/locate", raw_body=body)
             if pinned is None or pinned == "latest":
@@ -314,6 +499,37 @@ class ServingClient:
             # The decoded piece is already little-endian int64; the final
             # concatenate below produces a fresh writable native array, so
             # copying each read-only frombuffer view here was pure overhead.
+            pieces.append(piece)
+        return np.concatenate(pieces) if pieces else np.empty(0, dtype=int)
+
+    def _locate_points_wire(
+        self,
+        deployment: str,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        strict: Optional[bool],
+        version: Optional[Union[int, str]],
+    ) -> np.ndarray:
+        """The binary-wire twin of the HTTP dense loop: chunk, pin, stitch.
+
+        Same batch split and same mid-batch pinning discipline — the
+        version that answers the first chunk pins the rest, so a hot-swap
+        (or a worker respawn onto a newer snapshot) cannot split one
+        logical batch across two partitions.
+        """
+        # returns: int64[n]
+        pieces: List[np.ndarray] = []
+        pinned = version
+        for start in range(0, len(xs), self.batch_size) or (0,):
+            answered, piece = self._locate_chunk_wire(
+                deployment,
+                xs[start:start + self.batch_size],
+                ys[start:start + self.batch_size],
+                strict,
+                pinned,
+            )
+            if pinned is None or pinned == "latest":
+                pinned = answered
             pieces.append(piece)
         return np.concatenate(pieces) if pieces else np.empty(0, dtype=int)
 

@@ -632,6 +632,25 @@ class ServingEngine:
     def __len__(self) -> int:
         return len(self._deployments)
 
+    @property
+    def config(self) -> "ServingConfig":
+        """The engine's (frozen) serving configuration."""
+        return self._config
+
+    def active_snapshot(self, name: str) -> Tuple[int, Any]:
+        """``(active version, its server)`` as one consistent pair.
+
+        The public form of the consistency core every query path uses:
+        the pair cannot be torn by a concurrent deploy/rollback.  This is
+        what the multiprocess worker pool exports from — publishing a
+        worker snapshot must capture the version number *with* the server
+        it describes, or a swap racing publication could pair v2 labels
+        with a v1 version stamp.
+        """
+        deployment = self._resolve_deployment(name)
+        resolved, server = self._snapshot(deployment, None)
+        return resolved.version, server
+
     # -- queries --------------------------------------------------------------
 
     def locate_points(

@@ -15,6 +15,7 @@ Endpoints
 
 ==========================  =====================================================
 ``GET  /v1/healthz``        liveness: ``{"status": "ok", "deployments": N}``
+``GET  /v1/capabilities``   transport negotiation: protocol version, codecs, wire
 ``GET  /v1/deployments``    the engine's deployment table (one row per name)
 ``GET  /v1/stats``          engine + cache counters
 ``POST /v1/locate``         a ``LocateRequest`` dict -> ``QueryResult`` dict
@@ -24,6 +25,26 @@ Endpoints
 ``POST /v1/swap-shard``     admin: a ``ShardSwapRequest`` dict (one tile hot-swap)
 ``POST /v1/rollback-shard`` admin: a ``ShardRollbackRequest`` dict
 ==========================  =====================================================
+
+The wire plane
+--------------
+
+HTTP stays the control/admin transport; the dense read path can
+additionally be served over the length-prefixed binary wire protocol of
+:mod:`repro.serving.wire`.  Constructing the server with a ``wire_port``
+opens an in-process :class:`~repro.serving.wire.WireServer` next to the
+HTTP listener; ``workers=N`` forks a
+:class:`~repro.serving.workers.WorkerPool` of ``N`` processes instead,
+sharing read-only label grids through ``multiprocessing.shared_memory``.
+``GET /v1/capabilities`` advertises the wire endpoint and the codec list,
+which is how :class:`~repro.serving.client.ServingClient` discovers it —
+an old client that never asks keeps speaking plain HTTP, and an old
+server without the endpoint answers 404, which a new client treats as
+"JSON only".  Every successful admin mutation republishes the engine's
+deployments to the workers (segment swap + version bump, never a copy);
+like manifest persistence, a publish failure degrades to a
+``wire_warning`` key on the success response rather than failing a
+mutation that already took effect.
 
 Admin endpoints are disabled unless the server is constructed with
 ``admin=True`` (the CLI's ``serve --admin``); without it they answer 403,
@@ -59,15 +80,14 @@ parallelism.
 
 from __future__ import annotations
 
-import base64
-import binascii
 import json
 import logging
 import socket
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -77,14 +97,23 @@ from ..exceptions import (
     ReproError,
     ServingError,
 )
-from ..validation import check_version
+from .codecs import (
+    JsonB64Codec,
+    codec_names,
+    require_finite_coords,
+)
+from .codecs import decode_b64_array as _codecs_decode_b64_array
+from .codecs import encode_b64_array as _codecs_encode_b64_array
 from .engine import ServingEngine
 from .protocol import (
+    PROTOCOL_VERSION,
     LocateRequest,
     RangeRequest,
     ShardRollbackRequest,
     ShardSwapRequest,
 )
+from .wire import WireServer
+from .workers import WorkerPool
 
 __all__ = [
     "ServingHTTPServer",
@@ -101,37 +130,37 @@ DEFAULT_PORT = 8350
 
 
 def encode_b64_array(values: np.ndarray, dtype: str) -> str:
-    """Base64 of ``values`` as raw ``dtype`` (an explicit-endian spec like
-    ``"<f8"``), the dense encoding's payload form."""
-    return base64.b64encode(
-        np.ascontiguousarray(values, dtype=dtype).tobytes()
-    ).decode("ascii")
+    """Base64 of ``values`` as raw ``dtype``, the dense encoding's payload.
+
+    .. deprecated::
+        The dense encoding belongs to the codec layer now; use
+        :func:`repro.serving.codecs.encode_b64_array`.  This shim
+        delegates there unchanged.
+    """
+    warnings.warn(
+        "repro.serving.http.encode_b64_array is deprecated; use "
+        "repro.serving.codecs.encode_b64_array",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _codecs_encode_b64_array(values, dtype)
 
 
 def decode_b64_array(text: Any, dtype: str, field: str) -> np.ndarray:
     """Decode a dense-encoding field back to an array, failing typed.
 
-    The result is a zero-copy *read-only* ``np.frombuffer`` view over the
-    decoded bytes.  That is deliberate: the locate hot path only ever
-    reads the coordinates (``asarray`` downstream is a no-op at matching
-    dtype), so a defensive ``.copy()`` here would be the single largest
-    allocation on the dense path.  Callers that need a writable result
-    materialise one at the end (the client's final ``np.concatenate``
-    always allocates fresh) instead of copying every chunk on entry.
+    .. deprecated::
+        The dense encoding belongs to the codec layer now; use
+        :func:`repro.serving.codecs.decode_b64_array`.  This shim
+        delegates there unchanged.
     """
-    if not isinstance(text, str):
-        raise ConfigurationError(f"{field} must be a base64 string")
-    try:
-        raw = base64.b64decode(text, validate=True)
-    except (binascii.Error, ValueError) as exc:
-        raise ConfigurationError(f"{field} is not valid base64: {exc}") from exc
-    itemsize = np.dtype(dtype).itemsize
-    if len(raw) % itemsize:
-        raise ConfigurationError(
-            f"{field} decodes to {len(raw)} bytes, not a multiple of the "
-            f"{itemsize}-byte {dtype} item size"
-        )
-    return np.frombuffer(raw, dtype=dtype)
+    warnings.warn(
+        "repro.serving.http.decode_b64_array is deprecated; use "
+        "repro.serving.codecs.decode_b64_array",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _codecs_decode_b64_array(text, dtype, field)
 
 logger = logging.getLogger(__name__)
 
@@ -149,6 +178,11 @@ _STATUS_BY_EXCEPTION = (
     (GridError, 422),           # strict-mode off-map coordinates
     (ReproError, 409),          # broken bundle, spec mismatch, ...
 )
+
+
+#: The codec behind the HTTP dense encoding — stateless, shared by every
+#: handler thread.  The same class serves ``json+b64`` on the wire plane.
+_DENSE_CODEC = JsonB64Codec()
 
 
 def _status_for(exc: BaseException) -> int:
@@ -186,7 +220,9 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_raw_json(status, json.dumps(payload))
 
     def _send_raw_json(self, status: int, text: str) -> None:
-        body = text.encode("utf-8")
+        self._send_json_bytes(status, text.encode("utf-8"))
+
+    def _send_json_bytes(self, status: int, body: bytes) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -270,6 +306,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch(
             {
                 "/v1/healthz": self._get_healthz,
+                "/v1/capabilities": self._get_capabilities,
                 "/v1/deployments": self._get_deployments,
                 "/v1/stats": self._get_stats,
             }
@@ -326,6 +363,15 @@ class _Handler(BaseHTTPRequestHandler):
             200, {"status": "ok", "deployments": len(self.server.engine)}
         )
 
+    def _get_capabilities(self) -> None:
+        """What this server can speak — the client's negotiation source.
+
+        A server predating the wire plane has no such endpoint and
+        answers 404 instead; :class:`~repro.serving.client.ServingClient`
+        maps that to "JSON over HTTP only" and degrades silently.
+        """
+        self._send_json(200, self.server.capabilities())
+
     def _get_deployments(self) -> None:
         self._send_json(200, {"deployments": self.server.engine.deployments()})
 
@@ -344,50 +390,24 @@ class _Handler(BaseHTTPRequestHandler):
 
         Functionally identical to the list form (same engine dispatch,
         same version/strict semantics, same error mapping) — only the
-        coordinate marshalling differs.
+        coordinate marshalling differs.  Field validation and response
+        assembly live in :class:`~repro.serving.codecs.JsonB64Codec`, the
+        same codec the wire transport negotiates, so the two transports'
+        JSON dense formats are one implementation and cannot drift.
         """
-        allowed = {"kind", "deployment", "xs_b64", "ys_b64", "strict", "version"}
-        unknown = sorted(set(data) - allowed)
-        if unknown:
-            raise ConfigurationError(
-                f"unknown locate field(s) {', '.join(map(repr, unknown))}; the "
-                f"dense encoding expects a subset of {tuple(sorted(allowed))} "
-                "(mixing xs/ys lists with xs_b64/ys_b64 is not allowed)"
-            )
-        if data.get("kind", "locate") != "locate":
-            raise ConfigurationError(
-                f"locate got kind {data.get('kind')!r}, expected 'locate'"
-            )
-        deployment = data.get("deployment")
-        if not isinstance(deployment, str) or not deployment:
-            raise ConfigurationError("locate needs a non-empty 'deployment'")
-        xs = decode_b64_array(data.get("xs_b64"), "<f8", "xs_b64")
-        ys = decode_b64_array(data.get("ys_b64"), "<f8", "ys_b64")
-        if len(xs) != len(ys):
-            raise ConfigurationError(
-                f"locate needs paired coordinates, got {len(xs)} xs and "
-                f"{len(ys)} ys"
-            )
-        if (xs.size and not np.isfinite(xs).all()) or \
-                (ys.size and not np.isfinite(ys).all()):
-            raise ConfigurationError("locate coordinates must be finite")
-        strict = data.get("strict")
-        if strict is not None and not isinstance(strict, bool):
-            raise ConfigurationError("locate 'strict' must be a bool or null")
-        check_version(data.get("version"))
+        dense = JsonB64Codec.decode_request_fields(data)
+        require_finite_coords(dense)
         version, assignment = self.server.engine.locate_batch(
-            deployment, xs, ys, strict=strict, version=data.get("version")
+            dense.deployment,
+            dense.xs,
+            dense.ys,
+            strict=dense.strict,
+            version=dense.version,
         )
-        # Assembled by hand for the same reason the client does it: base64
-        # never needs escaping, so json.dumps's scan is pure overhead here.
-        body = (
-            '{"deployment":' + json.dumps(deployment)
-            + ',"version":' + str(int(version))
-            + ',"kind":"locate","regions_b64":"'
-            + encode_b64_array(assignment, "<i8")
-            + '","n":' + str(int(assignment.size)) + "}"
+        self._send_json_bytes(
+            200,
+            _DENSE_CODEC.encode_response(dense.deployment, version, assignment),
         )
-        self._send_raw_json(200, body)
 
     def _post_range(self, data: Dict[str, Any]) -> None:
         request = RangeRequest.from_dict(data)
@@ -467,8 +487,16 @@ class _Handler(BaseHTTPRequestHandler):
         would tell the operator a hot-swap did not happen when it did (and
         invite a retry that creates a spurious extra version).  A persist
         failure therefore rides along as ``manifest_warning`` on the
-        success response instead.
+        success response instead — and worker publication degrades the
+        same way, as ``wire_warning``: the HTTP plane already serves the
+        new version, and the workers stay on their previous consistent
+        snapshot rather than something torn.
         """
+        try:
+            self.server.publish_wire()
+        except (OSError, ReproError) as exc:
+            logger.warning("worker publish failed after admin mutation: %s", exc)
+            info = {**info, "wire_warning": str(exc)}
         try:
             self.server.persist_manifest()
         except (OSError, ReproError) as exc:
@@ -501,6 +529,18 @@ class ServingHTTPServer(ThreadingHTTPServer):
     manifest_path:
         When given, every successful admin mutation re-saves the engine's
         deployment manifest there, so hot-swaps survive a restart.
+    wire_port:
+        When given, additionally serve the binary wire protocol of
+        :mod:`repro.serving.wire` on this port (``0`` picks an ephemeral
+        one — read it back from :attr:`wire_address`).  ``None`` (the
+        default) opens no wire listener unless ``workers`` asks for one.
+    workers:
+        ``0`` (default) serves the wire plane, if enabled, from
+        in-process threads; a positive count forks that many
+        :class:`~repro.serving.workers.WorkerPool` processes sharing
+        read-only label grids through shared memory instead.  Implies a
+        wire listener (on an ephemeral port when ``wire_port`` is
+        ``None``).  Admin mutations republish to the pool automatically.
 
     Use :meth:`serve_background` in tests (returns once the socket is
     accepting), :meth:`serve_forever` in a real process, and :meth:`close`
@@ -518,9 +558,13 @@ class ServingHTTPServer(ThreadingHTTPServer):
         admin: bool = False,
         threads: Optional[int] = None,
         manifest_path: Optional[str] = None,
+        wire_port: Optional[int] = None,
+        workers: int = 0,
     ) -> None:
         if threads is not None and threads < 1:
             raise ConfigurationError(f"threads must be >= 1, got {threads}")
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
         self.engine = engine
         self.admin = bool(admin)
         self.manifest_path = manifest_path
@@ -531,7 +575,23 @@ class ServingHTTPServer(ThreadingHTTPServer):
         )
         self._serve_thread: Optional[threading.Thread] = None
         self._started_serving = False
+        self._wire: Optional[Union[WireServer, WorkerPool]] = None
+        self.workers = int(workers)
         super().__init__((host, port), _Handler)
+        try:
+            if workers > 0:
+                self._wire = WorkerPool(
+                    engine, host=host, port=wire_port or 0, workers=workers
+                ).start()
+            elif wire_port is not None:
+                self._wire = WireServer(
+                    engine, host=host, port=wire_port
+                ).serve_background()
+        except BaseException:  # repro: ignore[exception-discipline] -- resource guard, not a handler: the bound HTTP socket must not leak whatever (KeyboardInterrupt included) aborts wire-plane construction; always re-raised
+            # The HTTP socket is already bound; a half-constructed server
+            # must not leak it.
+            self.server_close()
+            raise
 
     # -- request fan-out ------------------------------------------------------
 
@@ -558,10 +618,42 @@ class ServingHTTPServer(ThreadingHTTPServer):
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    @property
+    def wire_address(self) -> Optional[Tuple[str, int]]:
+        """``(host, port)`` of the wire listener, or ``None`` without one."""
+        if self._wire is None:
+            return None
+        return self._wire.host, self._wire.port
+
+    def capabilities(self) -> Dict[str, Any]:
+        """The ``/v1/capabilities`` body: what a client may negotiate up to."""
+        wire: Optional[Dict[str, Any]] = None
+        if self._wire is not None:
+            wire = {
+                "host": self._wire.host,
+                "port": self._wire.port,
+                "workers": self.workers,
+            }
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "codecs": codec_names(),
+            "wire": wire,
+            "admin": self.admin,
+        }
+
     def persist_manifest(self) -> None:
         """Re-save the deployment manifest after an admin mutation."""
         if self.manifest_path:
             self.engine.save_manifest(self.manifest_path)
+
+    def publish_wire(self) -> None:
+        """Push the engine's current deployments to the worker pool.
+
+        A no-op without workers (the in-process wire server reads the
+        engine directly and needs no publication step).
+        """
+        if isinstance(self._wire, WorkerPool):
+            self._wire.publish()
 
     def serve_background(self) -> "ServingHTTPServer":
         """Run :meth:`serve_forever` on a daemon thread and return."""
@@ -599,6 +691,9 @@ class ServingHTTPServer(ThreadingHTTPServer):
             self._serve_thread = None
         if self._pool is not None:
             self._pool.shutdown(wait=False)
+        if self._wire is not None:
+            self._wire.close()
+            self._wire = None
         self.server_close()
 
     def __enter__(self) -> "ServingHTTPServer":
@@ -615,13 +710,15 @@ def serve_engine(
     admin: bool = False,
     threads: Optional[int] = None,
     manifest_path: Optional[str] = None,
+    wire_port: Optional[int] = None,
+    workers: int = 0,
 ) -> ServingHTTPServer:
     """Construct a :class:`ServingHTTPServer` (not yet serving).
 
     Thin convenience for the CLI and examples::
 
-        server = serve_engine(engine, port=8350, admin=True)
-        print("listening on", server.url)
+        server = serve_engine(engine, port=8350, admin=True, workers=2)
+        print("listening on", server.url, "wire on", server.wire_address)
         server.serve_forever()          # or server.serve_background()
     """
     return ServingHTTPServer(
@@ -631,4 +728,6 @@ def serve_engine(
         admin=admin,
         threads=threads,
         manifest_path=manifest_path,
+        wire_port=wire_port,
+        workers=workers,
     )

@@ -50,7 +50,9 @@ __all__ = [
     "QueryResult",
     "ShardSwapRequest",
     "ShardRollbackRequest",
+    "Envelope",
     "LATEST",
+    "PROTOCOL_VERSION",
 ]
 
 #: Version alias resolving to a deployment's newest version (which can
@@ -59,6 +61,14 @@ LATEST = "latest"
 
 #: The request/result kinds the protocol knows.
 QUERY_KINDS: Tuple[str, ...] = ("locate", "range")
+
+#: The protocol (envelope) version this build speaks.  Version 1 is the
+#: PR 5/6 wire format exactly: an :class:`Envelope` at version 1
+#: serialises byte-for-byte as the bare request dict always did, so old
+#: clients and servers interoperate unchanged.  A future version that
+#: must change a shape will carry an explicit ``"v"`` key and this
+#: constant moves.
+PROTOCOL_VERSION = 1
 
 
 def _check_deployment(kind: str, deployment: Any) -> None:
@@ -395,3 +405,121 @@ class QueryResult(_JsonValue):
         if "regions" in kwargs:
             kwargs["regions"] = tuple(kwargs["regions"])
         return cls._construct(kwargs)
+
+
+#: Request class per operation name — the dispatch table
+#: :meth:`Envelope.parse` routes through.  The op *is* the legacy
+#: ``"kind"`` key, so every version-1 envelope is exactly the bare
+#: request dict.
+REQUEST_TYPES: Dict[str, Any] = {
+    "locate": LocateRequest,
+    "range": RangeRequest,
+    "swap-shard": ShardSwapRequest,
+    "rollback-shard": ShardRollbackRequest,
+}
+
+
+@dataclass(frozen=True)
+class Envelope(_JsonValue):
+    """One versioned wrapper over every protocol request.
+
+    PR 5/6 grew one bespoke JSON shape per operation; the envelope
+    unifies them as ``(op, version, payload)`` so a new op (shard swap
+    was the fourth; ingest will be the fifth) extends
+    :data:`REQUEST_TYPES` instead of adding another hand-rolled parser
+    to every transport.
+
+    **Compatibility is a hard invariant**: at :data:`PROTOCOL_VERSION`
+    (the only version this build speaks), ``to_dict``/``to_json`` emit
+    exactly the payload's legacy dict — ``op`` travels as the existing
+    ``"kind"`` key and the version key is elided — so
+    ``Envelope.wrap(request).to_json() == request.to_json()``
+    byte-for-byte, and an old server cannot tell envelopes from bare
+    requests.  ``parse`` accepts both spellings: a dict without ``"v"``
+    is version 1; a dict carrying ``"v"`` must declare a version this
+    build understands or fails typed, which is what lets a future
+    breaking revision be detected instead of misread.
+    """
+
+    op: str
+    payload: Any
+    version: int = PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        if self.op not in REQUEST_TYPES:
+            raise ConfigurationError(
+                f"Envelope.op must be one of {tuple(REQUEST_TYPES)}, "
+                f"got {self.op!r}"
+            )
+        expected = REQUEST_TYPES[self.op]
+        if not isinstance(self.payload, expected):
+            raise ConfigurationError(
+                f"Envelope op {self.op!r} requires a {expected.__name__} "
+                f"payload, got {type(self.payload).__name__}"
+            )
+        if isinstance(self.version, bool) or not isinstance(self.version, int) \
+                or self.version < 1:
+            raise ConfigurationError(
+                f"Envelope.version must be a positive integer, "
+                f"got {self.version!r}"
+            )
+        if self.version != PROTOCOL_VERSION:
+            raise ConfigurationError(
+                f"Envelope.version {self.version} is not supported; this "
+                f"build speaks protocol version {PROTOCOL_VERSION}"
+            )
+
+    @classmethod
+    def wrap(cls, request: Any) -> "Envelope":
+        """The envelope around a typed request (op read off its kind)."""
+        for op, request_type in REQUEST_TYPES.items():
+            if isinstance(request, request_type):
+                return cls(op=op, payload=request)
+        raise ConfigurationError(
+            f"Envelope.wrap got {type(request).__name__}; expected one of "
+            f"{tuple(t.__name__ for t in REQUEST_TYPES.values())}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The payload's legacy dict; ``"v"`` elided at the current version.
+
+        Eliding the default version is what keeps version-1 envelopes
+        byte-for-byte identical to the pre-envelope wire format.
+        """
+        data = self.payload.to_dict()
+        if self.version != PROTOCOL_VERSION:  # pragma: no cover - future versions
+            data["v"] = self.version
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Envelope":
+        return cls.parse(data)
+
+    @classmethod
+    def parse(cls, data: Mapping[str, Any]) -> "Envelope":
+        """Dispatch a wire dict to its typed request, version-checked."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"Envelope.parse needs a mapping, got {type(data).__name__}"
+            )
+        version = data.get("v", PROTOCOL_VERSION)
+        if isinstance(version, bool) or not isinstance(version, int) \
+                or version < 1:
+            raise ConfigurationError(
+                f"envelope 'v' must be a positive integer, got {version!r}"
+            )
+        if version != PROTOCOL_VERSION:
+            raise ConfigurationError(
+                f"envelope declares protocol version {version}; this build "
+                f"speaks {PROTOCOL_VERSION}"
+            )
+        op = data.get("kind")
+        if op not in REQUEST_TYPES:
+            raise ConfigurationError(
+                f"envelope 'kind' must be one of {tuple(REQUEST_TYPES)}, "
+                f"got {op!r}"
+            )
+        payload = REQUEST_TYPES[op].from_dict(
+            {key: value for key, value in data.items() if key != "v"}
+        )
+        return cls(op=op, payload=payload, version=version)

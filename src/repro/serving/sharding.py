@@ -520,6 +520,23 @@ class ShardedDeployment:
         """Cell window ``(r0, r1, c0, c1)`` of the tile at ``(row, col)``."""
         return self._geometry.tile_window(self._shard_index(row, col))
 
+    def compose_labels(self) -> np.ndarray:
+        """The effective full label grid, tile swaps applied, freshly built.
+
+        The export path the multiprocess workers use: one contiguous
+        int64 ``rows x cols`` array assembled from the *current* index
+        snapshot, so a worker publication after :meth:`swap_shard` ships
+        the swapped tile, not the construction-time partition.  Allocates
+        fresh on every call — publication-time only, never a query path.
+        """
+        # returns: int64[r, c]
+        index = self._index  # one snapshot; tiles of a single publish
+        labels = np.empty((self._grid.rows, self._grid.cols), dtype=np.int64)
+        for tile in range(self._geometry.n_tiles):
+            r0, r1, c0, c1 = self._geometry.tile_window(tile)
+            labels[r0:r1, c0:c1] = index.tile_view(tile)
+        return labels
+
     def __repr__(self) -> str:
         return (
             f"ShardedDeployment({len(self._partition)} regions over "

@@ -216,3 +216,81 @@ class TestShardRequests:
             ShardRollbackRequest.from_dict(
                 {"kind": "swap-shard", "deployment": "la", "row": 0, "col": 0}
             )
+
+
+class TestEnvelope:
+    """The PR 10 versioned envelope: one wrapper, four ops, zero wire drift."""
+
+    def _requests(self):
+        from repro.serving import ShardRollbackRequest, ShardSwapRequest
+
+        return [
+            LocateRequest(deployment="la", xs=(0.25,), ys=(0.5,), strict=True,
+                          version=2),
+            RangeRequest(deployment="la", min_x=0.0, min_y=0.0, max_x=1.0,
+                         max_y=1.0),
+            ShardSwapRequest(deployment="la", row=1, col=2, artifact="/b"),
+            ShardRollbackRequest(deployment="la", row=0, col=0),
+        ]
+
+    def test_wrap_covers_all_four_request_types(self):
+        from repro.serving import Envelope
+
+        ops = [Envelope.wrap(request).op for request in self._requests()]
+        assert ops == ["locate", "range", "swap-shard", "rollback-shard"]
+
+    def test_envelope_json_is_byte_identical_to_legacy_request_json(self):
+        # The compatibility invariant: at the current protocol version an
+        # envelope serialises to exactly the bare request dict, so old
+        # servers cannot tell the difference.
+        from repro.serving import Envelope
+
+        for request in self._requests():
+            assert Envelope.wrap(request).to_json() == request.to_json()
+
+    def test_parse_round_trips_and_dispatches_by_kind(self):
+        from repro.serving import Envelope
+
+        for request in self._requests():
+            envelope = Envelope.parse(request.to_dict())
+            assert envelope.payload == request
+            assert envelope.version == 1
+
+    def test_explicit_current_version_accepted(self):
+        from repro.serving import PROTOCOL_VERSION, Envelope
+
+        data = dict(LocateRequest(deployment="la", xs=(0.0,), ys=(0.0,)).to_dict())
+        data["v"] = PROTOCOL_VERSION
+        assert Envelope.parse(data).op == "locate"
+
+    def test_future_version_fails_typed(self):
+        from repro.serving import Envelope
+
+        data = dict(LocateRequest(deployment="la", xs=(0.0,), ys=(0.0,)).to_dict())
+        data["v"] = 99
+        with pytest.raises(ConfigurationError, match="protocol version 99"):
+            Envelope.parse(data)
+
+    def test_malformed_version_and_kind_fail_typed(self):
+        from repro.serving import Envelope
+
+        base = LocateRequest(deployment="la", xs=(0.0,), ys=(0.0,)).to_dict()
+        with pytest.raises(ConfigurationError, match="positive integer"):
+            Envelope.parse({**base, "v": "1"})
+        with pytest.raises(ConfigurationError, match="kind"):
+            Envelope.parse({"kind": "ingest", "deployment": "la"})
+        with pytest.raises(ConfigurationError, match="mapping"):
+            Envelope.parse([1, 2, 3])
+
+    def test_wrap_rejects_foreign_objects(self):
+        from repro.serving import Envelope
+
+        with pytest.raises(ConfigurationError, match="Envelope.wrap"):
+            Envelope.wrap({"kind": "locate"})
+
+    def test_mismatched_payload_type_rejected(self):
+        from repro.serving import Envelope
+
+        request = LocateRequest(deployment="la", xs=(0.0,), ys=(0.0,))
+        with pytest.raises(ConfigurationError, match="requires a RangeRequest"):
+            Envelope(op="range", payload=request)

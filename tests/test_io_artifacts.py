@@ -151,3 +151,52 @@ class TestPointsCsv:
     def test_shape_mismatch_raises(self, tmp_path):
         with pytest.raises(DatasetError):
             write_points_csv(tmp_path / "p.csv", np.zeros(3), np.zeros(4))
+
+
+class TestGridSidecar:
+    """The mmap sidecar (``label_grid.npy``) behind shared-readers loads."""
+
+    def test_sidecar_created_once_and_reused(self, partition, tmp_path):
+        from repro.io.artifacts import LABELS_SIDECAR_NAME, ensure_grid_sidecar
+
+        path = save_partition_artifact(partition, tmp_path / "bundle")
+        sidecar = ensure_grid_sidecar(path)
+        assert sidecar == path / LABELS_SIDECAR_NAME
+        first_stat = sidecar.stat()
+        assert ensure_grid_sidecar(path) == sidecar
+        assert sidecar.stat().st_mtime_ns == first_stat.st_mtime_ns  # no rewrite
+
+    def test_mmap_view_matches_the_loaded_grid_and_is_readonly(
+        self, partition, tmp_path
+    ):
+        from repro.io.artifacts import open_grid_mmap
+
+        path = save_partition_artifact(partition, tmp_path / "bundle")
+        view = open_grid_mmap(path)
+        assert view.dtype == np.int64
+        np.testing.assert_array_equal(view, np.asarray(partition.label_grid))
+        with pytest.raises(ValueError):
+            view[0, 0] = 99
+
+    def test_stale_sidecar_is_rebuilt_after_bundle_update(
+        self, partition, tmp_path
+    ):
+        import os
+
+        from repro.io.artifacts import ensure_grid_sidecar, open_grid_mmap
+
+        path = save_partition_artifact(partition, tmp_path / "bundle")
+        sidecar = ensure_grid_sidecar(path)
+        # simulate an in-place bundle refresh: arrays.npz newer than sidecar
+        stale = sidecar.stat().st_mtime_ns - 10_000_000_000
+        os.utime(sidecar, ns=(stale, stale))
+        replacement = uniform_partition(partition.grid, 2, 2)
+        save_partition_artifact(replacement, path)
+        view = open_grid_mmap(path)
+        np.testing.assert_array_equal(view, np.asarray(replacement.label_grid))
+
+    def test_missing_bundle_fails_typed(self, tmp_path):
+        from repro.io.artifacts import ensure_grid_sidecar
+
+        with pytest.raises(PartitionError, match="arrays"):
+            ensure_grid_sidecar(tmp_path / "nope")
